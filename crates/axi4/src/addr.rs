@@ -1,0 +1,197 @@
+//! Byte addresses on the AXI bus.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A byte address on the interconnect.
+///
+/// Newtype over `u64` so addresses cannot be confused with byte counts,
+/// cycle counts, or register values in component code.
+///
+/// ```
+/// use axi4::Addr;
+///
+/// let a = Addr::new(0x1000);
+/// assert_eq!(a + 0x10, Addr::new(0x1010));
+/// assert!(a.is_aligned(8));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte value.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw byte value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if the address is a multiple of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a power of two.
+    pub fn is_aligned(self, bytes: u64) -> bool {
+        assert!(bytes.is_power_of_two(), "alignment must be a power of two");
+        self.0 & (bytes - 1) == 0
+    }
+
+    /// Rounds the address down to a multiple of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a power of two.
+    pub fn align_down(self, bytes: u64) -> Self {
+        assert!(bytes.is_power_of_two(), "alignment must be a power of two");
+        Self(self.0 & !(bytes - 1))
+    }
+
+    /// Returns the start of the 4 KiB page containing this address.
+    pub fn page_base(self) -> Self {
+        self.align_down(crate::BOUNDARY_4K)
+    }
+
+    /// Wrapping addition that stays inside the wrap window used by `WRAP`
+    /// bursts: the window starts at `base` (already aligned to `window`
+    /// bytes) and is `window` bytes long.
+    pub(crate) fn wrap_within(self, base: Addr, window: u64, step: u64) -> Self {
+        let next = self.0 + step;
+        if next >= base.0 + window {
+            Addr(base.0 + (next - base.0) % window)
+        } else {
+            Addr(next)
+        }
+    }
+
+    /// Returns the distance in bytes from `self` to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other < self`.
+    pub fn offset_to(self, other: Addr) -> u64 {
+        other
+            .0
+            .checked_sub(self.0)
+            .expect("offset_to: other address precedes self")
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    fn add(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    fn add_assign(&mut self, bytes: u64) {
+        self.0 += bytes;
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+
+    fn sub(self, bytes: u64) -> Addr {
+        Addr(self.0 - bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_checks() {
+        assert!(Addr::new(0x1000).is_aligned(8));
+        assert!(Addr::new(0x1000).is_aligned(4096));
+        assert!(!Addr::new(0x1004).is_aligned(8));
+        assert!(Addr::new(0x1004).is_aligned(4));
+    }
+
+    #[test]
+    fn align_down_truncates() {
+        assert_eq!(Addr::new(0x1fff).align_down(0x1000), Addr::new(0x1000));
+        assert_eq!(Addr::new(0x1000).align_down(0x1000), Addr::new(0x1000));
+        assert_eq!(Addr::new(0x17).align_down(8), Addr::new(0x10));
+    }
+
+    #[test]
+    fn page_base_is_4k() {
+        assert_eq!(Addr::new(0x1234).page_base(), Addr::new(0x1000));
+        assert_eq!(Addr::new(0xfff).page_base(), Addr::new(0));
+    }
+
+    #[test]
+    fn wrap_within_window() {
+        // 32-byte window starting at 0x100, stepping 8 bytes.
+        let base = Addr::new(0x100);
+        let mut a = Addr::new(0x110);
+        a = a.wrap_within(base, 32, 8);
+        assert_eq!(a, Addr::new(0x118));
+        a = a.wrap_within(base, 32, 8);
+        assert_eq!(a, Addr::new(0x100)); // wrapped
+    }
+
+    #[test]
+    fn arithmetic_and_conversions() {
+        let a = Addr::new(0x10) + 0x20;
+        assert_eq!(u64::from(a), 0x30);
+        assert_eq!(a - 0x10, Addr::new(0x20));
+        assert_eq!(Addr::from(5u64).raw(), 5);
+        assert_eq!(Addr::new(0x10).offset_to(Addr::new(0x18)), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn offset_to_panics_backwards() {
+        let _ = Addr::new(0x18).offset_to(Addr::new(0x10));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Addr::new(0xdead)), "0x0000dead");
+        assert_eq!(format!("{:x}", Addr::new(0xdead)), "dead");
+        assert_eq!(format!("{:?}", Addr::new(0x10)), "Addr(0x10)");
+    }
+}

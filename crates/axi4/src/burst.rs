@@ -1,0 +1,424 @@
+//! Burst semantics: kind, size, length, and per-beat address sequences.
+
+use std::fmt;
+
+use crate::{Addr, ProtocolError, BOUNDARY_4K, MAX_FIXED_WRAP_LEN, MAX_INCR_LEN};
+
+/// The AXI4 burst type (`AxBURST`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum BurstKind {
+    /// Every beat targets the same address (FIFO-style peripherals).
+    Fixed,
+    /// Each beat's address increments by the beat size. The common case.
+    #[default]
+    Incr,
+    /// Addresses increment but wrap at an aligned window of
+    /// `len * beat_bytes` — used for critical-word-first cache refills.
+    Wrap,
+}
+
+impl fmt::Display for BurstKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BurstKind::Fixed => "FIXED",
+            BurstKind::Incr => "INCR",
+            BurstKind::Wrap => "WRAP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The number of bytes per beat, encoded as `log2(bytes)` (`AxSIZE`).
+///
+/// The simulator carries beat data in a single `u64` lane, so sizes above
+/// eight bytes per beat (encoding 3) are rejected at construction.
+///
+/// ```
+/// use axi4::BurstSize;
+///
+/// # fn main() -> Result<(), axi4::ProtocolError> {
+/// let size = BurstSize::new(3)?; // 8 bytes per beat
+/// assert_eq!(size.bytes(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BurstSize(u8);
+
+impl BurstSize {
+    /// Maximum supported `log2(bytes)` encoding (8-byte beats).
+    pub const MAX_ENCODING: u8 = 3;
+
+    /// Creates a burst size from its `log2(bytes)` encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::SizeTooLarge`] if `encoding` exceeds
+    /// [`BurstSize::MAX_ENCODING`].
+    pub const fn new(encoding: u8) -> Result<Self, ProtocolError> {
+        if encoding > Self::MAX_ENCODING {
+            Err(ProtocolError::SizeTooLarge { encoding })
+        } else {
+            Ok(Self(encoding))
+        }
+    }
+
+    /// Creates a burst size from a byte count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidSizeBytes`] if `bytes` is not a power
+    /// of two in `1..=8`.
+    pub fn from_bytes(bytes: u32) -> Result<Self, ProtocolError> {
+        if !bytes.is_power_of_two() || bytes > 8 || bytes == 0 {
+            return Err(ProtocolError::InvalidSizeBytes { bytes });
+        }
+        Ok(Self(bytes.trailing_zeros() as u8))
+    }
+
+    /// The full data-bus width of the simulated system: 8 bytes per beat.
+    pub const fn bus64() -> Self {
+        Self(3)
+    }
+
+    /// Returns the `log2(bytes)` encoding.
+    pub const fn encoding(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the number of bytes transferred per beat.
+    pub const fn bytes(self) -> u64 {
+        1 << self.0
+    }
+}
+
+impl Default for BurstSize {
+    fn default() -> Self {
+        Self::bus64()
+    }
+}
+
+impl fmt::Display for BurstSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B/beat", self.bytes())
+    }
+}
+
+/// The number of beats in a burst (`AxLEN + 1`), between 1 and 256.
+///
+/// Stored as the *actual* beat count, not the on-wire `AxLEN` encoding.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BurstLen(u16);
+
+impl BurstLen {
+    /// A single-beat burst.
+    pub const ONE: Self = Self(1);
+
+    /// Creates a burst length from a beat count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidLen`] unless `1 <= beats <= 256`.
+    pub const fn new(beats: u16) -> Result<Self, ProtocolError> {
+        if beats == 0 || beats > MAX_INCR_LEN {
+            Err(ProtocolError::InvalidLen { beats })
+        } else {
+            Ok(Self(beats))
+        }
+    }
+
+    /// Creates a burst length from the on-wire `AxLEN` encoding
+    /// (`beats - 1`).
+    pub const fn from_wire(axlen: u8) -> Self {
+        Self(axlen as u16 + 1)
+    }
+
+    /// Returns the number of beats.
+    pub const fn beats(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the on-wire `AxLEN` encoding (`beats - 1`).
+    pub const fn to_wire(self) -> u8 {
+        (self.0 - 1) as u8
+    }
+}
+
+impl Default for BurstLen {
+    fn default() -> Self {
+        Self::ONE
+    }
+}
+
+impl fmt::Display for BurstLen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} beats", self.0)
+    }
+}
+
+/// Validates the combination of burst kind, length, size, and address
+/// against the AXI4 rules used throughout this workspace.
+///
+/// # Errors
+///
+/// - [`ProtocolError::FixedWrapTooLong`]: `FIXED`/`WRAP` longer than 16 beats.
+/// - [`ProtocolError::WrapLenNotPow2`]: `WRAP` length not in {2, 4, 8, 16}.
+/// - [`ProtocolError::WrapUnaligned`]: `WRAP` start address not aligned to
+///   the beat size.
+/// - [`ProtocolError::Crosses4K`]: an `INCR` burst crossing a 4 KiB boundary.
+pub fn validate_burst(
+    kind: BurstKind,
+    len: BurstLen,
+    size: BurstSize,
+    addr: Addr,
+) -> Result<(), ProtocolError> {
+    match kind {
+        BurstKind::Fixed => {
+            if len.beats() > MAX_FIXED_WRAP_LEN {
+                return Err(ProtocolError::FixedWrapTooLong { kind, len });
+            }
+        }
+        BurstKind::Wrap => {
+            if len.beats() > MAX_FIXED_WRAP_LEN {
+                return Err(ProtocolError::FixedWrapTooLong { kind, len });
+            }
+            if !matches!(len.beats(), 2 | 4 | 8 | 16) {
+                return Err(ProtocolError::WrapLenNotPow2 { len });
+            }
+            if !addr.is_aligned(size.bytes()) {
+                return Err(ProtocolError::WrapUnaligned { addr, size });
+            }
+        }
+        BurstKind::Incr => {
+            // The 4 KiB rule: the burst must not cross a 4 KiB boundary.
+            let start = addr.align_down(size.bytes());
+            let end = start.raw() + u64::from(len.beats()) * size.bytes() - 1;
+            if start.page_base() != Addr::new(end).page_base() {
+                return Err(ProtocolError::Crosses4K { addr, len, size });
+            }
+            debug_assert!(end - start.raw() < BOUNDARY_4K);
+        }
+    }
+    Ok(())
+}
+
+/// Returns an iterator over the address of every beat of a burst.
+///
+/// For `WRAP` bursts the sequence wraps inside the aligned window of
+/// `len * size` bytes containing the start address, as specified by AXI4.
+///
+/// ```
+/// use axi4::{beat_addresses, Addr, BurstKind, BurstLen, BurstSize};
+///
+/// # fn main() -> Result<(), axi4::ProtocolError> {
+/// let addrs: Vec<_> = beat_addresses(
+///     BurstKind::Wrap,
+///     Addr::new(0x110),
+///     BurstLen::new(4)?,
+///     BurstSize::new(3)?,
+/// )
+/// .map(Addr::raw)
+/// .collect();
+/// assert_eq!(addrs, [0x110, 0x118, 0x100, 0x108]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn beat_addresses(
+    kind: BurstKind,
+    addr: Addr,
+    len: BurstLen,
+    size: BurstSize,
+) -> BeatAddresses {
+    let window = u64::from(len.beats()) * size.bytes();
+    let wrap_base = match kind {
+        BurstKind::Wrap => Addr::new(addr.raw() / window * window),
+        _ => Addr::new(0),
+    };
+    // FIXED bursts repeat the exact (possibly unaligned) start address on
+    // every beat; INCR/WRAP align subsequent beats to the beat size.
+    let next = match kind {
+        BurstKind::Fixed => addr,
+        _ => addr.align_down(size.bytes()),
+    };
+    BeatAddresses {
+        kind,
+        next,
+        first: true,
+        unaligned_start: addr,
+        remaining: len.beats(),
+        size,
+        wrap_base,
+        window,
+    }
+}
+
+/// Iterator over per-beat addresses, returned by [`beat_addresses`].
+#[derive(Clone, Debug)]
+pub struct BeatAddresses {
+    kind: BurstKind,
+    next: Addr,
+    first: bool,
+    unaligned_start: Addr,
+    remaining: u16,
+    size: BurstSize,
+    wrap_base: Addr,
+    window: u64,
+}
+
+impl Iterator for BeatAddresses {
+    type Item = Addr;
+
+    fn next(&mut self) -> Option<Addr> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // The first beat uses the (possibly unaligned) start address; later
+        // beats use size-aligned addresses (AXI4 §A3.4.1).
+        let current = if self.first {
+            self.first = false;
+            self.unaligned_start
+        } else {
+            self.next
+        };
+        self.next = match self.kind {
+            BurstKind::Fixed => self.next,
+            BurstKind::Incr => self.next + self.size.bytes(),
+            BurstKind::Wrap => self
+                .next
+                .wrap_within(self.wrap_base, self.window, self.size.bytes()),
+        };
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BeatAddresses {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn len(n: u16) -> BurstLen {
+        BurstLen::new(n).unwrap()
+    }
+
+    fn size(enc: u8) -> BurstSize {
+        BurstSize::new(enc).unwrap()
+    }
+
+    #[test]
+    fn burst_size_encodings() {
+        assert_eq!(size(0).bytes(), 1);
+        assert_eq!(size(3).bytes(), 8);
+        assert!(BurstSize::new(4).is_err());
+        assert_eq!(BurstSize::from_bytes(4).unwrap().encoding(), 2);
+        assert!(BurstSize::from_bytes(3).is_err());
+        assert!(BurstSize::from_bytes(16).is_err());
+        assert!(BurstSize::from_bytes(0).is_err());
+        assert_eq!(BurstSize::default(), BurstSize::bus64());
+    }
+
+    #[test]
+    fn burst_len_wire_roundtrip() {
+        assert_eq!(BurstLen::from_wire(0).beats(), 1);
+        assert_eq!(BurstLen::from_wire(255).beats(), 256);
+        assert_eq!(len(256).to_wire(), 255);
+        assert!(BurstLen::new(0).is_err());
+        assert!(BurstLen::new(257).is_err());
+        assert_eq!(BurstLen::default(), BurstLen::ONE);
+    }
+
+    #[test]
+    fn incr_addresses() {
+        let a: Vec<_> = beat_addresses(BurstKind::Incr, Addr::new(0x100), len(4), size(3))
+            .map(Addr::raw)
+            .collect();
+        assert_eq!(a, [0x100, 0x108, 0x110, 0x118]);
+    }
+
+    #[test]
+    fn incr_unaligned_first_beat() {
+        // First beat keeps the unaligned address; subsequent beats align.
+        let a: Vec<_> = beat_addresses(BurstKind::Incr, Addr::new(0x102), len(3), size(3))
+            .map(Addr::raw)
+            .collect();
+        assert_eq!(a, [0x102, 0x108, 0x110]);
+    }
+
+    #[test]
+    fn fixed_addresses_repeat() {
+        let a: Vec<_> = beat_addresses(BurstKind::Fixed, Addr::new(0x40), len(3), size(2))
+            .map(Addr::raw)
+            .collect();
+        assert_eq!(a, [0x40, 0x40, 0x40]);
+    }
+
+    #[test]
+    fn wrap_addresses_wrap_at_window() {
+        // 4 beats * 8 bytes = 32-byte window; start mid-window.
+        let a: Vec<_> = beat_addresses(BurstKind::Wrap, Addr::new(0x110), len(4), size(3))
+            .map(Addr::raw)
+            .collect();
+        assert_eq!(a, [0x110, 0x118, 0x100, 0x108]);
+    }
+
+    #[test]
+    fn wrap_from_window_start_does_not_wrap() {
+        let a: Vec<_> = beat_addresses(BurstKind::Wrap, Addr::new(0x100), len(4), size(3))
+            .map(Addr::raw)
+            .collect();
+        assert_eq!(a, [0x100, 0x108, 0x110, 0x118]);
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let it = beat_addresses(BurstKind::Incr, Addr::new(0), len(256), size(3));
+        assert_eq!(it.len(), 256);
+        assert_eq!(it.count(), 256);
+    }
+
+    #[test]
+    fn validate_incr_4k_rule() {
+        // 256 beats * 8 bytes = 2048 bytes starting at page base: fine.
+        assert!(validate_burst(BurstKind::Incr, len(256), size(3), Addr::new(0x1000)).is_ok());
+        // Same burst starting 8 bytes before a page end: crosses.
+        assert!(matches!(
+            validate_burst(BurstKind::Incr, len(256), size(3), Addr::new(0x1ff8)),
+            Err(ProtocolError::Crosses4K { .. })
+        ));
+        // Exactly filling to the page end is legal.
+        assert!(validate_burst(BurstKind::Incr, len(256), size(3), Addr::new(0x1800)).is_ok());
+    }
+
+    #[test]
+    fn validate_fixed_and_wrap_lengths() {
+        assert!(validate_burst(BurstKind::Fixed, len(16), size(0), Addr::new(0)).is_ok());
+        assert!(matches!(
+            validate_burst(BurstKind::Fixed, len(17), size(0), Addr::new(0)),
+            Err(ProtocolError::FixedWrapTooLong { .. })
+        ));
+        assert!(validate_burst(BurstKind::Wrap, len(8), size(3), Addr::new(0x40)).is_ok());
+        assert!(matches!(
+            validate_burst(BurstKind::Wrap, len(3), size(3), Addr::new(0x40)),
+            Err(ProtocolError::WrapLenNotPow2 { .. })
+        ));
+        assert!(matches!(
+            validate_burst(BurstKind::Wrap, len(4), size(3), Addr::new(0x41)),
+            Err(ProtocolError::WrapUnaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(format!("{}", BurstKind::Incr), "INCR");
+        assert_eq!(format!("{}", BurstKind::Fixed), "FIXED");
+        assert_eq!(format!("{}", BurstKind::Wrap), "WRAP");
+        assert_eq!(format!("{}", size(3)), "8B/beat");
+        assert_eq!(format!("{}", len(4)), "4 beats");
+    }
+}

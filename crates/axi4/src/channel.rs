@@ -1,0 +1,610 @@
+//! Beat-level payloads for the five AXI4 channels.
+
+use std::fmt;
+
+use crate::{validate_burst, Addr, BurstKind, BurstLen, BurstSize, ProtocolError, TxnId};
+
+/// The memory attribute signals (`AxCACHE`), reduced to the four AXI4 bits.
+///
+/// The bit that matters for AXI-REALM is [`Cache::modifiable`]: the granular
+/// burst splitter may only fragment *modifiable* transactions (AXI4 allows
+/// modifiable transactions to be split, merged, or otherwise altered by
+/// interconnect components).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Cache {
+    /// `AxCACHE[0]`: the transaction may be buffered by the interconnect.
+    pub bufferable: bool,
+    /// `AxCACHE[1]`: the transaction may be modified (split/merged) en route.
+    pub modifiable: bool,
+    /// `AxCACHE[2]`: read-allocate hint.
+    pub read_alloc: bool,
+    /// `AxCACHE[3]`: write-allocate hint.
+    pub write_alloc: bool,
+}
+
+impl Cache {
+    /// Device non-bufferable: nothing may be altered en route.
+    pub const DEVICE: Self = Self {
+        bufferable: false,
+        modifiable: false,
+        read_alloc: false,
+        write_alloc: false,
+    };
+
+    /// Normal, modifiable, bufferable memory — the common case for DRAM
+    /// traffic and the default for beats in this workspace.
+    pub const NORMAL: Self = Self {
+        bufferable: true,
+        modifiable: true,
+        read_alloc: true,
+        write_alloc: true,
+    };
+
+    /// Decodes the four-bit on-wire encoding.
+    pub const fn from_wire(bits: u8) -> Self {
+        Self {
+            bufferable: bits & 0b0001 != 0,
+            modifiable: bits & 0b0010 != 0,
+            read_alloc: bits & 0b0100 != 0,
+            write_alloc: bits & 0b1000 != 0,
+        }
+    }
+
+    /// Encodes to the four-bit on-wire value.
+    pub const fn to_wire(self) -> u8 {
+        self.bufferable as u8
+            | (self.modifiable as u8) << 1
+            | (self.read_alloc as u8) << 2
+            | (self.write_alloc as u8) << 3
+    }
+}
+
+impl Default for Cache {
+    fn default() -> Self {
+        Self::NORMAL
+    }
+}
+
+/// The protection attributes (`AxPROT`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Prot {
+    /// `AxPROT[0]`: privileged access.
+    pub privileged: bool,
+    /// `AxPROT[1]`: non-secure access.
+    pub nonsecure: bool,
+    /// `AxPROT[2]`: instruction (vs. data) access.
+    pub instruction: bool,
+}
+
+impl Prot {
+    /// Decodes the three-bit on-wire encoding.
+    pub const fn from_wire(bits: u8) -> Self {
+        Self {
+            privileged: bits & 0b001 != 0,
+            nonsecure: bits & 0b010 != 0,
+            instruction: bits & 0b100 != 0,
+        }
+    }
+
+    /// Encodes to the three-bit on-wire value.
+    pub const fn to_wire(self) -> u8 {
+        self.privileged as u8 | (self.nonsecure as u8) << 1 | (self.instruction as u8) << 2
+    }
+}
+
+/// An AXI response code (`xRESP`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Resp {
+    /// Normal access success.
+    #[default]
+    Okay,
+    /// Exclusive access success.
+    ExOkay,
+    /// Subordinate error.
+    SlvErr,
+    /// Decode error (no subordinate at the address).
+    DecErr,
+}
+
+impl Resp {
+    /// Returns `true` for `SLVERR` and `DECERR`.
+    pub const fn is_err(self) -> bool {
+        matches!(self, Resp::SlvErr | Resp::DecErr)
+    }
+
+    /// Coalesces two responses into one, as the write-response merger of a
+    /// burst splitter must: the more severe response wins
+    /// (`DECERR` > `SLVERR` > success).
+    ///
+    /// ```
+    /// use axi4::Resp;
+    ///
+    /// assert_eq!(Resp::Okay.merge(Resp::SlvErr), Resp::SlvErr);
+    /// assert_eq!(Resp::DecErr.merge(Resp::SlvErr), Resp::DecErr);
+    /// assert_eq!(Resp::Okay.merge(Resp::Okay), Resp::Okay);
+    /// ```
+    pub fn merge(self, other: Resp) -> Resp {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
+
+    fn severity(self) -> u8 {
+        match self {
+            Resp::Okay | Resp::ExOkay => 0,
+            Resp::SlvErr => 1,
+            Resp::DecErr => 2,
+        }
+    }
+}
+
+impl fmt::Display for Resp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Resp::Okay => "OKAY",
+            Resp::ExOkay => "EXOKAY",
+            Resp::SlvErr => "SLVERR",
+            Resp::DecErr => "DECERR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A write-address channel beat (`AW`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AwBeat {
+    /// Transaction identifier (`AWID`).
+    pub id: TxnId,
+    /// Start address of the burst.
+    pub addr: Addr,
+    /// Number of beats.
+    pub len: BurstLen,
+    /// Bytes per beat.
+    pub size: BurstSize,
+    /// Burst type.
+    pub burst: BurstKind,
+    /// Locked (exclusive/atomic) access — such bursts must not be fragmented.
+    pub lock: bool,
+    /// Memory attributes; `cache.modifiable` gates fragmentation.
+    pub cache: Cache,
+    /// Protection attributes.
+    pub prot: Prot,
+}
+
+impl AwBeat {
+    /// Creates a write-address beat with default (normal-memory, unlocked)
+    /// attributes.
+    pub fn new(id: TxnId, addr: Addr, len: BurstLen, size: BurstSize, burst: BurstKind) -> Self {
+        Self {
+            id,
+            addr,
+            len,
+            size,
+            burst,
+            lock: false,
+            cache: Cache::NORMAL,
+            prot: Prot::default(),
+        }
+    }
+
+    /// Returns a copy marked as a locked (exclusive) access.
+    pub fn locked(mut self) -> Self {
+        self.lock = true;
+        self
+    }
+
+    /// Returns a copy with the given memory attributes.
+    pub fn with_cache(mut self, cache: Cache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Returns a copy with the given protection attributes.
+    pub fn with_prot(mut self, prot: Prot) -> Self {
+        self.prot = prot;
+        self
+    }
+
+    /// Returns a copy with a different transaction ID (used by interconnect
+    /// components that remap IDs at port boundaries).
+    pub fn with_id(mut self, id: TxnId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Total payload of the burst in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        u64::from(self.len.beats()) * self.size.bytes()
+    }
+
+    /// Validates this beat against the AXI4 burst rules.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`validate_burst`] reports, plus
+    /// [`ProtocolError::ExclusiveTooLarge`] for locked bursts above
+    /// 128 bytes or 16 beats.
+    pub fn validate(&self) -> Result<(), ProtocolError> {
+        validate_burst(self.burst, self.len, self.size, self.addr)?;
+        validate_lock(self.lock, self.len, self.size)
+    }
+}
+
+/// A read-address channel beat (`AR`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ArBeat {
+    /// Transaction identifier (`ARID`).
+    pub id: TxnId,
+    /// Start address of the burst.
+    pub addr: Addr,
+    /// Number of beats.
+    pub len: BurstLen,
+    /// Bytes per beat.
+    pub size: BurstSize,
+    /// Burst type.
+    pub burst: BurstKind,
+    /// Locked (exclusive/atomic) access — such bursts must not be fragmented.
+    pub lock: bool,
+    /// Memory attributes; `cache.modifiable` gates fragmentation.
+    pub cache: Cache,
+    /// Protection attributes.
+    pub prot: Prot,
+}
+
+impl ArBeat {
+    /// Creates a read-address beat with default (normal-memory, unlocked)
+    /// attributes.
+    pub fn new(id: TxnId, addr: Addr, len: BurstLen, size: BurstSize, burst: BurstKind) -> Self {
+        Self {
+            id,
+            addr,
+            len,
+            size,
+            burst,
+            lock: false,
+            cache: Cache::NORMAL,
+            prot: Prot::default(),
+        }
+    }
+
+    /// Returns a copy marked as a locked (exclusive) access.
+    pub fn locked(mut self) -> Self {
+        self.lock = true;
+        self
+    }
+
+    /// Returns a copy with the given memory attributes.
+    pub fn with_cache(mut self, cache: Cache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Returns a copy with the given protection attributes.
+    pub fn with_prot(mut self, prot: Prot) -> Self {
+        self.prot = prot;
+        self
+    }
+
+    /// Returns a copy with a different transaction ID (used by interconnect
+    /// components that remap IDs at port boundaries).
+    pub fn with_id(mut self, id: TxnId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Total payload of the burst in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        u64::from(self.len.beats()) * self.size.bytes()
+    }
+
+    /// Validates this beat against the AXI4 burst rules.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`validate_burst`] reports, plus
+    /// [`ProtocolError::ExclusiveTooLarge`] for locked bursts above
+    /// 128 bytes or 16 beats.
+    pub fn validate(&self) -> Result<(), ProtocolError> {
+        validate_burst(self.burst, self.len, self.size, self.addr)?;
+        validate_lock(self.lock, self.len, self.size)
+    }
+}
+
+fn validate_lock(lock: bool, len: BurstLen, size: BurstSize) -> Result<(), ProtocolError> {
+    if lock {
+        let bytes = u64::from(len.beats()) * size.bytes();
+        if len.beats() > 16 || bytes > 128 || !bytes.is_power_of_two() {
+            return Err(ProtocolError::ExclusiveTooLarge { len, size });
+        }
+    }
+    Ok(())
+}
+
+/// A write-data channel beat (`W`).
+///
+/// Carries one 64-bit data lane plus byte strobes, so functional correctness
+/// (not just timing) is observable end-to-end in tests.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct WBeat {
+    /// Up to eight bytes of write data, little-endian in the `u64`.
+    pub data: u64,
+    /// Byte strobes: bit *i* set means byte lane *i* is written.
+    pub strb: u8,
+    /// Set on the final beat of the burst (`WLAST`).
+    pub last: bool,
+}
+
+/// The byte-lane strobe mask a beat at `addr` with the given size drives on
+/// a 64-bit bus: `size.bytes()` consecutive lanes starting at the address's
+/// size-aligned offset within the 8-byte word (AXI4 narrow-transfer rules).
+///
+/// ```
+/// use axi4::{lane_mask, Addr, BurstSize};
+///
+/// # fn main() -> Result<(), axi4::ProtocolError> {
+/// assert_eq!(lane_mask(Addr::new(0x1000), BurstSize::bus64()), 0xff);
+/// assert_eq!(lane_mask(Addr::new(0x1004), BurstSize::new(2)?), 0xf0);
+/// assert_eq!(lane_mask(Addr::new(0x1003), BurstSize::new(0)?), 0b0000_1000);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lane_mask(addr: Addr, size: BurstSize) -> u8 {
+    let bytes = size.bytes();
+    let lane = (addr.raw() & 0x7) & !(bytes - 1);
+    let base: u8 = match bytes {
+        1 => 0x01,
+        2 => 0x03,
+        4 => 0x0f,
+        _ => 0xff,
+    };
+    base << lane
+}
+
+impl WBeat {
+    /// Creates a full-width write beat (all strobes set).
+    pub fn full(data: u64, last: bool) -> Self {
+        Self {
+            data,
+            strb: 0xff,
+            last,
+        }
+    }
+
+    /// Creates a narrow write beat for `addr` at the given size: the value's
+    /// low bytes are shifted into the addressed byte lanes and only those
+    /// lanes are strobed.
+    ///
+    /// ```
+    /// use axi4::{Addr, BurstSize, WBeat};
+    ///
+    /// # fn main() -> Result<(), axi4::ProtocolError> {
+    /// let beat = WBeat::narrow(Addr::new(0x1004), BurstSize::new(2)?, 0xaabb_ccdd, true);
+    /// assert_eq!(beat.strb, 0xf0);
+    /// assert_eq!(beat.data, 0xaabb_ccdd_0000_0000);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn narrow(addr: Addr, size: BurstSize, value: u64, last: bool) -> Self {
+        let bytes = size.bytes();
+        let lane = (addr.raw() & 0x7) & !(bytes - 1);
+        let masked = if bytes == 8 {
+            value
+        } else {
+            value & ((1u64 << (bytes * 8)) - 1)
+        };
+        Self {
+            data: masked << (lane * 8),
+            strb: lane_mask(addr, size),
+            last,
+        }
+    }
+
+    /// Creates a write beat with an explicit strobe mask.
+    pub fn with_strb(data: u64, strb: u8, last: bool) -> Self {
+        Self { data, strb, last }
+    }
+
+    /// Returns the number of active byte lanes.
+    pub fn active_bytes(&self) -> u32 {
+        self.strb.count_ones()
+    }
+}
+
+/// A write-response channel beat (`B`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BBeat {
+    /// Transaction identifier this response belongs to (`BID`).
+    pub id: TxnId,
+    /// Response code.
+    pub resp: Resp,
+}
+
+impl BBeat {
+    /// Creates a write response.
+    pub fn new(id: TxnId, resp: Resp) -> Self {
+        Self { id, resp }
+    }
+
+    /// Creates an `OKAY` write response.
+    pub fn okay(id: TxnId) -> Self {
+        Self::new(id, Resp::Okay)
+    }
+}
+
+/// A read-data channel beat (`R`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RBeat {
+    /// Transaction identifier this beat belongs to (`RID`).
+    pub id: TxnId,
+    /// Up to eight bytes of read data, little-endian in the `u64`.
+    pub data: u64,
+    /// Response code for this beat.
+    pub resp: Resp,
+    /// Set on the final beat of the burst (`RLAST`).
+    pub last: bool,
+}
+
+impl RBeat {
+    /// Creates a read-data beat.
+    pub fn new(id: TxnId, data: u64, resp: Resp, last: bool) -> Self {
+        Self {
+            id,
+            data,
+            resp,
+            last,
+        }
+    }
+
+    /// Creates an `OKAY` read-data beat.
+    pub fn okay(id: TxnId, data: u64, last: bool) -> Self {
+        Self::new(id, data, Resp::Okay, last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aw(addr: u64, beats: u16) -> AwBeat {
+        AwBeat::new(
+            TxnId::new(1),
+            Addr::new(addr),
+            BurstLen::new(beats).unwrap(),
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        )
+    }
+
+    #[test]
+    fn cache_wire_roundtrip() {
+        for bits in 0..16u8 {
+            assert_eq!(Cache::from_wire(bits).to_wire(), bits);
+        }
+        assert!(Cache::NORMAL.modifiable);
+        assert!(!Cache::DEVICE.modifiable);
+        assert_eq!(Cache::default(), Cache::NORMAL);
+    }
+
+    #[test]
+    fn prot_wire_roundtrip() {
+        for bits in 0..8u8 {
+            assert_eq!(Prot::from_wire(bits).to_wire(), bits);
+        }
+    }
+
+    #[test]
+    fn resp_merge_severity() {
+        assert_eq!(Resp::Okay.merge(Resp::Okay), Resp::Okay);
+        assert_eq!(Resp::Okay.merge(Resp::ExOkay), Resp::Okay);
+        assert_eq!(Resp::SlvErr.merge(Resp::Okay), Resp::SlvErr);
+        assert_eq!(Resp::SlvErr.merge(Resp::DecErr), Resp::DecErr);
+        assert!(Resp::SlvErr.is_err());
+        assert!(Resp::DecErr.is_err());
+        assert!(!Resp::Okay.is_err());
+        assert!(!Resp::ExOkay.is_err());
+    }
+
+    #[test]
+    fn aw_builder_and_bytes() {
+        let beat = aw(0x1000, 256);
+        assert_eq!(beat.total_bytes(), 2048);
+        assert!(beat.validate().is_ok());
+        let dev = beat.with_cache(Cache::DEVICE).with_prot(Prot::from_wire(0b1));
+        assert!(!dev.cache.modifiable);
+        assert!(dev.prot.privileged);
+        assert_eq!(dev.with_id(TxnId::new(9)).id, TxnId::new(9));
+    }
+
+    #[test]
+    fn locked_burst_rules() {
+        // 16 beats * 8 bytes = 128 bytes: the exclusive maximum.
+        let ok = AwBeat::new(
+            TxnId::new(0),
+            Addr::new(0x80),
+            BurstLen::new(16).unwrap(),
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        )
+        .locked();
+        assert!(ok.validate().is_ok());
+
+        // 17 beats is illegal when locked (and also >128 bytes).
+        let too_long = aw(0x0, 17).locked();
+        assert!(matches!(
+            too_long.validate(),
+            Err(ProtocolError::ExclusiveTooLarge { .. })
+        ));
+
+        // Non-power-of-two total is illegal when locked.
+        let npot = aw(0x0, 3).locked();
+        assert!(matches!(
+            npot.validate(),
+            Err(ProtocolError::ExclusiveTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn ar_mirrors_aw() {
+        let beat = ArBeat::new(
+            TxnId::new(2),
+            Addr::new(0x2000),
+            BurstLen::new(4).unwrap(),
+            BurstSize::new(2).unwrap(),
+            BurstKind::Wrap,
+        );
+        assert_eq!(beat.total_bytes(), 16);
+        assert!(beat.validate().is_ok());
+        assert!(beat.locked().validate().is_ok());
+    }
+
+    #[test]
+    fn w_beat_strobes() {
+        assert_eq!(WBeat::full(0xdead, false).active_bytes(), 8);
+        assert_eq!(WBeat::with_strb(0xff, 0x0f, true).active_bytes(), 4);
+        assert!(WBeat::full(0, true).last);
+    }
+
+    #[test]
+    fn lane_mask_per_size_and_offset() {
+        let s = |e: u8| BurstSize::new(e).unwrap();
+        // Bytes: each offset its own lane.
+        for off in 0..8u64 {
+            assert_eq!(lane_mask(Addr::new(0x100 + off), s(0)), 1 << off);
+        }
+        // Half-words align down to even lanes.
+        assert_eq!(lane_mask(Addr::new(0x100), s(1)), 0b0000_0011);
+        assert_eq!(lane_mask(Addr::new(0x103), s(1)), 0b0000_1100);
+        assert_eq!(lane_mask(Addr::new(0x106), s(1)), 0b1100_0000);
+        // Words.
+        assert_eq!(lane_mask(Addr::new(0x100), s(2)), 0x0f);
+        assert_eq!(lane_mask(Addr::new(0x105), s(2)), 0xf0);
+        // Full width anywhere in the word.
+        assert_eq!(lane_mask(Addr::new(0x107), s(3)), 0xff);
+    }
+
+    #[test]
+    fn narrow_beat_places_value_in_lanes() {
+        let s = |e: u8| BurstSize::new(e).unwrap();
+        let b = WBeat::narrow(Addr::new(0x1001), s(0), 0xABCD, false);
+        assert_eq!(b.strb, 0b0000_0010);
+        assert_eq!(b.data, 0xCD00);
+        let h = WBeat::narrow(Addr::new(0x1006), s(1), 0xFFFF_1234, true);
+        assert_eq!(h.strb, 0b1100_0000);
+        assert_eq!(h.data, 0x1234_0000_0000_0000);
+        assert!(h.last);
+        let f = WBeat::narrow(Addr::new(0x1000), s(3), u64::MAX, false);
+        assert_eq!(f.strb, 0xff);
+        assert_eq!(f.data, u64::MAX);
+    }
+
+    #[test]
+    fn b_and_r_constructors() {
+        assert_eq!(BBeat::okay(TxnId::new(1)).resp, Resp::Okay);
+        let r = RBeat::okay(TxnId::new(1), 42, true);
+        assert_eq!(r.data, 42);
+        assert!(r.last);
+        assert_eq!(format!("{}", Resp::DecErr), "DECERR");
+    }
+}

@@ -1,0 +1,147 @@
+//! Protocol-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Addr, BurstKind, BurstLen, BurstSize};
+
+/// An AXI4 protocol rule violation detected during validation.
+///
+/// Returned by beat and transaction `validate()` methods and by the
+/// constructors of the burst parameter newtypes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// `AxSIZE` encoding above the supported maximum (8-byte beats).
+    SizeTooLarge {
+        /// The rejected `log2(bytes)` encoding.
+        encoding: u8,
+    },
+    /// Byte count that is not a power of two in `1..=8`.
+    InvalidSizeBytes {
+        /// The rejected byte count.
+        bytes: u32,
+    },
+    /// Beat count outside `1..=256`.
+    InvalidLen {
+        /// The rejected beat count.
+        beats: u16,
+    },
+    /// `FIXED` or `WRAP` burst longer than 16 beats.
+    FixedWrapTooLong {
+        /// The burst kind.
+        kind: BurstKind,
+        /// The rejected length.
+        len: BurstLen,
+    },
+    /// `WRAP` burst length not in {2, 4, 8, 16}.
+    WrapLenNotPow2 {
+        /// The rejected length.
+        len: BurstLen,
+    },
+    /// `WRAP` burst start address not aligned to the beat size.
+    WrapUnaligned {
+        /// The unaligned start address.
+        addr: Addr,
+        /// The beat size the address must align to.
+        size: BurstSize,
+    },
+    /// `INCR` burst crossing a 4 KiB boundary.
+    Crosses4K {
+        /// Start address of the burst.
+        addr: Addr,
+        /// Burst length.
+        len: BurstLen,
+        /// Beat size.
+        size: BurstSize,
+    },
+    /// Locked (exclusive) access above 128 bytes, above 16 beats, or with a
+    /// non-power-of-two total size.
+    ExclusiveTooLarge {
+        /// Burst length.
+        len: BurstLen,
+        /// Beat size.
+        size: BurstSize,
+    },
+    /// Attempt to fragment a burst that AXI4 forbids modifying (locked, or
+    /// non-modifiable with 16 beats or fewer).
+    NotFragmentable {
+        /// Whether the burst was locked.
+        lock: bool,
+        /// Whether the cache attributes marked it modifiable.
+        modifiable: bool,
+        /// Burst length.
+        len: BurstLen,
+    },
+    /// Fragmentation granularity outside `1..=256` beats.
+    InvalidGranularity {
+        /// The rejected granularity.
+        beats: u16,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProtocolError::SizeTooLarge { encoding } => {
+                write!(f, "burst size encoding {encoding} exceeds 8-byte beats")
+            }
+            ProtocolError::InvalidSizeBytes { bytes } => {
+                write!(f, "beat size of {bytes} bytes is not a power of two in 1..=8")
+            }
+            ProtocolError::InvalidLen { beats } => {
+                write!(f, "burst length {beats} is outside 1..=256 beats")
+            }
+            ProtocolError::FixedWrapTooLong { kind, len } => {
+                write!(f, "{kind} burst of {len} exceeds the 16-beat limit")
+            }
+            ProtocolError::WrapLenNotPow2 { len } => {
+                write!(f, "WRAP burst of {len} is not 2, 4, 8, or 16 beats")
+            }
+            ProtocolError::WrapUnaligned { addr, size } => {
+                write!(f, "WRAP burst at {addr} is not aligned to {size}")
+            }
+            ProtocolError::Crosses4K { addr, len, size } => {
+                write!(f, "INCR burst at {addr} ({len}, {size}) crosses a 4 KiB boundary")
+            }
+            ProtocolError::ExclusiveTooLarge { len, size } => {
+                write!(f, "exclusive access of {len} at {size} exceeds the 128-byte limit")
+            }
+            ProtocolError::NotFragmentable { lock, modifiable, len } => {
+                write!(
+                    f,
+                    "burst of {len} cannot be fragmented (lock={lock}, modifiable={modifiable})"
+                )
+            }
+            ProtocolError::InvalidGranularity { beats } => {
+                write!(f, "fragmentation granularity {beats} is outside 1..=256 beats")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let msgs = [
+            ProtocolError::SizeTooLarge { encoding: 5 }.to_string(),
+            ProtocolError::InvalidLen { beats: 0 }.to_string(),
+            ProtocolError::InvalidGranularity { beats: 300 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "no trailing punctuation: {m}");
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn take(_: &(dyn Error + Send + Sync)) {}
+        take(&ProtocolError::InvalidLen { beats: 0 });
+    }
+}

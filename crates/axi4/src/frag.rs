@@ -1,0 +1,481 @@
+//! Burst fragmentation: the address arithmetic behind AXI-REALM's granular
+//! burst splitter.
+//!
+//! Fragmenting a long burst into short ones restores arbitration fairness in
+//! burst-granular interconnects: a manager's fine-grained access then waits
+//! behind at most one *fragment* instead of one full 256-beat burst.
+//!
+//! AXI4 only permits the interconnect to alter *modifiable* transactions, and
+//! never locked (exclusive/atomic) ones. Per the paper: *"atomic bursts and
+//! non-modifiable transactions of length sixteen or smaller cannot be
+//! fragmented"*.
+
+use crate::{
+    Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, Cache, ProtocolError, MAX_INCR_LEN,
+};
+
+/// Returns `true` if a burst with these attributes may legally be fragmented.
+///
+/// Locked bursts are never fragmentable. Non-modifiable bursts of sixteen
+/// beats or fewer are not fragmentable; longer non-modifiable bursts may be
+/// split (AXI4 requires it for some downstream widths).
+///
+/// ```
+/// use axi4::{can_fragment, BurstLen, Cache};
+///
+/// # fn main() -> Result<(), axi4::ProtocolError> {
+/// assert!(can_fragment(false, Cache::NORMAL, BurstLen::new(256)?));
+/// assert!(!can_fragment(true, Cache::NORMAL, BurstLen::new(256)?));
+/// assert!(!can_fragment(false, Cache::DEVICE, BurstLen::new(16)?));
+/// assert!(can_fragment(false, Cache::DEVICE, BurstLen::new(17)?));
+/// # Ok(())
+/// # }
+/// ```
+pub fn can_fragment(lock: bool, cache: Cache, len: BurstLen) -> bool {
+    if lock {
+        return false;
+    }
+    cache.modifiable || len.beats() > 16
+}
+
+/// One fragment of a split burst: a legal, self-contained AXI4 burst.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fragment {
+    /// Start address of the fragment.
+    pub addr: Addr,
+    /// Fragment length in beats.
+    pub len: BurstLen,
+    /// Burst kind of the fragment (`WRAP` originals become `INCR` pieces).
+    pub kind: BurstKind,
+    /// Index of the original burst's first beat covered by this fragment.
+    pub first_beat: u16,
+}
+
+impl Fragment {
+    /// Total payload of the fragment in bytes at the given beat size.
+    pub fn total_bytes(&self, size: BurstSize) -> u64 {
+        u64::from(self.len.beats()) * size.bytes()
+    }
+}
+
+/// The result of planning a burst split: an ordered list of fragments that
+/// together cover exactly the original burst's beat sequence.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FragPlan {
+    /// Length of the original burst.
+    pub original_len: BurstLen,
+    /// Beat size shared by the original burst and all fragments.
+    pub size: BurstSize,
+    /// The fragments, in beat order.
+    fragments: Vec<Fragment>,
+}
+
+impl FragPlan {
+    /// Returns the fragments in beat order.
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.fragments
+    }
+
+    /// Returns the number of fragments.
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Returns `true` if the plan is a single pass-through fragment.
+    pub fn is_passthrough(&self) -> bool {
+        self.fragments.len() == 1 && self.fragments[0].len == self.original_len
+    }
+
+    /// Returns `false` — a plan always contains at least one fragment.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the fragments.
+    pub fn iter(&self) -> std::slice::Iter<'_, Fragment> {
+        self.fragments.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FragPlan {
+    type Item = &'a Fragment;
+    type IntoIter = std::slice::Iter<'a, Fragment>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.fragments.iter()
+    }
+}
+
+/// Plans the fragmentation of a burst at the given granularity (in beats).
+///
+/// If the burst is not fragmentable (see [`can_fragment`]) or already no
+/// longer than the granularity, the plan contains a single pass-through
+/// fragment — this is the splitter's bypass behaviour, not an error.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::InvalidGranularity`] if `granularity` is outside
+/// `1..=256`.
+pub fn fragment(
+    kind: BurstKind,
+    addr: Addr,
+    len: BurstLen,
+    size: BurstSize,
+    lock: bool,
+    cache: Cache,
+    granularity: u16,
+) -> Result<FragPlan, ProtocolError> {
+    if granularity == 0 || granularity > MAX_INCR_LEN {
+        return Err(ProtocolError::InvalidGranularity { beats: granularity });
+    }
+    if !can_fragment(lock, cache, len) || len.beats() <= granularity {
+        return Ok(FragPlan {
+            original_len: len,
+            size,
+            fragments: vec![Fragment {
+                addr,
+                len,
+                kind,
+                first_beat: 0,
+            }],
+        });
+    }
+
+    let fragments = match kind {
+        BurstKind::Fixed => fragment_fixed(addr, len, granularity),
+        BurstKind::Incr => fragment_incr(addr, len, size, granularity),
+        BurstKind::Wrap => fragment_wrap(addr, len, size, granularity),
+    };
+    Ok(FragPlan {
+        original_len: len,
+        size,
+        fragments,
+    })
+}
+
+fn fragment_fixed(addr: Addr, len: BurstLen, granularity: u16) -> Vec<Fragment> {
+    let mut fragments = Vec::new();
+    let mut first_beat = 0;
+    let mut remaining = len.beats();
+    while remaining > 0 {
+        let beats = remaining.min(granularity);
+        fragments.push(Fragment {
+            addr,
+            len: BurstLen::new(beats).expect("fragment length within 1..=256"),
+            kind: BurstKind::Fixed,
+            first_beat,
+        });
+        first_beat += beats;
+        remaining -= beats;
+    }
+    fragments
+}
+
+fn fragment_incr(addr: Addr, len: BurstLen, size: BurstSize, granularity: u16) -> Vec<Fragment> {
+    let mut fragments = Vec::new();
+    let mut first_beat = 0;
+    let mut remaining = len.beats();
+    // The first fragment starts at the (possibly unaligned) original address;
+    // subsequent fragments start at size-aligned beat addresses.
+    let mut next_addr = addr;
+    let aligned = addr.align_down(size.bytes());
+    while remaining > 0 {
+        let beats = remaining.min(granularity);
+        fragments.push(Fragment {
+            addr: next_addr,
+            len: BurstLen::new(beats).expect("fragment length within 1..=256"),
+            kind: BurstKind::Incr,
+            first_beat,
+        });
+        first_beat += beats;
+        remaining -= beats;
+        next_addr = aligned + u64::from(first_beat) * size.bytes();
+    }
+    fragments
+}
+
+fn fragment_wrap(addr: Addr, len: BurstLen, size: BurstSize, granularity: u16) -> Vec<Fragment> {
+    // A WRAP burst is two contiguous INCR runs: [start .. window end) then
+    // [window base .. start). Split each run at the granularity.
+    let window = u64::from(len.beats()) * size.bytes();
+    let aligned_start = addr.align_down(size.bytes());
+    let base = Addr::new(aligned_start.raw() / window * window);
+    let beats_to_end = (base.raw() + window - aligned_start.raw()) / size.bytes();
+    let beats_to_end = beats_to_end as u16;
+
+    let mut fragments = Vec::new();
+    let mut first_beat = 0;
+
+    // First run: from the start address to the end of the wrap window.
+    let mut remaining = beats_to_end.min(len.beats());
+    let mut next_addr = addr;
+    while remaining > 0 {
+        let beats = remaining.min(granularity);
+        fragments.push(Fragment {
+            addr: next_addr,
+            len: BurstLen::new(beats).expect("fragment length within 1..=256"),
+            kind: BurstKind::Incr,
+            first_beat,
+        });
+        first_beat += beats;
+        remaining -= beats;
+        next_addr = aligned_start + u64::from(first_beat) * size.bytes();
+    }
+
+    // Second run: from the window base up to the start address.
+    let mut remaining = len.beats() - first_beat;
+    let mut next_addr = base;
+    while remaining > 0 {
+        let beats = remaining.min(granularity);
+        fragments.push(Fragment {
+            addr: next_addr,
+            len: BurstLen::new(beats).expect("fragment length within 1..=256"),
+            kind: BurstKind::Incr,
+            first_beat,
+        });
+        first_beat += beats;
+        remaining -= beats;
+        next_addr = next_addr + u64::from(beats) * size.bytes();
+    }
+
+    fragments
+}
+
+/// Plans the fragmentation of a read burst. See [`fragment`].
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::InvalidGranularity`] for a granularity outside
+/// `1..=256`.
+pub fn fragment_read(ar: &ArBeat, granularity: u16) -> Result<FragPlan, ProtocolError> {
+    fragment(
+        ar.burst,
+        ar.addr,
+        ar.len,
+        ar.size,
+        ar.lock,
+        ar.cache,
+        granularity,
+    )
+}
+
+/// Plans the fragmentation of a write burst's address header. See
+/// [`fragment`].
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::InvalidGranularity`] for a granularity outside
+/// `1..=256`.
+pub fn fragment_write_header(aw: &AwBeat, granularity: u16) -> Result<FragPlan, ProtocolError> {
+    fragment(
+        aw.burst,
+        aw.addr,
+        aw.len,
+        aw.size,
+        aw.lock,
+        aw.cache,
+        granularity,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{beat_addresses, TxnId};
+
+    fn plan(kind: BurstKind, addr: u64, beats: u16, granularity: u16) -> FragPlan {
+        fragment(
+            kind,
+            Addr::new(addr),
+            BurstLen::new(beats).unwrap(),
+            BurstSize::bus64(),
+            false,
+            Cache::NORMAL,
+            granularity,
+        )
+        .unwrap()
+    }
+
+    /// The concatenated beat addresses of all fragments must equal the beat
+    /// addresses of the original burst.
+    fn check_covers_original(kind: BurstKind, addr: u64, beats: u16, granularity: u16) {
+        let p = plan(kind, addr, beats, granularity);
+        let original: Vec<_> = beat_addresses(
+            kind,
+            Addr::new(addr),
+            BurstLen::new(beats).unwrap(),
+            BurstSize::bus64(),
+        )
+        .collect();
+        let mut fragged = Vec::new();
+        for f in &p {
+            fragged.extend(beat_addresses(f.kind, f.addr, f.len, BurstSize::bus64()));
+        }
+        assert_eq!(fragged, original, "{kind} {beats} beats @ g={granularity}");
+        // first_beat indices must be the running beat count.
+        let mut running = 0u16;
+        for f in &p {
+            assert_eq!(f.first_beat, running);
+            running += f.len.beats();
+        }
+        assert_eq!(running, beats);
+    }
+
+    #[test]
+    fn incr_splits_cover_original() {
+        for g in [1, 2, 3, 4, 7, 8, 16, 32, 64, 100, 128, 255, 256] {
+            check_covers_original(BurstKind::Incr, 0x1000, 256, g);
+        }
+    }
+
+    #[test]
+    fn incr_split_fragment_count() {
+        assert_eq!(plan(BurstKind::Incr, 0x1000, 256, 1).len(), 256);
+        assert_eq!(plan(BurstKind::Incr, 0x1000, 256, 16).len(), 16);
+        assert_eq!(plan(BurstKind::Incr, 0x1000, 256, 100).len(), 3);
+        assert_eq!(plan(BurstKind::Incr, 0x1000, 256, 256).len(), 1);
+    }
+
+    #[test]
+    fn short_burst_passes_through() {
+        let p = plan(BurstKind::Incr, 0x1000, 8, 16);
+        assert!(p.is_passthrough());
+        assert!(!p.is_empty());
+        assert_eq!(p.fragments()[0].len.beats(), 8);
+    }
+
+    #[test]
+    fn locked_burst_passes_through() {
+        let p = fragment(
+            BurstKind::Incr,
+            Addr::new(0x100),
+            BurstLen::new(16).unwrap(),
+            BurstSize::bus64(),
+            true,
+            Cache::NORMAL,
+            1,
+        )
+        .unwrap();
+        assert!(p.is_passthrough());
+    }
+
+    #[test]
+    fn non_modifiable_short_passes_long_splits() {
+        let short = fragment(
+            BurstKind::Incr,
+            Addr::new(0x100),
+            BurstLen::new(16).unwrap(),
+            BurstSize::bus64(),
+            false,
+            Cache::DEVICE,
+            1,
+        )
+        .unwrap();
+        assert!(short.is_passthrough());
+
+        let long = fragment(
+            BurstKind::Incr,
+            Addr::new(0x1000),
+            BurstLen::new(32).unwrap(),
+            BurstSize::bus64(),
+            false,
+            Cache::DEVICE,
+            8,
+        )
+        .unwrap();
+        assert_eq!(long.len(), 4);
+    }
+
+    #[test]
+    fn wrap_split_covers_original() {
+        for g in [1, 2, 3, 4, 8, 16] {
+            check_covers_original(BurstKind::Wrap, 0x110, 8, g);
+            check_covers_original(BurstKind::Wrap, 0x100, 8, g);
+            check_covers_original(BurstKind::Wrap, 0x138, 8, g);
+        }
+    }
+
+    #[test]
+    fn wrap_fragments_become_incr() {
+        let p = plan(BurstKind::Wrap, 0x110, 8, 2);
+        for f in &p {
+            assert_eq!(f.kind, BurstKind::Incr);
+        }
+    }
+
+    #[test]
+    fn fixed_split_covers_original() {
+        for g in [1, 2, 3, 5, 16] {
+            check_covers_original(BurstKind::Fixed, 0x40, 16, g);
+        }
+        let p = plan(BurstKind::Fixed, 0x40, 16, 4);
+        assert_eq!(p.len(), 4);
+        for f in &p {
+            assert_eq!(f.kind, BurstKind::Fixed);
+            assert_eq!(f.addr, Addr::new(0x40));
+        }
+    }
+
+    #[test]
+    fn unaligned_incr_start_preserved() {
+        let p = plan(BurstKind::Incr, 0x1004, 4, 1);
+        assert_eq!(p.fragments()[0].addr, Addr::new(0x1004));
+        assert_eq!(p.fragments()[1].addr, Addr::new(0x1008));
+        check_covers_original(BurstKind::Incr, 0x1004, 4, 1);
+    }
+
+    #[test]
+    fn invalid_granularity_rejected() {
+        for g in [0u16, 257, 1000] {
+            assert!(matches!(
+                fragment(
+                    BurstKind::Incr,
+                    Addr::new(0),
+                    BurstLen::ONE,
+                    BurstSize::bus64(),
+                    false,
+                    Cache::NORMAL,
+                    g,
+                ),
+                Err(ProtocolError::InvalidGranularity { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn fragments_validate_as_bursts() {
+        for g in [1, 3, 16, 100] {
+            let p = plan(BurstKind::Incr, 0x1000, 256, g);
+            for f in &p {
+                crate::validate_burst(f.kind, f.len, BurstSize::bus64(), f.addr)
+                    .unwrap_or_else(|e| panic!("fragment {f:?} invalid: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn wrappers_match_generic() {
+        let ar = ArBeat::new(
+            TxnId::new(0),
+            Addr::new(0x1000),
+            BurstLen::new(64).unwrap(),
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        );
+        let aw = AwBeat::new(
+            TxnId::new(0),
+            Addr::new(0x1000),
+            BurstLen::new(64).unwrap(),
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        );
+        assert_eq!(fragment_read(&ar, 8).unwrap().len(), 8);
+        assert_eq!(fragment_write_header(&aw, 8).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn total_bytes_per_fragment() {
+        let p = plan(BurstKind::Incr, 0x1000, 256, 16);
+        assert_eq!(p.fragments()[0].total_bytes(BurstSize::bus64()), 128);
+    }
+}

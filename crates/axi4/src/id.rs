@@ -1,0 +1,150 @@
+//! Identifier newtypes: transaction IDs, manager ports, subordinate ports.
+
+use std::fmt;
+
+/// AXI transaction identifier (`AWID`/`ARID`).
+///
+/// Responses carry the same ID so managers can match them to requests, and
+/// the AXI-REALM *bus guard* uses the ID to attribute configuration accesses
+/// to managers.
+///
+/// ```
+/// use axi4::TxnId;
+///
+/// let id = TxnId::new(7);
+/// assert_eq!(id.raw(), 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TxnId(u32);
+
+impl TxnId {
+    /// Creates a transaction ID from its raw encoding.
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw ID value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TxnId({})", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for TxnId {
+    fn from(raw: u32) -> Self {
+        Self(raw)
+    }
+}
+
+/// Index of a manager port on the interconnect (0-based).
+///
+/// In the Cheshire integration these are the CVA6 core, the SoC DMA, and the
+/// DSA's DMA engine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ManagerId(usize);
+
+impl ManagerId {
+    /// Creates a manager port index.
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// Returns the port index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ManagerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+impl fmt::Display for ManagerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+impl From<usize> for ManagerId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// Index of a subordinate port on the interconnect (0-based).
+///
+/// In the Cheshire integration these are the LLC port, the DSA scratchpad,
+/// and the configuration register file.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SubordinateId(usize);
+
+impl SubordinateId {
+    /// Creates a subordinate port index.
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// Returns the port index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for SubordinateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for SubordinateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<usize> for SubordinateId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_roundtrip() {
+        assert_eq!(TxnId::from(9u32).raw(), 9);
+        assert_eq!(format!("{}", TxnId::new(3)), "3");
+        assert_eq!(format!("{:?}", TxnId::new(3)), "TxnId(3)");
+    }
+
+    #[test]
+    fn port_indices() {
+        assert_eq!(ManagerId::new(2).index(), 2);
+        assert_eq!(SubordinateId::from(1usize).index(), 1);
+        assert_eq!(format!("{}", ManagerId::new(0)), "M0");
+        assert_eq!(format!("{}", SubordinateId::new(4)), "S4");
+    }
+
+    #[test]
+    fn ids_order_and_hash() {
+        use std::collections::HashSet;
+        assert!(TxnId::new(1) < TxnId::new(2));
+        let set: HashSet<ManagerId> = [ManagerId::new(0), ManagerId::new(0)].into_iter().collect();
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! AXI4 protocol substrate for the AXI-REALM reproduction.
+//!
+//! This crate models the subset of the AMBA AXI4 specification that the
+//! AXI-REALM paper's mechanisms depend on:
+//!
+//! - the five independent channels (AW, W, B, AR, R) as beat-level payload
+//!   types ([`AwBeat`], [`WBeat`], [`BBeat`], [`ArBeat`], [`RBeat`]),
+//! - burst semantics ([`BurstKind`], [`BurstSize`], [`BurstLen`]) including
+//!   the per-beat address sequence for `FIXED`, `INCR`, and `WRAP` bursts and
+//!   the 4 KiB boundary rule,
+//! - transaction attributes relevant to regulation: locked (atomic) accesses
+//!   and the *modifiable* cache bit, which together decide whether a burst
+//!   may legally be fragmented ([`frag::can_fragment`]),
+//! - response codes and the coalescing rule for split write responses
+//!   ([`Resp::merge`]).
+//!
+//! Everything here is plain data and arithmetic — no simulation kernel, no
+//! time. The cycle-level behaviour lives in the `axi-sim` crate and above.
+//!
+//! # Example
+//!
+//! ```
+//! use axi4::{Addr, ArBeat, BurstKind, BurstLen, BurstSize, TxnId};
+//!
+//! # fn main() -> Result<(), axi4::ProtocolError> {
+//! // A 256-beat, 8-byte-per-beat DMA read burst — the paper's worst-case
+//! // interference pattern.
+//! let ar = ArBeat::new(
+//!     TxnId::new(3),
+//!     Addr::new(0x8000_0000),
+//!     BurstLen::new(256)?,
+//!     BurstSize::new(3)?,
+//!     BurstKind::Incr,
+//! );
+//! ar.validate()?;
+//! assert_eq!(ar.total_bytes(), 2048);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod burst;
+mod channel;
+mod error;
+pub mod frag;
+mod id;
+mod txn;
+
+pub use addr::Addr;
+pub use burst::{beat_addresses, validate_burst, BeatAddresses, BurstKind, BurstLen, BurstSize};
+pub use channel::{lane_mask, ArBeat, AwBeat, BBeat, Cache, Prot, RBeat, Resp, WBeat};
+pub use error::ProtocolError;
+pub use frag::{can_fragment, fragment, fragment_read, fragment_write_header, FragPlan, Fragment};
+pub use id::{ManagerId, SubordinateId, TxnId};
+pub use txn::{ReadTxn, WriteTxn};
+
+/// Number of bytes in the region a single burst must not cross (AXI4 §A3.4.1).
+pub const BOUNDARY_4K: u64 = 4096;
+
+/// Maximum burst length for `INCR` bursts (AXI4).
+pub const MAX_INCR_LEN: u16 = 256;
+
+/// Maximum burst length for `FIXED` and `WRAP` bursts (AXI4).
+pub const MAX_FIXED_WRAP_LEN: u16 = 16;

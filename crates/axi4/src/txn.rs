@@ -1,0 +1,210 @@
+//! Whole-transaction descriptors used by traffic generators and tests.
+//!
+//! Components exchange *beats*; traffic generators think in *transactions*.
+//! These types bundle an address beat with its data beats and check the
+//! cross-channel invariants (beat count, `WLAST` placement) that no single
+//! beat can express.
+
+use crate::{ArBeat, AwBeat, ProtocolError, WBeat};
+
+/// A complete write transaction: one `AW` beat plus its `W` burst.
+///
+/// ```
+/// use axi4::{Addr, AwBeat, BurstKind, BurstLen, BurstSize, TxnId, WriteTxn};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let aw = AwBeat::new(
+///     TxnId::new(1),
+///     Addr::new(0x1000),
+///     BurstLen::new(4)?,
+///     BurstSize::bus64(),
+///     BurstKind::Incr,
+/// );
+/// let txn = WriteTxn::from_words(aw, [10, 20, 30, 40])?;
+/// assert_eq!(txn.data().len(), 4);
+/// assert!(txn.data()[3].last);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WriteTxn {
+    aw: AwBeat,
+    data: Vec<WBeat>,
+}
+
+impl WriteTxn {
+    /// Builds a write transaction from pre-assembled data beats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidLen`] if the number of beats does not
+    /// match `aw.len` or `WLAST` is not exactly on the final beat; any error
+    /// from [`AwBeat::validate`] otherwise.
+    pub fn new(aw: AwBeat, data: Vec<WBeat>) -> Result<Self, ProtocolError> {
+        aw.validate()?;
+        let beats = aw.len.beats() as usize;
+        let last_ok = data
+            .iter()
+            .enumerate()
+            .all(|(i, b)| b.last == (i == beats - 1));
+        if data.len() != beats || !last_ok {
+            return Err(ProtocolError::InvalidLen {
+                beats: data.len().min(u16::MAX as usize) as u16,
+            });
+        }
+        Ok(Self { aw, data })
+    }
+
+    /// Builds a write transaction from full-width 64-bit words, setting
+    /// `WLAST` automatically.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WriteTxn::new`].
+    pub fn from_words<I>(aw: AwBeat, words: I) -> Result<Self, ProtocolError>
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let beats = aw.len.beats() as usize;
+        let data: Vec<WBeat> = words
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| WBeat::full(w, i == beats - 1))
+            .collect();
+        Self::new(aw, data)
+    }
+
+    /// Returns the address beat.
+    pub fn aw(&self) -> &AwBeat {
+        &self.aw
+    }
+
+    /// Returns the data beats in order.
+    pub fn data(&self) -> &[WBeat] {
+        &self.data
+    }
+
+    /// Deconstructs into the address beat and data beats.
+    pub fn into_parts(self) -> (AwBeat, Vec<WBeat>) {
+        (self.aw, self.data)
+    }
+
+    /// Total payload in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.aw.total_bytes()
+    }
+}
+
+/// A complete read transaction: a validated `AR` beat.
+///
+/// Wrapping the beat keeps the "this was checked" invariant in the type, so
+/// downstream components need not re-validate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReadTxn {
+    ar: ArBeat,
+}
+
+impl ReadTxn {
+    /// Builds a read transaction.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`ArBeat::validate`].
+    pub fn new(ar: ArBeat) -> Result<Self, ProtocolError> {
+        ar.validate()?;
+        Ok(Self { ar })
+    }
+
+    /// Returns the address beat.
+    pub fn ar(&self) -> &ArBeat {
+        &self.ar
+    }
+
+    /// Deconstructs into the address beat.
+    pub fn into_inner(self) -> ArBeat {
+        self.ar
+    }
+
+    /// Total payload in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.ar.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, BurstKind, BurstLen, BurstSize, TxnId};
+
+    fn aw(beats: u16) -> AwBeat {
+        AwBeat::new(
+            TxnId::new(1),
+            Addr::new(0x1000),
+            BurstLen::new(beats).unwrap(),
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        )
+    }
+
+    #[test]
+    fn from_words_sets_last() {
+        let t = WriteTxn::from_words(aw(3), [1, 2, 3]).unwrap();
+        assert_eq!(t.data().iter().filter(|b| b.last).count(), 1);
+        assert!(t.data()[2].last);
+        assert_eq!(t.total_bytes(), 24);
+        let (a, d) = t.into_parts();
+        assert_eq!(a.len.beats(), 3);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn wrong_beat_count_rejected() {
+        assert!(WriteTxn::from_words(aw(3), [1, 2]).is_err());
+        assert!(WriteTxn::from_words(aw(3), [1, 2, 3, 4]).is_err());
+    }
+
+    #[test]
+    fn misplaced_last_rejected() {
+        let beats = vec![WBeat::full(1, true), WBeat::full(2, false), WBeat::full(3, true)];
+        assert!(WriteTxn::new(aw(3), beats).is_err());
+        let no_last = vec![WBeat::full(1, false), WBeat::full(2, false)];
+        assert!(WriteTxn::new(aw(2), no_last).is_err());
+    }
+
+    #[test]
+    fn invalid_aw_rejected() {
+        // Crosses 4 KiB.
+        let bad = AwBeat::new(
+            TxnId::new(1),
+            Addr::new(0x1ff8),
+            BurstLen::new(4).unwrap(),
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        );
+        assert!(WriteTxn::from_words(bad, [0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn read_txn_validates() {
+        let ar = ArBeat::new(
+            TxnId::new(2),
+            Addr::new(0x2000),
+            BurstLen::new(256).unwrap(),
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        );
+        let t = ReadTxn::new(ar).unwrap();
+        assert_eq!(t.total_bytes(), 2048);
+        assert_eq!(t.ar().id, TxnId::new(2));
+        assert_eq!(t.into_inner().addr, Addr::new(0x2000));
+
+        let bad = ArBeat::new(
+            TxnId::new(2),
+            Addr::new(0x41),
+            BurstLen::new(4).unwrap(),
+            BurstSize::bus64(),
+            BurstKind::Wrap,
+        );
+        assert!(ReadTxn::new(bad).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for burst address arithmetic and fragmentation.
+
+use axi4::{
+    beat_addresses, fragment, validate_burst, Addr, BurstKind, BurstLen, BurstSize, Cache,
+    ProtocolError, BOUNDARY_4K,
+};
+use proptest::prelude::*;
+
+fn arb_size() -> impl Strategy<Value = BurstSize> {
+    (0u8..=3).prop_map(|e| BurstSize::new(e).expect("encoding in range"))
+}
+
+fn arb_incr() -> impl Strategy<Value = (Addr, BurstLen, BurstSize)> {
+    (arb_size(), 1u16..=256, 0u64..1 << 20).prop_map(|(size, beats, page)| {
+        // Place the burst so it never crosses a 4 KiB boundary: start at a
+        // page base plus an offset that leaves room for the whole burst.
+        let total = u64::from(beats) * size.bytes();
+        let span = BOUNDARY_4K.saturating_sub(total);
+        let offset = (page * 7919) % (span / size.bytes() + 1) * size.bytes();
+        (
+            Addr::new(page * BOUNDARY_4K + offset),
+            BurstLen::new(beats).expect("beats in range"),
+            size,
+        )
+    })
+}
+
+fn arb_wrap() -> impl Strategy<Value = (Addr, BurstLen, BurstSize)> {
+    (arb_size(), prop::sample::select(vec![2u16, 4, 8, 16]), 0u64..1 << 16).prop_map(
+        |(size, beats, n)| {
+            let addr = Addr::new(n * size.bytes());
+            (addr, BurstLen::new(beats).expect("beats in range"), size)
+        },
+    )
+}
+
+proptest! {
+    /// Fragments concatenate to exactly the original beat-address sequence.
+    #[test]
+    fn incr_fragments_cover_original(
+        (addr, len, size) in arb_incr(),
+        granularity in 1u16..=256,
+    ) {
+        let plan = fragment(BurstKind::Incr, addr, len, size, false, Cache::NORMAL, granularity)
+            .expect("valid granularity");
+        let original: Vec<_> = beat_addresses(BurstKind::Incr, addr, len, size).collect();
+        let mut covered = Vec::new();
+        for f in &plan {
+            covered.extend(beat_addresses(f.kind, f.addr, f.len, size));
+        }
+        prop_assert_eq!(covered, original);
+    }
+
+    /// Every fragment of a legal INCR burst is itself a legal burst
+    /// (in particular: respects the 4 KiB rule).
+    #[test]
+    fn incr_fragments_are_legal_bursts(
+        (addr, len, size) in arb_incr(),
+        granularity in 1u16..=256,
+    ) {
+        prop_assume!(validate_burst(BurstKind::Incr, len, size, addr).is_ok());
+        let plan = fragment(BurstKind::Incr, addr, len, size, false, Cache::NORMAL, granularity)
+            .expect("valid granularity");
+        for f in &plan {
+            prop_assert!(validate_burst(f.kind, f.len, size, f.addr).is_ok(),
+                "fragment {:?} must validate", f);
+        }
+    }
+
+    /// No fragment exceeds the granularity, and fragment count is the
+    /// ceiling division of the length by the granularity for INCR bursts.
+    #[test]
+    fn incr_fragment_sizes(
+        (addr, len, size) in arb_incr(),
+        granularity in 1u16..=256,
+    ) {
+        let plan = fragment(BurstKind::Incr, addr, len, size, false, Cache::NORMAL, granularity)
+            .expect("valid granularity");
+        for f in &plan {
+            prop_assert!(f.len.beats() <= granularity.max(1));
+        }
+        let expected = (len.beats() + granularity - 1) / granularity;
+        prop_assert_eq!(plan.len(), expected as usize);
+    }
+
+    /// WRAP fragmentation preserves the wrapped beat-address sequence.
+    #[test]
+    fn wrap_fragments_cover_original(
+        (addr, len, size) in arb_wrap(),
+        granularity in 1u16..=16,
+    ) {
+        let plan = fragment(BurstKind::Wrap, addr, len, size, false, Cache::NORMAL, granularity)
+            .expect("valid granularity");
+        let original: Vec<_> = beat_addresses(BurstKind::Wrap, addr, len, size).collect();
+        let mut covered = Vec::new();
+        for f in &plan {
+            covered.extend(beat_addresses(f.kind, f.addr, f.len, size));
+        }
+        prop_assert_eq!(covered, original);
+    }
+
+    /// Locked bursts always pass through unfragmented regardless of
+    /// granularity.
+    #[test]
+    fn locked_never_fragmented(
+        (addr, len, size) in arb_incr(),
+        granularity in 1u16..=256,
+    ) {
+        let plan = fragment(BurstKind::Incr, addr, len, size, true, Cache::NORMAL, granularity)
+            .expect("valid granularity");
+        prop_assert!(plan.is_passthrough());
+    }
+
+    /// Byte totals are conserved by fragmentation.
+    #[test]
+    fn bytes_conserved(
+        (addr, len, size) in arb_incr(),
+        granularity in 1u16..=256,
+    ) {
+        let plan = fragment(BurstKind::Incr, addr, len, size, false, Cache::NORMAL, granularity)
+            .expect("valid granularity");
+        let total: u64 = plan.iter().map(|f| f.total_bytes(size)).sum();
+        prop_assert_eq!(total, u64::from(len.beats()) * size.bytes());
+    }
+
+    /// Granularity outside 1..=256 is rejected, never panics.
+    #[test]
+    fn bad_granularity_is_error(g in prop::sample::select(vec![0u16, 257, 512, u16::MAX])) {
+        let r = fragment(
+            BurstKind::Incr,
+            Addr::new(0),
+            BurstLen::ONE,
+            BurstSize::bus64(),
+            false,
+            Cache::NORMAL,
+            g,
+        );
+        let is_expected = matches!(r, Err(ProtocolError::InvalidGranularity { .. }));
+        prop_assert!(is_expected, "expected InvalidGranularity, got {:?}", r);
+    }
+
+    /// `beat_addresses` yields exactly `len` addresses and INCR addresses
+    /// are strictly increasing by the beat size after the first beat.
+    #[test]
+    fn beat_address_count_and_monotonicity((addr, len, size) in arb_incr()) {
+        let addrs: Vec<_> = beat_addresses(BurstKind::Incr, addr, len, size).collect();
+        prop_assert_eq!(addrs.len(), len.beats() as usize);
+        for pair in addrs.windows(2).skip(1) {
+            prop_assert_eq!(pair[0].raw() + size.bytes(), pair[1].raw());
+        }
+    }
+}

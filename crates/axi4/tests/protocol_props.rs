@@ -1,0 +1,111 @@
+//! Property-based tests over protocol-level algebra: response coalescing,
+//! wire encodings, validation totality, and narrow-transfer lane math.
+
+use axi4::{
+    beat_addresses, lane_mask, validate_burst, Addr, BurstKind, BurstLen, BurstSize, Cache, Prot,
+    Resp, WBeat,
+};
+use proptest::prelude::*;
+
+fn arb_resp() -> impl Strategy<Value = Resp> {
+    prop::sample::select(vec![Resp::Okay, Resp::ExOkay, Resp::SlvErr, Resp::DecErr])
+}
+
+proptest! {
+    /// Response merging is associative and has `Okay` as identity — the
+    /// algebra B-coalescing relies on (fragment order must not matter).
+    #[test]
+    fn resp_merge_is_associative(a in arb_resp(), b in arb_resp(), c in arb_resp()) {
+        prop_assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
+        prop_assert_eq!(Resp::Okay.merge(a).is_err(), a.is_err());
+        // Errors absorb.
+        prop_assert!(a.merge(Resp::DecErr).is_err());
+    }
+
+    /// Merging any permutation of the same responses yields the same
+    /// error class.
+    #[test]
+    fn resp_merge_order_insensitive(mut resps in prop::collection::vec(arb_resp(), 1..8)) {
+        let forward = resps.iter().fold(Resp::Okay, |acc, &r| acc.merge(r));
+        resps.reverse();
+        let backward = resps.iter().fold(Resp::Okay, |acc, &r| acc.merge(r));
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Cache and Prot survive their wire encodings for every bit pattern.
+    #[test]
+    fn attribute_wire_roundtrips(cache_bits in 0u8..16, prot_bits in 0u8..8) {
+        prop_assert_eq!(Cache::from_wire(cache_bits).to_wire(), cache_bits);
+        prop_assert_eq!(Prot::from_wire(prot_bits).to_wire(), prot_bits);
+    }
+
+    /// `validate_burst` never panics on arbitrary (kind, len, size, addr)
+    /// combinations — totality over the whole input space.
+    #[test]
+    fn validation_is_total(
+        kind in prop::sample::select(vec![BurstKind::Fixed, BurstKind::Incr, BurstKind::Wrap]),
+        beats in 1u16..=256,
+        size_enc in 0u8..=3,
+        addr in any::<u32>(),
+    ) {
+        let len = BurstLen::new(beats).expect("in range");
+        let size = BurstSize::new(size_enc).expect("in range");
+        let _ = validate_burst(kind, len, size, Addr::new(u64::from(addr)));
+    }
+
+    /// FIXED bursts repeat the start address for every beat.
+    #[test]
+    fn fixed_bursts_hold_address(
+        beats in 1u16..=16,
+        size_enc in 0u8..=3,
+        addr in any::<u32>(),
+    ) {
+        let len = BurstLen::new(beats).expect("in range");
+        let size = BurstSize::new(size_enc).expect("in range");
+        let addrs: Vec<Addr> =
+            beat_addresses(BurstKind::Fixed, Addr::new(u64::from(addr)), len, size).collect();
+        prop_assert_eq!(addrs.len(), beats as usize);
+        prop_assert!(addrs.iter().all(|&a| a == Addr::new(u64::from(addr))));
+    }
+
+    /// The lane mask always selects exactly `size.bytes()` contiguous lanes
+    /// that contain the addressed byte.
+    #[test]
+    fn lane_mask_selects_contiguous_lanes(addr in any::<u32>(), size_enc in 0u8..=3) {
+        let size = BurstSize::new(size_enc).expect("in range");
+        let mask = lane_mask(Addr::new(u64::from(addr)), size);
+        prop_assert_eq!(u64::from(mask.count_ones()), size.bytes());
+        // Contiguity: the set bits form one run.
+        let shifted = mask >> mask.trailing_zeros();
+        prop_assert_eq!(shifted.count_ones() + shifted.leading_zeros(), 8);
+        // The addressed byte's lane is inside the mask.
+        let lane = (addr & 0x7) as u8;
+        prop_assert!(mask & (1 << lane) != 0, "lane {} not in mask {:#04x}", lane, mask);
+    }
+
+    /// `WBeat::narrow` strobes exactly the masked lanes, and the data in
+    /// those lanes equals the low bytes of the value.
+    #[test]
+    fn narrow_beats_are_lane_consistent(
+        addr in any::<u32>(),
+        size_enc in 0u8..=3,
+        value in any::<u64>(),
+    ) {
+        let size = BurstSize::new(size_enc).expect("in range");
+        let a = Addr::new(u64::from(addr));
+        let beat = WBeat::narrow(a, size, value, false);
+        prop_assert_eq!(beat.strb, lane_mask(a, size));
+        let lane = u64::from(beat.strb.trailing_zeros());
+        let extracted = if size.bytes() == 8 {
+            beat.data
+        } else {
+            (beat.data >> (lane * 8)) & ((1u64 << (size.bytes() * 8)) - 1)
+        };
+        let expected = if size.bytes() == 8 {
+            value
+        } else {
+            value & ((1u64 << (size.bytes() * 8)) - 1)
+        };
+        prop_assert_eq!(extracted, expected);
+    }
+}

@@ -1,0 +1,25 @@
+//! Criterion bench over the Fig. 6b budget sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cheshire_soc::experiments::with_budget;
+
+fn bench_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6b");
+    group.sample_size(10);
+    let accesses = 200;
+
+    for divisor in [1u64, 3, 5] {
+        let budget = 8 * 1024 / divisor;
+        group.bench_with_input(
+            BenchmarkId::new("with_budget", format!("1_{divisor}")),
+            &budget,
+            |b, &budget| b.iter(|| black_box(with_budget(budget, black_box(accesses)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_budget);
+criterion_main!(benches);

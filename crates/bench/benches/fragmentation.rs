@@ -1,0 +1,30 @@
+//! Criterion bench over the Fig. 6a fragmentation sweep: wall-clock cost of
+//! simulating each configuration, and a regression guard on the simulator's
+//! throughput for the paper's key operating points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cheshire_soc::experiments::{single_source, with_fragmentation, without_reservation};
+
+fn bench_fragmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a");
+    group.sample_size(10);
+    let accesses = 200;
+
+    group.bench_function("single_source", |b| {
+        b.iter(|| black_box(single_source(black_box(accesses))))
+    });
+    group.bench_function("without_reservation", |b| {
+        b.iter(|| black_box(without_reservation(black_box(accesses))))
+    });
+    for frag in [1u16, 16, 256] {
+        group.bench_with_input(BenchmarkId::new("with_fragmentation", frag), &frag, |b, &f| {
+            b.iter(|| black_box(with_fragmentation(f, black_box(accesses))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fragmentation);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmark of the interconnect substrate: simulated-cycle
+//! throughput of a saturated crossbar + memory system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use axi4::{Addr, SubordinateId, TxnId};
+use axi_mem::{MemoryConfig, MemoryModel};
+use axi_sim::{AxiBundle, Sim};
+use axi_traffic::{DmaConfig, DmaModel};
+use axi_xbar::{AddressMap, Crossbar};
+
+fn saturated_system() -> Sim {
+    let mut sim = Sim::new();
+    let mgr = AxiBundle::with_defaults(sim.pool_mut());
+    let llc = AxiBundle::with_defaults(sim.pool_mut());
+    let spm = AxiBundle::with_defaults(sim.pool_mut());
+    let mut map = AddressMap::new();
+    map.add(Addr::new(0x8000_0000), 1 << 20, SubordinateId::new(0))
+        .expect("static map");
+    map.add(Addr::new(0x1000_0000), 1 << 20, SubordinateId::new(1))
+        .expect("static map");
+    sim.add(DmaModel::new(
+        DmaConfig {
+            region_a: (Addr::new(0x8000_0000), 1 << 20),
+            region_b: (Addr::new(0x1000_0000), 1 << 20),
+            burst_beats: 256,
+            outstanding: 8,
+            total_transfers: None,
+            id: TxnId::new(0),
+            start_cycle: 0,
+        },
+        mgr,
+    ));
+    sim.add(Crossbar::new(map, vec![mgr], vec![llc, spm]).expect("static ports"));
+    sim.add(MemoryModel::new(
+        MemoryConfig::llc(Addr::new(0x8000_0000), 1 << 20),
+        llc,
+    ));
+    sim.add(MemoryModel::new(
+        MemoryConfig::spm(Addr::new(0x1000_0000), 1 << 20),
+        spm,
+    ));
+    sim
+}
+
+fn bench_interconnect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interconnect");
+    group.sample_size(20);
+    group.bench_function("saturated_10k_cycles", |b| {
+        b.iter_with_setup(saturated_system, |mut sim| {
+            sim.run(10_000);
+            black_box(sim.cycle())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interconnect);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the memory substrates: sequential service throughput
+//! of the flat model, the DRAM model, and the cache hierarchy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use axi4::{Addr, ArBeat, BurstKind, BurstLen, BurstSize, TxnId};
+use axi_mem::{CacheConfig, CacheModel, DramConfig, DramModel, MemoryConfig, MemoryModel};
+use axi_sim::{AxiBundle, ComponentId, Sim};
+
+const BASE: Addr = Addr::new(0x8000_0000);
+
+/// Streams `n` sequential 16-beat reads through `build`'s memory and runs
+/// to drain.
+fn stream_reads<F>(n: u64, build: F) -> u64
+where
+    F: FnOnce(&mut Sim, AxiBundle) -> ComponentId,
+{
+    let mut sim = Sim::new();
+    let port = AxiBundle::with_defaults(sim.pool_mut());
+    build(&mut sim, port);
+    let mut issued = 0;
+    let mut lasts = 0;
+    while lasts < n {
+        let c = sim.cycle();
+        if issued < n && sim.pool().peek(port.ar, c).is_none() {
+            let ar = ArBeat::new(
+                TxnId::new(0),
+                BASE + issued * 128,
+                BurstLen::new(16).expect("16 beats valid"),
+                BurstSize::bus64(),
+                BurstKind::Incr,
+            );
+            if sim.pool_mut().try_push(port.ar, c, ar).is_ok() {
+                issued += 1;
+            }
+        }
+        sim.step();
+        let c = sim.cycle();
+        if let Some(r) = sim.pool_mut().pop(port.r, c) {
+            if r.last {
+                lasts += 1;
+            }
+        }
+        assert!(sim.cycle() < n * 10_000, "bench stream wedged");
+    }
+    sim.cycle()
+}
+
+fn bench_memories(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_stream_64x16beat");
+    group.sample_size(20);
+    group.bench_function("flat_spm", |b| {
+        b.iter(|| {
+            black_box(stream_reads(64, |sim, port| {
+                sim.add(MemoryModel::new(MemoryConfig::spm(BASE, 1 << 20), port))
+            }))
+        })
+    });
+    group.bench_function("dram", |b| {
+        b.iter(|| {
+            black_box(stream_reads(64, |sim, port| {
+                sim.add(DramModel::new(DramConfig::ddr3(BASE, 1 << 20), port))
+            }))
+        })
+    });
+    group.bench_function("cache_over_dram", |b| {
+        b.iter(|| {
+            black_box(stream_reads(64, |sim, port| {
+                let back = AxiBundle::with_defaults(sim.pool_mut());
+                let id = sim.add(CacheModel::new(CacheConfig::llc(BASE, 1 << 20), port, back));
+                sim.add(DramModel::new(DramConfig::ddr3(BASE, 1 << 20), back));
+                id
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_memories);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the REALM unit's hot paths: fragmentation planning,
+//! per-cycle tick cost, and the area model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use axi4::{fragment, Addr, BurstKind, BurstLen, BurstSize, Cache};
+use axi_realm::area::{AreaBreakdown, AreaParams};
+use axi_realm::{DesignConfig, RealmUnit, RuntimeConfig};
+use axi_sim::{AxiBundle, Sim};
+
+fn bench_fragment_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fragment_plan");
+    for granularity in [1u16, 16, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(granularity),
+            &granularity,
+            |b, &g| {
+                b.iter(|| {
+                    fragment(
+                        BurstKind::Incr,
+                        black_box(Addr::new(0x8000_0000)),
+                        BurstLen::new(256).expect("256 beats valid"),
+                        BurstSize::bus64(),
+                        false,
+                        Cache::NORMAL,
+                        g,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_idle_tick(c: &mut Criterion) {
+    c.bench_function("realm_unit_idle_tick_1000", |b| {
+        b.iter_with_setup(
+            || {
+                let mut sim = Sim::new();
+                let up = AxiBundle::with_defaults(sim.pool_mut());
+                let down = AxiBundle::with_defaults(sim.pool_mut());
+                sim.add(RealmUnit::new(
+                    DesignConfig::cheshire(),
+                    RuntimeConfig::open(2),
+                    up,
+                    down,
+                ));
+                sim
+            },
+            |mut sim| {
+                sim.run(1000);
+                black_box(sim.cycle())
+            },
+        )
+    });
+}
+
+fn bench_area_model(c: &mut Criterion) {
+    c.bench_function("area_model_evaluate", |b| {
+        b.iter(|| AreaBreakdown::evaluate(black_box(AreaParams::cheshire())))
+    });
+}
+
+criterion_group!(benches, bench_fragment_planning, bench_idle_tick, bench_area_model);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Extension experiment: the full memory hierarchy — a real set-associative
+//! write-back LLC in front of row-buffer DRAM — replacing the paper's
+//! hot-LLC approximation.
+//!
+//! The paper measures with a hot LLC ("accesses by CVA6 take at most eight
+//! cycles ... assuming the LLC is hot"). Here the cache actually warms up:
+//! the core's working set must fit, the DMA's streaming traffic thrashes
+//! capacity, and REALM's fragmentation still restores the core — now with
+//! measured hit rates instead of an assumption.
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin extension_cache
+//! ```
+
+use axi4::{Addr, SubordinateId, TxnId};
+use axi_mem::{CacheConfig, CacheModel, DramConfig, DramModel, MemoryConfig, MemoryModel};
+use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
+use axi_sim::{AxiBundle, BundleCapacity, Sim};
+use axi_traffic::{CoreModel, CoreWorkload, DmaConfig, DmaModel};
+use axi_xbar::{AddressMap, Crossbar};
+use realm_bench::{ExperimentReport, Row};
+
+const MEM_BASE: Addr = Addr::new(0x8000_0000);
+const MEM_SIZE: u64 = 16 << 20;
+const SPM_BASE: Addr = Addr::new(0x1000_0000);
+const SPM_SIZE: u64 = 1 << 20;
+
+struct Outcome {
+    cycles: u64,
+    lat_mean: f64,
+    hit_rate: f64,
+    writebacks: u64,
+}
+
+fn run(frag_len: Option<u16>, with_dma: bool) -> Outcome {
+    let mut sim = Sim::new();
+    let cap = BundleCapacity::uniform(4);
+
+    let core_up = AxiBundle::new(sim.pool_mut(), cap);
+    let core_down = AxiBundle::new(sim.pool_mut(), cap);
+    let dma_up = AxiBundle::new(sim.pool_mut(), cap);
+    let dma_down = AxiBundle::new(sim.pool_mut(), cap);
+    let cache_front = AxiBundle::new(sim.pool_mut(), cap);
+    let cache_back = AxiBundle::new(sim.pool_mut(), cap);
+    let spm_port = AxiBundle::new(sim.pool_mut(), cap);
+
+    let runtime = |frag: u16| {
+        let mut rt = RuntimeConfig::open(2);
+        rt.frag_len = frag;
+        rt.regions[0] = RegionConfig {
+            base: MEM_BASE,
+            size: MEM_SIZE,
+            budget_max: 0,
+            period: 0,
+        };
+        rt
+    };
+    sim.add(RealmUnit::new(
+        DesignConfig::cheshire(),
+        runtime(256),
+        core_up,
+        core_down,
+    ));
+    sim.add(RealmUnit::new(
+        DesignConfig::cheshire(),
+        runtime(frag_len.unwrap_or(256)),
+        dma_up,
+        dma_down,
+    ));
+
+    // Core working set (64 KiB) fits the 128 KiB LLC.
+    let core = sim.add(CoreModel::new(CoreWorkload::susan(MEM_BASE, 2_000), core_up));
+    if with_dma {
+        let mut dma = DmaConfig::worst_case((MEM_BASE + 0x80_0000, 0x8_0000), (SPM_BASE, SPM_SIZE));
+        dma.id = TxnId::new(1);
+        sim.add(DmaModel::new(dma, dma_up));
+    }
+
+    let mut map = AddressMap::new();
+    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0)).expect("map");
+    map.add(SPM_BASE, SPM_SIZE, SubordinateId::new(1)).expect("map");
+    sim.add(
+        Crossbar::new(map, vec![core_down, dma_down], vec![cache_front, spm_port])
+            .expect("ports"),
+    );
+    let cache = sim.add(CacheModel::new(
+        CacheConfig::llc(MEM_BASE, MEM_SIZE),
+        cache_front,
+        cache_back,
+    ));
+    sim.add(DramModel::new(DramConfig::ddr3(MEM_BASE, MEM_SIZE), cache_back));
+    sim.add(MemoryModel::new(MemoryConfig::spm(SPM_BASE, SPM_SIZE), spm_port));
+
+    assert!(sim.run_until(200_000_000, |s| s.component::<CoreModel>(core).unwrap().is_done()));
+    let c = sim.component::<CoreModel>(core).unwrap();
+    let k = sim.component::<CacheModel>(cache).unwrap();
+    Outcome {
+        cycles: c.finished_at().expect("core done"),
+        lat_mean: c.latency().mean().unwrap_or(0.0),
+        hit_rate: k.stats().hit_rate().unwrap_or(0.0),
+        writebacks: k.stats().writebacks,
+    }
+}
+
+fn main() {
+    let mut report = ExperimentReport::new(
+        "Extension: cache",
+        "fragmentation sweep with a real write-back LLC over DRAM (no hot-cache assumption)",
+    );
+    let base = run(None, false);
+    let mut push = |label: &str, o: &Outcome| {
+        report.push(Row::new(
+            label,
+            vec![
+                ("perf_pct", base.cycles as f64 / o.cycles as f64 * 100.0),
+                ("lat_mean", o.lat_mean),
+                ("llc_hit_pct", o.hit_rate * 100.0),
+                ("writebacks", o.writebacks as f64),
+            ],
+        ));
+    };
+    let base_copy = Outcome { ..run(None, false) };
+    push("single-source", &base_copy);
+    let worst = run(None, true);
+    push("no-reservation", &worst);
+    for frag in [16u16, 4, 1] {
+        let o = run(Some(frag), true);
+        push(&format!("frag={frag}"), &o);
+    }
+    report.note("the core's 64 KiB working set fits the 128 KiB LLC: hits dominate once warm");
+    report.note("the DMA streams 512 KiB through the same cache, evicting the core's lines");
+    report.note("REALM recovers the core even though contention now includes capacity misses");
+    print!("{}", report.render());
+    if let Err(e) = report.write_json("results/extension_cache.json") {
+        eprintln!("could not write results/extension_cache.json: {e}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Reproduces **Fig. 6a**: Susan-on-CVA6 performance under DSA-DMA
+//! contention at varying transfer fragmentation, plus the *single-source*
+//! and *without reservation* baselines, and the worst-case memory access
+//! latency the section reports (264 → below ten cycles).
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin fig6a
+//! ```
+
+use cheshire_soc::experiments::{
+    fragmentation_sweep_points, single_source, with_fragmentation, without_reservation,
+    DEFAULT_ACCESSES,
+};
+use cheshire_soc::RunResult;
+use realm_bench::{ExperimentReport, Row};
+
+fn row(label: &str, r: &RunResult, base: &RunResult) -> Row {
+    Row::new(
+        label,
+        vec![
+            ("perf_pct", r.performance_pct(base)),
+            ("exec_cycles", r.cycles as f64),
+            ("lat_min", r.core_latency.min().unwrap_or(0) as f64),
+            ("lat_mean", r.core_latency.mean().unwrap_or(0.0)),
+            ("lat_max", r.core_latency.max().unwrap_or(0) as f64),
+            ("lat_p99_bound", r.core_histogram.percentile_bound(0.99).unwrap_or(0) as f64),
+        ],
+    )
+}
+
+fn main() {
+    let accesses = DEFAULT_ACCESSES;
+    let mut report = ExperimentReport::new(
+        "Fig. 6a",
+        "core performance vs. DMA burst fragmentation (equal budgets, very large period)",
+    );
+
+    let base = single_source(accesses);
+    report.push(row("single-source", &base, &base));
+
+    let worst = without_reservation(accesses);
+    report.push(row("no-reservation", &worst, &base));
+
+    for frag in fragmentation_sweep_points() {
+        let r = with_fragmentation(frag, accesses);
+        report.push(row(&format!("frag={frag}"), &r, &base));
+    }
+
+    report.note("paper: without reservation <0.7 % of single-source, min access latency 264 cycles");
+    report.note("paper: frag=1 restores 68.2 % of single-source, latency <10 cycles (2 above single-source)");
+    report.note("shape to check: perf rises monotonically as fragmentation shrinks 256 -> 1");
+
+    print!("{}", report.render());
+    print!("{}", report.render_chart("perf_pct", 50));
+    if let Err(e) = report.write_json("results/fig6a.json") {
+        eprintln!("could not write results/fig6a.json: {e}");
+    }
+}

@@ -1,0 +1,10 @@
+//! Shared helpers for the experiment binaries and Criterion benches of the
+//! AXI-REALM reproduction. See the `fig6a`, `fig6b`, `table1`, `table2`,
+//! and `ablations` binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{ExperimentReport, Row};

@@ -1,0 +1,404 @@
+//! The paper's analytical area model (Table II).
+//!
+//! Table II of the paper reports, for each sub-block of AXI-REALM, the area
+//! contribution in gate equivalents (GE) per unit of each design parameter,
+//! fitted from GlobalFoundries 12 nm synthesis at 1 GHz. The model is
+//! evaluated as the paper instructs: *"the individual unit's area
+//! contributions are multiplied by the parameter value and summed up."*
+//!
+//! Parameter units used by this implementation: address and data width in
+//! bits, pending transactions and buffer depth in elements, and storage
+//! size in **kibibits** (the product of buffer depth and data width; the
+//! paper's footnote gives its evaluated range as 256–8192 b). The kibibit
+//! interpretation is the only one consistent with the magnitudes of
+//! Tables I and II; see `EXPERIMENTS.md` for the calibration note.
+
+use std::fmt;
+
+/// Which structural scope a sub-block's area multiplies with.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scope {
+    /// Instantiated once per system (e.g. the bus guard).
+    PerSystem,
+    /// Instantiated once per REALM unit.
+    PerUnit,
+    /// Instantiated once per unit *and* region.
+    PerUnitRegion,
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scope::PerSystem => "per-system",
+            Scope::PerUnit => "per-unit",
+            Scope::PerUnitRegion => "per-unit&region",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether a sub-block belongs to the configuration register file or the
+/// REALM unit proper (the two groups of Table II).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Group {
+    /// Configuration register file.
+    ConfigRegFile,
+    /// The REALM unit datapath.
+    RealmUnit,
+}
+
+/// Area coefficients of one sub-block, in GE per parameter unit.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Coefficients {
+    /// GE per address bit.
+    pub addr_width: f64,
+    /// GE per data bit.
+    pub data_width: f64,
+    /// GE per pending transaction.
+    pub num_pending: f64,
+    /// GE per buffer element.
+    pub buffer_depth: f64,
+    /// GE per kibibit of write-buffer storage.
+    pub storage_kibit: f64,
+    /// Parameter-independent base area in GE.
+    pub constant: f64,
+}
+
+/// One row of the area model: a named sub-block with its scope and
+/// coefficients.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SubBlock {
+    /// Sub-block name as printed in Table II.
+    pub name: &'static str,
+    /// Register file or datapath.
+    pub group: Group,
+    /// Structural multiplicity.
+    pub scope: Scope,
+    /// Fitted coefficients.
+    pub coefficients: Coefficients,
+}
+
+const fn c(
+    addr_width: f64,
+    data_width: f64,
+    num_pending: f64,
+    buffer_depth: f64,
+    storage_kibit: f64,
+    constant: f64,
+) -> Coefficients {
+    Coefficients {
+        addr_width,
+        data_width,
+        num_pending,
+        buffer_depth,
+        storage_kibit,
+        constant,
+    }
+}
+
+/// The eleven sub-blocks of Table II with their published coefficients.
+pub const SUB_BLOCKS: [SubBlock; 11] = [
+    SubBlock {
+        name: "Bus Guard",
+        group: Group::ConfigRegFile,
+        scope: Scope::PerSystem,
+        coefficients: c(0.0, 0.0, 0.0, 0.0, 0.0, 260.6),
+    },
+    SubBlock {
+        name: "Burst config Register",
+        group: Group::ConfigRegFile,
+        scope: Scope::PerUnit,
+        coefficients: c(0.0, 0.0, 0.0, 0.0, 0.0, 83.5),
+    },
+    SubBlock {
+        name: "C&S Register",
+        group: Group::ConfigRegFile,
+        scope: Scope::PerUnit,
+        coefficients: c(0.0, 0.0, 0.0, 0.0, 0.0, 24.6),
+    },
+    SubBlock {
+        name: "Budget & Period Register",
+        group: Group::ConfigRegFile,
+        scope: Scope::PerUnitRegion,
+        coefficients: c(0.0, 0.0, 0.0, 0.0, 0.0, 1319.6),
+    },
+    SubBlock {
+        name: "Region Boundary Register",
+        group: Group::ConfigRegFile,
+        scope: Scope::PerUnitRegion,
+        coefficients: c(20.6, 0.0, 0.0, 0.0, 0.0, 0.0),
+    },
+    SubBlock {
+        name: "Isolate & Throttle",
+        group: Group::RealmUnit,
+        scope: Scope::PerUnit,
+        coefficients: c(3.5, 2.7, 9.0, 0.0, 0.0, 267.1),
+    },
+    SubBlock {
+        name: "Burst Splitter",
+        group: Group::RealmUnit,
+        scope: Scope::PerUnit,
+        coefficients: c(49.3, 1.5, 729.4, 0.0, 0.0, 4835.0),
+    },
+    SubBlock {
+        name: "Meta Buffer",
+        group: Group::RealmUnit,
+        scope: Scope::PerUnit,
+        coefficients: c(38.1, 0.0, 0.0, 0.0, 0.0, 1309.7),
+    },
+    SubBlock {
+        name: "Write Buffer",
+        group: Group::RealmUnit,
+        scope: Scope::PerUnit,
+        coefficients: c(0.0, 0.0, 0.0, 0.0, 264.4, 11.4),
+    },
+    SubBlock {
+        name: "Tracking counters",
+        group: Group::RealmUnit,
+        scope: Scope::PerUnitRegion,
+        coefficients: c(0.0, 0.0, 0.0, 0.0, 0.0, 1928.5),
+    },
+    SubBlock {
+        name: "Region Decoders",
+        group: Group::RealmUnit,
+        scope: Scope::PerUnitRegion,
+        coefficients: c(20.8, 0.0, 0.0, 0.0, 0.0, 0.0),
+    },
+];
+
+/// Parameterisation of a REALM system for area estimation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AreaParams {
+    /// Address width in bits (paper range: 32–64).
+    pub addr_width: u32,
+    /// Data width in bits (paper range: 32–64).
+    pub data_width: u32,
+    /// Pending transactions (paper range: 2–16).
+    pub num_pending: u32,
+    /// Write-buffer depth in elements (paper range: 2–16).
+    pub buffer_depth: u32,
+    /// Address regions per unit.
+    pub num_regions: u32,
+    /// REALM units in the system.
+    pub num_units: u32,
+    /// Whether the burst splitter (and its meta buffer) is instantiated.
+    pub splitter_present: bool,
+}
+
+impl AreaParams {
+    /// The Cheshire evaluation point: 64-bit address and data, depth 16,
+    /// eight outstanding, two regions, three units.
+    pub fn cheshire() -> Self {
+        Self {
+            addr_width: 64,
+            data_width: 64,
+            num_pending: 8,
+            buffer_depth: 16,
+            num_regions: 2,
+            num_units: 3,
+            splitter_present: true,
+        }
+    }
+
+    /// Write-buffer storage in kibibits: buffer depth × data width / 1024.
+    pub fn storage_kibit(&self) -> f64 {
+        f64::from(self.buffer_depth) * f64::from(self.data_width) / 1024.0
+    }
+}
+
+impl Default for AreaParams {
+    fn default() -> Self {
+        Self::cheshire()
+    }
+}
+
+/// Area of one sub-block instance in GE at the given parameters.
+pub fn block_area_ge(block: &SubBlock, params: &AreaParams) -> f64 {
+    if !params.splitter_present && matches!(block.name, "Burst Splitter" | "Meta Buffer") {
+        return 0.0;
+    }
+    let co = &block.coefficients;
+    co.addr_width * f64::from(params.addr_width)
+        + co.data_width * f64::from(params.data_width)
+        + co.num_pending * f64::from(params.num_pending)
+        + co.buffer_depth * f64::from(params.buffer_depth)
+        + co.storage_kibit * params.storage_kibit()
+        + co.constant
+}
+
+fn multiplicity(scope: Scope, params: &AreaParams) -> f64 {
+    match scope {
+        Scope::PerSystem => 1.0,
+        Scope::PerUnit => f64::from(params.num_units),
+        Scope::PerUnitRegion => f64::from(params.num_units) * f64::from(params.num_regions),
+    }
+}
+
+/// One line of an [`AreaBreakdown`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AreaLine {
+    /// The sub-block.
+    pub block: SubBlock,
+    /// Area of one instance in GE.
+    pub per_instance_ge: f64,
+    /// Number of instances in the system.
+    pub instances: f64,
+    /// Total contribution in GE.
+    pub total_ge: f64,
+}
+
+/// Full per-sub-block area decomposition of a REALM system.
+#[derive(Clone, Debug)]
+pub struct AreaBreakdown {
+    /// One line per sub-block, in Table II order.
+    pub lines: Vec<AreaLine>,
+    /// The parameters evaluated.
+    pub params: AreaParams,
+}
+
+impl AreaBreakdown {
+    /// Evaluates the model at `params`.
+    pub fn evaluate(params: AreaParams) -> Self {
+        let lines = SUB_BLOCKS
+            .iter()
+            .map(|block| {
+                let per_instance_ge = block_area_ge(block, &params);
+                let instances = multiplicity(block.scope, &params);
+                AreaLine {
+                    block: *block,
+                    per_instance_ge,
+                    instances,
+                    total_ge: per_instance_ge * instances,
+                }
+            })
+            .collect();
+        Self { lines, params }
+    }
+
+    /// Total area of the configuration register file in GE.
+    pub fn config_ge(&self) -> f64 {
+        self.lines
+            .iter()
+            .filter(|l| l.block.group == Group::ConfigRegFile)
+            .map(|l| l.total_ge)
+            .sum()
+    }
+
+    /// Total area of all REALM unit datapaths in GE.
+    pub fn units_ge(&self) -> f64 {
+        self.lines
+            .iter()
+            .filter(|l| l.block.group == Group::RealmUnit)
+            .map(|l| l.total_ge)
+            .sum()
+    }
+
+    /// Total system area in GE.
+    pub fn total_ge(&self) -> f64 {
+        self.config_ge() + self.units_ge()
+    }
+
+    /// Area of a single unit's datapath in GE.
+    pub fn per_unit_ge(&self) -> f64 {
+        self.units_ge() / f64::from(self.params.num_units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_coefficients_as_published() {
+        let find = |name: &str| {
+            SUB_BLOCKS
+                .iter()
+                .find(|b| b.name == name)
+                .unwrap_or_else(|| panic!("missing block {name}"))
+        };
+        assert_eq!(find("Bus Guard").coefficients.constant, 260.6);
+        assert_eq!(find("Burst Splitter").coefficients.num_pending, 729.4);
+        assert_eq!(find("Burst Splitter").coefficients.addr_width, 49.3);
+        assert_eq!(find("Write Buffer").coefficients.storage_kibit, 264.4);
+        assert_eq!(find("Tracking counters").coefficients.constant, 1928.5);
+        assert_eq!(find("Region Boundary Register").coefficients.addr_width, 20.6);
+        assert_eq!(SUB_BLOCKS.len(), 11);
+    }
+
+    #[test]
+    fn cheshire_point_magnitudes() {
+        let b = AreaBreakdown::evaluate(AreaParams::cheshire());
+        // The model must land in the same ballpark as Table I's synthesis
+        // results: three units ≈ 83.6 kGE, config file ≈ 9.8 kGE.
+        let units = b.units_ge();
+        assert!(
+            (40_000.0..120_000.0).contains(&units),
+            "3 units = {units:.0} GE, expected tens of kGE"
+        );
+        let cfg = b.config_ge();
+        assert!(
+            (5_000.0..25_000.0).contains(&cfg),
+            "config = {cfg:.0} GE, expected ~10 kGE"
+        );
+        assert!((b.total_ge() - units - cfg).abs() < 1e-6);
+    }
+
+    #[test]
+    fn area_scales_with_parameters() {
+        let small = AreaBreakdown::evaluate(AreaParams {
+            addr_width: 32,
+            data_width: 32,
+            num_pending: 2,
+            buffer_depth: 2,
+            num_regions: 1,
+            num_units: 1,
+            splitter_present: true,
+        });
+        let large = AreaBreakdown::evaluate(AreaParams::cheshire());
+        assert!(small.total_ge() < large.total_ge());
+        assert!(small.per_unit_ge() < large.per_unit_ge());
+    }
+
+    #[test]
+    fn splitter_can_be_omitted() {
+        let mut params = AreaParams::cheshire();
+        let with = AreaBreakdown::evaluate(params);
+        params.splitter_present = false;
+        let without = AreaBreakdown::evaluate(params);
+        let splitter_and_meta: f64 = with
+            .lines
+            .iter()
+            .filter(|l| matches!(l.block.name, "Burst Splitter" | "Meta Buffer"))
+            .map(|l| l.total_ge)
+            .sum();
+        assert!((with.units_ge() - without.units_ge() - splitter_and_meta).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_region_blocks_scale_with_regions() {
+        let mut params = AreaParams::cheshire();
+        let two = AreaBreakdown::evaluate(params);
+        params.num_regions = 4;
+        let four = AreaBreakdown::evaluate(params);
+        let tracking_two = two
+            .lines
+            .iter()
+            .find(|l| l.block.name == "Tracking counters")
+            .unwrap()
+            .total_ge;
+        let tracking_four = four
+            .lines
+            .iter()
+            .find(|l| l.block.name == "Tracking counters")
+            .unwrap()
+            .total_ge;
+        assert!((tracking_four - 2.0 * tracking_two).abs() < 1e-6);
+    }
+
+    #[test]
+    fn storage_conversion() {
+        let p = AreaParams::cheshire();
+        assert!((p.storage_kibit() - 1.0).abs() < 1e-9, "16×64 = 1 kibit");
+        assert_eq!(format!("{}", Scope::PerUnitRegion), "per-unit&region");
+    }
+}

@@ -1,0 +1,322 @@
+//! A related-work baseline: an ABE-style burst equalizer.
+//!
+//! Restuccia et al.'s AXI burst equalizer (ABE, paper §II) restores
+//! arbitration fairness by enforcing a nominal burst size and a maximum
+//! number of outstanding transactions per manager — and nothing else: no
+//! byte budgets, no periods, no monitoring, and crucially **no write
+//! buffer**, so a fragment's `AW` goes downstream before its data exists
+//! and the stalling-writer DoS remains possible.
+//!
+//! Implementing the baseline makes the paper's qualitative comparison
+//! (Table-less, §II) a runnable experiment: see
+//! `realm-bench --bin related_work`.
+
+use std::collections::{HashMap, VecDeque};
+
+use axi4::{fragment_read, fragment_write_header, BBeat, Resp, WBeat};
+use axi_sim::{AxiBundle, Component, TickCtx};
+
+use crate::read_path::ReadPath;
+
+/// Configuration of a [`BurstEqualizer`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EqualizerConfig {
+    /// The nominal burst size every transaction is fragmented to.
+    pub nominal_beats: u16,
+    /// Maximum outstanding fragments per direction.
+    pub max_outstanding: usize,
+}
+
+impl EqualizerConfig {
+    /// A fair-but-unprotected setting comparable to REALM at the same
+    /// granularity.
+    pub fn nominal(nominal_beats: u16) -> Self {
+        Self {
+            nominal_beats,
+            max_outstanding: 8,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct WriteTxnState {
+    frags_total: usize,
+    frags_acked: usize,
+    resp: Resp,
+}
+
+/// The ABE-style baseline regulator: splits bursts to a nominal size and
+/// caps outstanding transactions, forwarding write headers *immediately*
+/// (no buffering — the DoS window stays open).
+#[derive(Debug)]
+pub struct BurstEqualizer {
+    cfg: EqualizerConfig,
+    upstream: AxiBundle,
+    downstream: AxiBundle,
+    read: ReadPath,
+    /// Fragment headers awaiting downstream emission.
+    aw_queue: VecDeque<axi4::AwBeat>,
+    /// Remaining beats per unfilled fragment, in order, for `last`
+    /// rewriting of the pass-through W stream.
+    w_templates: VecDeque<u16>,
+    beats_into_fragment: u16,
+    /// Per-ID write coalescing (AWs forwarded eagerly, Bs merged).
+    wtxns: HashMap<u32, VecDeque<WriteTxnState>>,
+    aw_outstanding: usize,
+    fragments_emitted: u64,
+    name: String,
+}
+
+impl BurstEqualizer {
+    /// Creates the equalizer between `upstream` and `downstream`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero nominal size or zero outstanding limit.
+    pub fn new(cfg: EqualizerConfig, upstream: AxiBundle, downstream: AxiBundle) -> Self {
+        assert!(
+            (1..=256).contains(&cfg.nominal_beats),
+            "nominal burst size must be 1..=256 beats"
+        );
+        assert!(cfg.max_outstanding > 0, "need at least one outstanding slot");
+        Self {
+            cfg,
+            upstream,
+            downstream,
+            read: ReadPath::new(cfg.max_outstanding),
+            aw_queue: VecDeque::new(),
+            w_templates: VecDeque::new(),
+            beats_into_fragment: 0,
+            wtxns: HashMap::new(),
+            aw_outstanding: 0,
+            fragments_emitted: 0,
+            name: "abe".to_owned(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EqualizerConfig {
+        &self.cfg
+    }
+
+    /// Fragments emitted downstream (reads + writes).
+    pub fn fragments_emitted(&self) -> u64 {
+        self.fragments_emitted
+    }
+}
+
+impl Component for BurstEqualizer {
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        // Read responses: pass through with last-gating.
+        if ctx.pool.peek(self.downstream.r, ctx.cycle).is_some()
+            && ctx.pool.can_push(self.upstream.r, ctx.cycle)
+        {
+            let r = ctx
+                .pool
+                .pop(self.downstream.r, ctx.cycle)
+                .expect("peeked beat");
+            let routed = self.read.on_response(r, ctx.cycle);
+            ctx.pool.push(self.upstream.r, ctx.cycle, routed.beat);
+        }
+        // Write responses: coalesce per ID.
+        if ctx.pool.peek(self.downstream.b, ctx.cycle).is_some()
+            && ctx.pool.can_push(self.upstream.b, ctx.cycle)
+        {
+            let b = ctx
+                .pool
+                .pop(self.downstream.b, ctx.cycle)
+                .expect("peeked beat");
+            self.aw_outstanding -= 1;
+            let states = self
+                .wtxns
+                .get_mut(&b.id.raw())
+                .expect("response for a tracked write");
+            let state = states.front_mut().expect("write in flight");
+            state.frags_acked += 1;
+            state.resp = state.resp.merge(b.resp);
+            if state.frags_acked == state.frags_total {
+                let resp = state.resp;
+                states.pop_front();
+                if states.is_empty() {
+                    self.wtxns.remove(&b.id.raw());
+                }
+                ctx.pool.push(self.upstream.b, ctx.cycle, BBeat::new(b.id, resp));
+            }
+        }
+
+        // Read intake + fragment emission (reuse the REALM read path).
+        if self.read.can_accept() {
+            if let Some(&ar) = ctx.pool.peek(self.upstream.ar, ctx.cycle) {
+                let plan = fragment_read(&ar, self.cfg.nominal_beats)
+                    .expect("nominal size validated in new");
+                ctx.pool.pop(self.upstream.ar, ctx.cycle);
+                self.read.accept(ar, &plan, None, ctx.cycle);
+            }
+        }
+        if self.read.peek_fragment(self.cfg.max_outstanding).is_some()
+            && ctx.pool.can_push(self.downstream.ar, ctx.cycle)
+        {
+            let (frag, _, _) = self.read.emit_fragment();
+            ctx.pool.push(self.downstream.ar, ctx.cycle, frag);
+            self.fragments_emitted += 1;
+        }
+
+        // Write intake: split and queue headers immediately (no buffering).
+        if let Some(&aw) = ctx.pool.peek(self.upstream.aw, ctx.cycle) {
+            let plan = fragment_write_header(&aw, self.cfg.nominal_beats)
+                .expect("nominal size validated in new");
+            if self.aw_queue.len() + plan.len() <= 64 {
+                ctx.pool.pop(self.upstream.aw, ctx.cycle);
+                for frag in &plan {
+                    let mut header = aw;
+                    header.addr = frag.addr;
+                    header.len = frag.len;
+                    header.burst = frag.kind;
+                    self.aw_queue.push_back(header);
+                    self.w_templates.push_back(frag.len.beats());
+                }
+                self.wtxns.entry(aw.id.raw()).or_default().push_back(WriteTxnState {
+                    frags_total: plan.len(),
+                    frags_acked: 0,
+                    resp: Resp::Okay,
+                });
+            }
+        }
+        // Emit write fragment headers eagerly — the ABE behaviour that
+        // leaves the W channel reservable without data.
+        if self.aw_outstanding < self.cfg.max_outstanding {
+            if let Some(&header) = self.aw_queue.front() {
+                if ctx.pool.can_push(self.downstream.aw, ctx.cycle) {
+                    self.aw_queue.pop_front();
+                    ctx.pool.push(self.downstream.aw, ctx.cycle, header);
+                    self.aw_outstanding += 1;
+                    self.fragments_emitted += 1;
+                }
+            }
+        }
+        // W data passes straight through with `last` rewritten to the
+        // fragment boundary.
+        if let Some(&w) = ctx.pool.peek(self.upstream.w, ctx.cycle) {
+            if !self.w_templates.is_empty() && ctx.pool.can_push(self.downstream.w, ctx.cycle) {
+                ctx.pool.pop(self.upstream.w, ctx.cycle);
+                let expected = *self.w_templates.front().expect("checked non-empty");
+                self.beats_into_fragment += 1;
+                let mut out = WBeat::with_strb(w.data, w.strb, false);
+                if self.beats_into_fragment == expected {
+                    out.last = true;
+                    self.w_templates.pop_front();
+                    self.beats_into_fragment = 0;
+                }
+                ctx.pool.push(self.downstream.w, ctx.cycle, out);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4::{Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, TxnId, WriteTxn};
+    use axi_mem::{MemoryConfig, MemoryModel};
+    use axi_sim::{BundleCapacity, Sim};
+    use axi_traffic::{Op, ScriptedManager};
+
+    const MEM: Addr = Addr::new(0x8000_0000);
+
+    fn rig(
+        nominal: u16,
+        script: Vec<Op>,
+    ) -> (Sim, axi_sim::ComponentId, axi_sim::ComponentId, axi_sim::ComponentId) {
+        let mut sim = Sim::new();
+        let cap = BundleCapacity::uniform(4);
+        let up = AxiBundle::new(sim.pool_mut(), cap);
+        let down = AxiBundle::new(sim.pool_mut(), cap);
+        let mgr = sim.add(ScriptedManager::new(up, script));
+        let abe = sim.add(BurstEqualizer::new(
+            EqualizerConfig::nominal(nominal),
+            up,
+            down,
+        ));
+        let mem = sim.add(MemoryModel::new(MemoryConfig::spm(MEM, 1 << 20), down));
+        (sim, mgr, abe, mem)
+    }
+
+    fn read_op(id: u32, addr: u64, beats: u16) -> Op {
+        Op::Read(ArBeat::new(
+            TxnId::new(id),
+            Addr::new(addr),
+            BurstLen::new(beats).unwrap(),
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        ))
+    }
+
+    fn write_op(id: u32, addr: u64, words: &[u64]) -> Op {
+        let aw = AwBeat::new(
+            TxnId::new(id),
+            Addr::new(addr),
+            BurstLen::new(words.len() as u16).unwrap(),
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        );
+        Op::Write(WriteTxn::from_words(aw, words.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn functional_transparency() {
+        let words: Vec<u64> = (0..32).map(|i| 0xE000 + i).collect();
+        let (mut sim, mgr, abe, _mem) = rig(
+            4,
+            vec![write_op(1, MEM.raw(), &words), read_op(2, MEM.raw(), 32)],
+        );
+        assert!(sim.run_until(20_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+        let m = sim.component::<ScriptedManager>(mgr).unwrap();
+        assert!(m.completions().iter().all(|c| c.resp == Resp::Okay));
+        assert_eq!(m.completions()[1].data, words);
+        // 32 beats at nominal 4 = 8 write + 8 read fragments.
+        assert_eq!(
+            sim.component::<BurstEqualizer>(abe).unwrap().fragments_emitted(),
+            16
+        );
+    }
+
+    #[test]
+    fn equalizes_to_nominal_size() {
+        let (mut sim, mgr, _, mem) = rig(1, vec![read_op(1, MEM.raw(), 16)]);
+        assert!(sim.run_until(20_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+        // The memory saw 16 one-beat bursts.
+        assert_eq!(sim.component::<MemoryModel>(mem).unwrap().reads_served(), 16);
+    }
+
+    #[test]
+    fn error_coalescing() {
+        // Write beyond the memory window: every fragment answers SLVERR,
+        // the manager sees exactly one SLVERR response.
+        let words: Vec<u64> = (0..8).collect();
+        let (mut sim, mgr, _, _) = rig(2, vec![write_op(1, 0x100, &words)]);
+        assert!(sim.run_until(20_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+        let m = sim.component::<ScriptedManager>(mgr).unwrap();
+        assert_eq!(m.completions().len(), 1);
+        assert_eq!(m.completions()[0].resp, Resp::SlvErr);
+    }
+
+    #[test]
+    #[should_panic(expected = "nominal burst size")]
+    fn zero_nominal_panics() {
+        let mut sim = Sim::new();
+        let up = AxiBundle::with_defaults(sim.pool_mut());
+        let down = AxiBundle::with_defaults(sim.pool_mut());
+        let _ = BurstEqualizer::new(
+            EqualizerConfig {
+                nominal_beats: 0,
+                max_outstanding: 8,
+            },
+            up,
+            down,
+        );
+    }
+}

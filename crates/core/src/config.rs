@@ -1,0 +1,280 @@
+//! Design-time and runtime configuration of a REALM unit.
+
+use std::error::Error;
+use std::fmt;
+
+use axi4::Addr;
+
+/// Parameters fixed when the unit is instantiated ("before FPGA or ASIC
+/// mapping" in the paper): they size hardware structures and enter the
+/// area model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DesignConfig {
+    /// Number of subordinate address regions with independent budgets.
+    pub num_regions: usize,
+    /// Maximum downstream fragments in flight per direction.
+    pub num_pending: usize,
+    /// Write-buffer capacity in beats; fragments larger than this are
+    /// forwarded cut-through (unprotected), as in the paper's sizing rule.
+    pub write_buffer_depth: usize,
+    /// Whether the granular burst splitter is instantiated. Managers that
+    /// only ever emit single-word transactions can omit it to save area.
+    pub splitter_present: bool,
+}
+
+impl DesignConfig {
+    /// The Cheshire evaluation configuration: eight pending transactions,
+    /// a sixteen-element write buffer, two address regions.
+    pub fn cheshire() -> Self {
+        Self {
+            num_regions: 2,
+            num_pending: 8,
+            write_buffer_depth: 16,
+            splitter_present: true,
+        }
+    }
+
+    /// Validates structural parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] variants describing the violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_regions == 0 {
+            return Err(ConfigError::NoRegions);
+        }
+        if self.num_pending == 0 {
+            return Err(ConfigError::NoPending);
+        }
+        if self.write_buffer_depth == 0 {
+            return Err(ConfigError::NoWriteBuffer);
+        }
+        Ok(())
+    }
+}
+
+impl Default for DesignConfig {
+    fn default() -> Self {
+        Self::cheshire()
+    }
+}
+
+/// One subordinate address region with its reservation parameters.
+///
+/// A `budget_max` of zero means the region is *unregulated*: matching
+/// traffic is monitored but never isolated — the "very large period and
+/// budget" setting of the fragmentation experiment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RegionConfig {
+    /// First address of the region.
+    pub base: Addr,
+    /// Region size in bytes (0 disables the region).
+    pub size: u64,
+    /// Transfer budget in bytes per period (0 = unregulated).
+    pub budget_max: u64,
+    /// Reservation period in cycles (0 = never replenish after depletion).
+    pub period: u64,
+}
+
+impl RegionConfig {
+    /// Returns `true` if `addr` falls inside the region.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.size > 0 && addr >= self.base && addr.raw() - self.base.raw() < self.size
+    }
+}
+
+/// Registers an OS or hypervisor programs at runtime.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RuntimeConfig {
+    /// Master enable: when `false` the unit is a transparent wire.
+    pub enabled: bool,
+    /// Splitting granularity in beats (1–256; 256 passes bursts whole).
+    pub frag_len: u16,
+    /// Enables the optional throttling unit: outstanding transactions are
+    /// scaled down as the budget drains.
+    pub throttle: bool,
+    /// User-commanded isolation: block new transactions, let outstanding
+    /// ones finish.
+    pub isolate_request: bool,
+    /// Per-region address ranges and budgets.
+    pub regions: Vec<RegionConfig>,
+}
+
+impl RuntimeConfig {
+    /// A fully open configuration: regulation enabled, no fragmentation
+    /// (256-beat granularity), no budgets.
+    pub fn open(num_regions: usize) -> Self {
+        Self {
+            enabled: true,
+            frag_len: 256,
+            throttle: false,
+            isolate_request: false,
+            regions: vec![RegionConfig::default(); num_regions],
+        }
+    }
+
+    /// Validates runtime values against the design parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::BadFragLen`] for a granularity outside 1–256,
+    /// [`ConfigError::TooManyRegions`] if more regions are configured than
+    /// the design instantiates.
+    pub fn validate(&self, design: &DesignConfig) -> Result<(), ConfigError> {
+        if self.frag_len == 0 || self.frag_len > 256 {
+            return Err(ConfigError::BadFragLen {
+                frag_len: self.frag_len,
+            });
+        }
+        if self.regions.len() > design.num_regions {
+            return Err(ConfigError::TooManyRegions {
+                configured: self.regions.len(),
+                available: design.num_regions,
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns the index of the first region containing `addr`, if any.
+    pub fn region_of(&self, addr: Addr) -> Option<usize> {
+        self.regions.iter().position(|r| r.contains(addr))
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self::open(DesignConfig::default().num_regions)
+    }
+}
+
+/// Configuration validation error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// At least one region must be instantiated.
+    NoRegions,
+    /// At least one pending transaction must be allowed.
+    NoPending,
+    /// The write buffer needs at least one beat of storage.
+    NoWriteBuffer,
+    /// Fragmentation length outside 1–256 beats.
+    BadFragLen {
+        /// The rejected value.
+        frag_len: u16,
+    },
+    /// More runtime regions than the design instantiates.
+    TooManyRegions {
+        /// Regions configured at runtime.
+        configured: usize,
+        /// Regions available in hardware.
+        available: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoRegions => f.write_str("a REALM unit needs at least one region"),
+            ConfigError::NoPending => {
+                f.write_str("a REALM unit needs at least one pending transaction")
+            }
+            ConfigError::NoWriteBuffer => {
+                f.write_str("the write buffer needs at least one beat of storage")
+            }
+            ConfigError::BadFragLen { frag_len } => {
+                write!(f, "fragmentation length {frag_len} is outside 1..=256")
+            }
+            ConfigError::TooManyRegions {
+                configured,
+                available,
+            } => write!(
+                f,
+                "{configured} regions configured but only {available} instantiated"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheshire_defaults() {
+        let d = DesignConfig::cheshire();
+        assert_eq!(d.num_regions, 2);
+        assert_eq!(d.num_pending, 8);
+        assert_eq!(d.write_buffer_depth, 16);
+        assert!(d.splitter_present);
+        assert!(d.validate().is_ok());
+        assert_eq!(DesignConfig::default(), d);
+    }
+
+    #[test]
+    fn design_validation_catches_zeros() {
+        let mut d = DesignConfig::cheshire();
+        d.num_regions = 0;
+        assert_eq!(d.validate(), Err(ConfigError::NoRegions));
+        let mut d = DesignConfig::cheshire();
+        d.num_pending = 0;
+        assert_eq!(d.validate(), Err(ConfigError::NoPending));
+        let mut d = DesignConfig::cheshire();
+        d.write_buffer_depth = 0;
+        assert_eq!(d.validate(), Err(ConfigError::NoWriteBuffer));
+    }
+
+    #[test]
+    fn runtime_validation() {
+        let d = DesignConfig::cheshire();
+        let mut r = RuntimeConfig::open(2);
+        assert!(r.validate(&d).is_ok());
+        r.frag_len = 0;
+        assert!(matches!(r.validate(&d), Err(ConfigError::BadFragLen { .. })));
+        r.frag_len = 257;
+        assert!(r.validate(&d).is_err());
+        r.frag_len = 1;
+        r.regions.push(RegionConfig::default());
+        assert!(matches!(
+            r.validate(&d),
+            Err(ConfigError::TooManyRegions { .. })
+        ));
+    }
+
+    #[test]
+    fn region_matching() {
+        let mut cfg = RuntimeConfig::open(2);
+        cfg.regions[0] = RegionConfig {
+            base: Addr::new(0x1000),
+            size: 0x1000,
+            budget_max: 4096,
+            period: 1000,
+        };
+        cfg.regions[1] = RegionConfig {
+            base: Addr::new(0x8000),
+            size: 0x100,
+            budget_max: 0,
+            period: 0,
+        };
+        assert_eq!(cfg.region_of(Addr::new(0x1800)), Some(0));
+        assert_eq!(cfg.region_of(Addr::new(0x8050)), Some(1));
+        assert_eq!(cfg.region_of(Addr::new(0x0)), None);
+        // Disabled region (size 0) matches nothing.
+        cfg.regions[0].size = 0;
+        assert_eq!(cfg.region_of(Addr::new(0x1800)), None);
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(ConfigError::BadFragLen { frag_len: 300 }
+            .to_string()
+            .contains("300"));
+        assert!(ConfigError::TooManyRegions {
+            configured: 3,
+            available: 2
+        }
+        .to_string()
+        .contains("3 regions"));
+    }
+}

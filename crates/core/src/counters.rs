@@ -1,0 +1,144 @@
+//! Hardware-style statistics counters of the monitoring unit.
+
+use std::fmt;
+
+/// Latency bookkeeping as three hardware counters: count, sum, maximum —
+/// exactly what the M&R unit's bookkeeping exposes through its registers.
+///
+/// ```
+/// use axi_realm::LatencyCounters;
+///
+/// let mut l = LatencyCounters::new();
+/// l.record(8);
+/// l.record(12);
+/// assert_eq!(l.count(), 2);
+/// assert_eq!(l.max(), 12);
+/// assert_eq!(l.mean(), Some(10.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LatencyCounters {
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LatencyCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one transaction latency.
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        self.sum += latency;
+        self.max = self.max.max(latency);
+    }
+
+    /// Completed transactions.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of latencies (the `LAT_SUM` register).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Worst-case latency observed (the `LAT_MAX` register).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Average latency, `None` before the first completion.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Clears all three counters (software-triggered reset).
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl fmt::Display for LatencyCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(f, "n={} mean={:.1} max={}", self.count, mean, self.max),
+            None => f.write_str("n=0"),
+        }
+    }
+}
+
+/// Per-region statistics, mirrored into the configuration register file.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RegionStats {
+    /// Bytes transferred since the current period started.
+    pub bytes_this_period: u64,
+    /// Bytes transferred since reset.
+    pub bytes_total: u64,
+    /// Transactions completed since reset.
+    pub txn_count: u64,
+    /// Latency counters over completed transactions.
+    pub latency: LatencyCounters,
+}
+
+impl RegionStats {
+    /// Average bandwidth over the elapsed portion of the current period, in
+    /// bytes per cycle — the trivially retrievable figure the paper
+    /// mentions.
+    pub fn bandwidth(&self, cycles_into_period: u64) -> Option<f64> {
+        (cycles_into_period > 0).then(|| self.bytes_this_period as f64 / cycles_into_period as f64)
+    }
+}
+
+/// Per-unit statistics not tied to a region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct UnitStats {
+    /// Transactions accepted at the ingress.
+    pub txns_accepted: u64,
+    /// Fragments emitted downstream (reads + writes).
+    pub fragments_emitted: u64,
+    /// Cycles spent isolated (budget depletion or user command).
+    pub isolated_cycles: u64,
+    /// Cycles a ready downstream request was stalled by backpressure —
+    /// rising values indicate congestion behind this manager.
+    pub downstream_stall_cycles: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_counters_track() {
+        let mut l = LatencyCounters::new();
+        assert_eq!(l.mean(), None);
+        assert_eq!(format!("{l}"), "n=0");
+        l.record(10);
+        l.record(20);
+        l.record(5);
+        assert_eq!(l.count(), 3);
+        assert_eq!(l.sum(), 35);
+        assert_eq!(l.max(), 20);
+        assert!(format!("{l}").contains("max=20"));
+        l.clear();
+        assert_eq!(l.count(), 0);
+        assert_eq!(l.max(), 0);
+    }
+
+    #[test]
+    fn region_bandwidth() {
+        let mut s = RegionStats::default();
+        s.bytes_this_period = 800;
+        assert_eq!(s.bandwidth(100), Some(8.0));
+        assert_eq!(s.bandwidth(0), None);
+    }
+
+    #[test]
+    fn defaults_are_zero() {
+        let u = UnitStats::default();
+        assert_eq!(u.txns_accepted, 0);
+        assert_eq!(u.isolated_cycles, 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The bus guard: TID-based exclusive ownership of the configuration space.
+
+use axi4::{Resp, TxnId};
+use axi_mem::MmioDevice;
+
+/// Value read from the guard register while the space is unclaimed, and
+/// written to release ownership.
+pub const GUARD_UNCLAIMED: u64 = u64::MAX;
+
+/// Protects a configuration device against misbehaving or malicious
+/// managers (paper §III-B).
+///
+/// After reset the space is *unclaimed*: every access except to the guard
+/// register errors. The first write to the guard register claims exclusive
+/// ownership for the writer's transaction ID — in Cheshire, CVA6 (or a
+/// hardware root of trust) claims it early in boot. The owner can *hand
+/// over* to another manager by writing that manager's TID, or release by
+/// writing [`GUARD_UNCLAIMED`].
+///
+/// ```
+/// use axi_realm::{BusGuard, GUARD_UNCLAIMED};
+/// use axi_mem::MmioDevice;
+/// use axi4::{Resp, TxnId};
+///
+/// struct Reg(u64);
+/// impl MmioDevice for Reg {
+///     fn read(&mut self, _: u64, _: TxnId) -> (u64, Resp) { (self.0, Resp::Okay) }
+///     fn write(&mut self, _: u64, d: u64, _: u8, _: TxnId) -> Resp { self.0 = d; Resp::Okay }
+/// }
+///
+/// let mut g = BusGuard::new(Reg(0));
+/// let cva6 = TxnId::new(0);
+/// let rogue = TxnId::new(7);
+/// // Unclaimed: inner space errors.
+/// assert_eq!(g.write(0x8, 1, 0xff, rogue), Resp::SlvErr);
+/// // CVA6 claims, then owns the space.
+/// assert_eq!(g.write(0x0, 0, 0xff, cva6), Resp::Okay);
+/// assert_eq!(g.write(0x8, 1, 0xff, cva6), Resp::Okay);
+/// assert_eq!(g.write(0x8, 2, 0xff, rogue), Resp::SlvErr);
+/// ```
+#[derive(Debug)]
+pub struct BusGuard<D> {
+    inner: D,
+    owner: Option<u32>,
+    guard_offset: u64,
+}
+
+impl<D: MmioDevice> BusGuard<D> {
+    /// Wraps `inner` with the guard register at offset 0.
+    pub fn new(inner: D) -> Self {
+        Self::with_guard_offset(inner, 0)
+    }
+
+    /// Wraps `inner` with the guard register at a custom offset.
+    pub fn with_guard_offset(inner: D, guard_offset: u64) -> Self {
+        Self {
+            inner,
+            owner: None,
+            guard_offset,
+        }
+    }
+
+    /// The current owner's transaction ID, if claimed.
+    pub fn owner(&self) -> Option<TxnId> {
+        self.owner.map(TxnId::new)
+    }
+
+    /// The guarded device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Mutable access to the guarded device (testbench backdoor).
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Consumes the guard, returning the device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    fn owned_by(&self, id: TxnId) -> bool {
+        self.owner == Some(id.raw())
+    }
+}
+
+impl<D: MmioDevice> MmioDevice for BusGuard<D> {
+    fn read(&mut self, offset: u64, id: TxnId) -> (u64, Resp) {
+        if offset == self.guard_offset {
+            let value = self.owner.map_or(GUARD_UNCLAIMED, u64::from);
+            return (value, Resp::Okay);
+        }
+        if self.owned_by(id) {
+            self.inner.read(offset, id)
+        } else {
+            (0, Resp::SlvErr)
+        }
+    }
+
+    fn write(&mut self, offset: u64, data: u64, strb: u8, id: TxnId) -> Resp {
+        if offset == self.guard_offset {
+            return match self.owner {
+                // Claim: first writer wins, whatever it writes.
+                None => {
+                    self.owner = Some(id.raw());
+                    Resp::Okay
+                }
+                // Handover (or release with GUARD_UNCLAIMED) by the owner.
+                Some(owner) if owner == id.raw() => {
+                    self.owner = (data != GUARD_UNCLAIMED).then_some(data as u32);
+                    Resp::Okay
+                }
+                Some(_) => Resp::SlvErr,
+            };
+        }
+        if self.owned_by(id) {
+            self.inner.write(offset, data, strb, id)
+        } else {
+            Resp::SlvErr
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Scratch(u64);
+
+    impl MmioDevice for Scratch {
+        fn read(&mut self, _offset: u64, _id: TxnId) -> (u64, Resp) {
+            (self.0, Resp::Okay)
+        }
+        fn write(&mut self, _offset: u64, data: u64, _strb: u8, _id: TxnId) -> Resp {
+            self.0 = data;
+            Resp::Okay
+        }
+    }
+
+    const A: TxnId = TxnId::new(1);
+    const B: TxnId = TxnId::new(2);
+
+    #[test]
+    fn unclaimed_space_errors_except_guard() {
+        let mut g = BusGuard::new(Scratch::default());
+        assert_eq!(g.read(0x0, A), (GUARD_UNCLAIMED, Resp::Okay));
+        assert_eq!(g.read(0x8, A).1, Resp::SlvErr);
+        assert_eq!(g.write(0x8, 5, 0xff, A), Resp::SlvErr);
+        assert_eq!(g.owner(), None);
+    }
+
+    #[test]
+    fn first_claim_wins() {
+        let mut g = BusGuard::new(Scratch::default());
+        assert_eq!(g.write(0x0, 0xdead, 0xff, A), Resp::Okay);
+        assert_eq!(g.owner(), Some(A));
+        // B cannot steal.
+        assert_eq!(g.write(0x0, u64::from(B.raw()), 0xff, B), Resp::SlvErr);
+        assert_eq!(g.owner(), Some(A));
+        // Guard register reads back the owner for everyone.
+        assert_eq!(g.read(0x0, B), (u64::from(A.raw()), Resp::Okay));
+    }
+
+    #[test]
+    fn owner_accesses_inner_others_fail() {
+        let mut g = BusGuard::new(Scratch::default());
+        g.write(0x0, 0, 0xff, A);
+        assert_eq!(g.write(0x8, 77, 0xff, A), Resp::Okay);
+        assert_eq!(g.read(0x8, A), (77, Resp::Okay));
+        assert_eq!(g.read(0x8, B).1, Resp::SlvErr);
+        assert_eq!(g.inner().0, 77);
+    }
+
+    #[test]
+    fn handover_transfers_ownership() {
+        let mut g = BusGuard::new(Scratch::default());
+        g.write(0x0, 0, 0xff, A);
+        assert_eq!(g.write(0x0, u64::from(B.raw()), 0xff, A), Resp::Okay);
+        assert_eq!(g.owner(), Some(B));
+        assert_eq!(g.write(0x8, 1, 0xff, A), Resp::SlvErr);
+        assert_eq!(g.write(0x8, 1, 0xff, B), Resp::Okay);
+    }
+
+    #[test]
+    fn release_returns_to_unclaimed() {
+        let mut g = BusGuard::new(Scratch::default());
+        g.write(0x0, 0, 0xff, A);
+        assert_eq!(g.write(0x0, GUARD_UNCLAIMED, 0xff, A), Resp::Okay);
+        assert_eq!(g.owner(), None);
+        // Now B can claim.
+        assert_eq!(g.write(0x0, 0, 0xff, B), Resp::Okay);
+        assert_eq!(g.owner(), Some(B));
+    }
+
+    #[test]
+    fn custom_guard_offset() {
+        let mut g = BusGuard::with_guard_offset(Scratch::default(), 0x100);
+        assert_eq!(g.read(0x100, A), (GUARD_UNCLAIMED, Resp::Okay));
+        assert_eq!(g.write(0x100, 0, 0xff, A), Resp::Okay);
+        assert_eq!(g.write(0x0, 9, 0xff, A), Resp::Okay);
+        assert_eq!(g.into_inner().0, 9);
+    }
+}

@@ -1,0 +1,238 @@
+//! The monitoring & regulation core: budgets, periods, isolation, and
+//! throttling decisions.
+
+use axi4::Addr;
+
+use crate::config::{RegionConfig, RuntimeConfig};
+use crate::counters::RegionStats;
+
+/// Live state of one subordinate region: its configuration mirror, the
+/// remaining budget, and its statistics.
+#[derive(Clone, Debug, Default)]
+pub struct RegionState {
+    /// The region's configured address range and reservation parameters.
+    pub config: RegionConfig,
+    /// Bytes left in the current period (meaningless when unregulated).
+    pub budget_left: u64,
+    /// Cycle the current period started.
+    pub period_start: u64,
+    /// Statistics mirrored into the register file.
+    pub stats: RegionStats,
+}
+
+impl RegionState {
+    /// `true` when the region enforces a budget at all.
+    pub fn is_regulated(&self) -> bool {
+        self.config.budget_max > 0
+    }
+
+    /// `true` when a regulated region has exhausted its budget.
+    pub fn is_depleted(&self) -> bool {
+        self.is_regulated() && self.budget_left == 0
+    }
+}
+
+/// The budget/period engine of the M&R unit.
+///
+/// Every period, each region's byte budget is replenished; data transfers
+/// charge the region containing the transaction's start address; when any
+/// regulated region runs dry the manager is isolated until the next
+/// replenishment (see the paper's Fig. 4).
+#[derive(Clone, Debug)]
+pub struct BudgetMonitor {
+    regions: Vec<RegionState>,
+}
+
+impl BudgetMonitor {
+    /// Builds the monitor from the runtime region configuration.
+    pub fn new(config: &RuntimeConfig) -> Self {
+        let regions = config
+            .regions
+            .iter()
+            .map(|&config| RegionState {
+                config,
+                budget_left: config.budget_max,
+                period_start: 0,
+                stats: RegionStats::default(),
+            })
+            .collect();
+        Self { regions }
+    }
+
+    /// Region states, indexed as configured.
+    pub fn regions(&self) -> &[RegionState] {
+        &self.regions
+    }
+
+    /// Reprograms one region's configuration; the new budget takes effect
+    /// immediately (replenish-on-write, as a hypervisor reprogram would).
+    pub fn set_region(&mut self, index: usize, config: RegionConfig, cycle: u64) {
+        let r = &mut self.regions[index];
+        r.config = config;
+        r.budget_left = config.budget_max;
+        r.period_start = cycle;
+    }
+
+    /// Returns the index of the region containing `addr`, if any.
+    pub fn region_of(&self, addr: Addr) -> Option<usize> {
+        self.regions.iter().position(|r| r.config.contains(addr))
+    }
+
+    /// Advances period counters: replenishes budgets whose period elapsed.
+    pub fn tick(&mut self, cycle: u64) {
+        for r in &mut self.regions {
+            if r.config.period > 0 && cycle >= r.period_start + r.config.period {
+                r.period_start = cycle;
+                r.budget_left = r.config.budget_max;
+                r.stats.bytes_this_period = 0;
+            }
+        }
+    }
+
+    /// Charges `bytes` of transferred data to a region; saturates at zero.
+    pub fn charge(&mut self, region: usize, bytes: u64) {
+        let r = &mut self.regions[region];
+        r.stats.bytes_this_period += bytes;
+        r.stats.bytes_total += bytes;
+        if r.is_regulated() {
+            r.budget_left = r.budget_left.saturating_sub(bytes);
+        }
+    }
+
+    /// Records a completed transaction's latency against its region.
+    pub fn record_completion(&mut self, region: usize, latency: u64) {
+        let r = &mut self.regions[region];
+        r.stats.txn_count += 1;
+        r.stats.latency.record(latency);
+    }
+
+    /// Clears every region's statistics counters (budgets and periods are
+    /// untouched) — the software-visible counter reset.
+    pub fn clear_stats(&mut self) {
+        for r in &mut self.regions {
+            r.stats = RegionStats::default();
+        }
+    }
+
+    /// `true` when any regulated region has no budget left: the manager
+    /// interface must be isolated until replenishment.
+    pub fn any_depleted(&self) -> bool {
+        self.regions.iter().any(RegionState::is_depleted)
+    }
+
+    /// The throttling unit's outstanding-transaction limit: scales
+    /// `num_pending` by the lowest remaining budget fraction across
+    /// regulated regions, never below one (backpressure is modulated
+    /// *before* the budget fully expires).
+    pub fn throttle_limit(&self, num_pending: usize) -> usize {
+        let min_fraction = self
+            .regions
+            .iter()
+            .filter(|r| r.is_regulated())
+            .map(|r| r.budget_left as f64 / r.config.budget_max as f64)
+            .fold(1.0_f64, f64::min);
+        ((num_pending as f64 * min_fraction).ceil() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+
+    fn monitor(budget: u64, period: u64) -> BudgetMonitor {
+        let mut cfg = RuntimeConfig::open(2);
+        cfg.regions[0] = RegionConfig {
+            base: Addr::new(0x1000),
+            size: 0x1000,
+            budget_max: budget,
+            period,
+        };
+        BudgetMonitor::new(&cfg)
+    }
+
+    #[test]
+    fn charge_depletes_and_period_replenishes() {
+        let mut m = monitor(100, 50);
+        assert!(!m.any_depleted());
+        m.charge(0, 60);
+        assert_eq!(m.regions()[0].budget_left, 40);
+        m.charge(0, 60); // saturates
+        assert_eq!(m.regions()[0].budget_left, 0);
+        assert!(m.any_depleted());
+
+        // Period rollover replenishes.
+        m.tick(49);
+        assert!(m.any_depleted());
+        m.tick(50);
+        assert!(!m.any_depleted());
+        assert_eq!(m.regions()[0].budget_left, 100);
+        assert_eq!(m.regions()[0].stats.bytes_this_period, 0);
+        assert_eq!(m.regions()[0].stats.bytes_total, 120);
+    }
+
+    #[test]
+    fn unregulated_region_never_depletes() {
+        let mut m = monitor(0, 0);
+        m.charge(0, 1 << 40);
+        assert!(!m.any_depleted());
+        assert!(!m.regions()[0].is_regulated());
+        assert_eq!(m.regions()[0].stats.bytes_total, 1 << 40);
+    }
+
+    #[test]
+    fn region_decode() {
+        let m = monitor(100, 50);
+        assert_eq!(m.region_of(Addr::new(0x1800)), Some(0));
+        assert_eq!(m.region_of(Addr::new(0x9999)), None);
+    }
+
+    #[test]
+    fn throttle_scales_with_remaining_budget() {
+        let mut m = monitor(100, 1000);
+        assert_eq!(m.throttle_limit(8), 8);
+        m.charge(0, 50);
+        assert_eq!(m.throttle_limit(8), 4);
+        m.charge(0, 40);
+        assert_eq!(m.throttle_limit(8), 1);
+        m.charge(0, 10);
+        assert_eq!(m.throttle_limit(8), 1, "never below one");
+    }
+
+    #[test]
+    fn throttle_without_regulated_regions_is_full() {
+        let m = monitor(0, 0);
+        assert_eq!(m.throttle_limit(8), 8);
+    }
+
+    #[test]
+    fn completion_recording() {
+        let mut m = monitor(100, 0);
+        m.record_completion(0, 12);
+        m.record_completion(0, 8);
+        let s = m.regions()[0].stats;
+        assert_eq!(s.txn_count, 2);
+        assert_eq!(s.latency.max(), 12);
+    }
+
+    #[test]
+    fn set_region_replenishes() {
+        let mut m = monitor(100, 1000);
+        m.charge(0, 100);
+        assert!(m.any_depleted());
+        let mut cfg = m.regions()[0].config;
+        cfg.budget_max = 500;
+        m.set_region(0, cfg, 42);
+        assert_eq!(m.regions()[0].budget_left, 500);
+        assert_eq!(m.regions()[0].period_start, 42);
+        assert!(!m.any_depleted());
+    }
+
+    #[test]
+    fn period_zero_never_replenishes() {
+        let mut m = monitor(10, 0);
+        m.charge(0, 10);
+        m.tick(1_000_000);
+        assert!(m.any_depleted(), "period 0 means no replenishment");
+    }
+}

@@ -1,0 +1,301 @@
+//! An MPAM-style partitioning front-end for the configuration interface.
+//!
+//! Arm's *Memory System Resource Partitioning and Monitoring* (MPAM)
+//! expresses bandwidth control as partitions (`PARTID`s) with maximum
+//! bandwidth allocations, discovered and programmed by a hypervisor. The
+//! paper notes that *"MPAM priority partitioning could be applied to
+//! AXI-REALM's flexible configuration interface"* — this module is that
+//! bridge: it translates MPAM-like bandwidth partitions into REALM region
+//! budgets and applies them through the units' shared registers, exactly
+//! as a hypervisor would through the register file.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::config::RegionConfig;
+use crate::regs::SharedRegs;
+
+/// An MPAM partition identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PartId(pub u16);
+
+impl fmt::Display for PartId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PARTID{}", self.0)
+    }
+}
+
+/// A bandwidth partition: the MPAM `MBW_MAX`-style allocation expressed in
+/// REALM terms (bytes per accounting period).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BandwidthPartition {
+    /// Maximum bytes the partition may transfer per period (0 = unlimited).
+    pub max_bytes: u64,
+    /// Accounting period in cycles.
+    pub period: u64,
+    /// Fragmentation granularity enforced for the partition's managers.
+    pub frag_len: u16,
+}
+
+impl BandwidthPartition {
+    /// An unlimited, unfragmented partition (monitoring only).
+    pub fn unlimited() -> Self {
+        Self {
+            max_bytes: 0,
+            period: 0,
+            frag_len: 256,
+        }
+    }
+}
+
+/// Partition-table errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PartitionError {
+    /// A manager was bound to a partition that does not exist.
+    UnknownPartition {
+        /// The missing ID.
+        part: PartId,
+    },
+    /// A unit index beyond the managed set was addressed.
+    UnknownUnit {
+        /// The unit index.
+        unit: usize,
+        /// Number of managed units.
+        managed: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::UnknownPartition { part } => {
+                write!(f, "{part} is not defined in the partition table")
+            }
+            PartitionError::UnknownUnit { unit, managed } => {
+                write!(f, "unit {unit} is outside the {managed} managed units")
+            }
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+/// Maps MPAM-style partitions onto a set of REALM units.
+///
+/// The table owns the policy (partition definitions, unit→partition
+/// bindings); [`PartitionTable::apply`] pushes the policy into the units'
+/// shared registers. Units pick the change up exactly as they would a
+/// register-file write — intrusive fields drain first.
+///
+/// ```
+/// use axi_realm::mpam::{BandwidthPartition, PartId, PartitionTable};
+/// use axi_realm::{shared_regs, DesignConfig, RuntimeConfig};
+/// use axi4::Addr;
+///
+/// # fn main() -> Result<(), axi_realm::mpam::PartitionError> {
+/// let regs = shared_regs(DesignConfig::cheshire(), RuntimeConfig::open(2));
+/// let mut table = PartitionTable::new(vec![regs.clone()], Addr::new(0x8000_0000), 1 << 20);
+/// table.define(PartId(3), BandwidthPartition { max_bytes: 4096, period: 1000, frag_len: 1 });
+/// table.bind(0, PartId(3))?;
+/// table.apply()?;
+/// assert_eq!(regs.borrow().runtime.regions[0].budget_max, 4096);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PartitionTable {
+    units: Vec<SharedRegs>,
+    partitions: HashMap<PartId, BandwidthPartition>,
+    bindings: HashMap<usize, PartId>,
+    region_base: axi4::Addr,
+    region_size: u64,
+}
+
+impl PartitionTable {
+    /// Creates a table managing `units`, regulating the given address
+    /// window (region 0 of each unit).
+    pub fn new(units: Vec<SharedRegs>, region_base: axi4::Addr, region_size: u64) -> Self {
+        Self {
+            units,
+            partitions: HashMap::new(),
+            bindings: HashMap::new(),
+            region_base,
+            region_size,
+        }
+    }
+
+    /// Defines (or redefines) a partition.
+    pub fn define(&mut self, part: PartId, allocation: BandwidthPartition) {
+        self.partitions.insert(part, allocation);
+    }
+
+    /// Binds a unit (by index in the managed set) to a partition.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::UnknownUnit`] or
+    /// [`PartitionError::UnknownPartition`].
+    pub fn bind(&mut self, unit: usize, part: PartId) -> Result<(), PartitionError> {
+        if unit >= self.units.len() {
+            return Err(PartitionError::UnknownUnit {
+                unit,
+                managed: self.units.len(),
+            });
+        }
+        if !self.partitions.contains_key(&part) {
+            return Err(PartitionError::UnknownPartition { part });
+        }
+        self.bindings.insert(unit, part);
+        Ok(())
+    }
+
+    /// The partition a unit is bound to, if any.
+    pub fn binding(&self, unit: usize) -> Option<PartId> {
+        self.bindings.get(&unit).copied()
+    }
+
+    /// Number of managed units.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Pushes every binding into the units' registers. Unbound units are
+    /// left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::UnknownPartition`] if a binding references a
+    /// partition that was removed after binding.
+    pub fn apply(&self) -> Result<(), PartitionError> {
+        for (&unit, &part) in &self.bindings {
+            let allocation = self
+                .partitions
+                .get(&part)
+                .ok_or(PartitionError::UnknownPartition { part })?;
+            let mut state = self.units[unit].borrow_mut();
+            state.runtime.frag_len = allocation.frag_len;
+            state.runtime.regions[0] = RegionConfig {
+                base: self.region_base,
+                size: self.region_size,
+                budget_max: allocation.max_bytes,
+                period: allocation.period,
+            };
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DesignConfig, RuntimeConfig};
+    use crate::regs::shared_regs;
+    use axi4::Addr;
+
+    fn table(n: usize) -> (PartitionTable, Vec<SharedRegs>) {
+        let regs: Vec<SharedRegs> = (0..n)
+            .map(|_| shared_regs(DesignConfig::cheshire(), RuntimeConfig::open(2)))
+            .collect();
+        (
+            PartitionTable::new(regs.clone(), Addr::new(0x8000_0000), 1 << 20),
+            regs,
+        )
+    }
+
+    #[test]
+    fn define_bind_apply() {
+        let (mut t, regs) = table(2);
+        t.define(
+            PartId(1),
+            BandwidthPartition {
+                max_bytes: 8192,
+                period: 1000,
+                frag_len: 1,
+            },
+        );
+        t.define(PartId(2), BandwidthPartition::unlimited());
+        t.bind(0, PartId(1)).unwrap();
+        t.bind(1, PartId(2)).unwrap();
+        t.apply().unwrap();
+
+        let r0 = regs[0].borrow();
+        assert_eq!(r0.runtime.regions[0].budget_max, 8192);
+        assert_eq!(r0.runtime.regions[0].period, 1000);
+        assert_eq!(r0.runtime.frag_len, 1);
+        let r1 = regs[1].borrow();
+        assert_eq!(r1.runtime.regions[0].budget_max, 0);
+        assert_eq!(r1.runtime.frag_len, 256);
+        assert_eq!(t.binding(0), Some(PartId(1)));
+        assert_eq!(t.unit_count(), 2);
+    }
+
+    #[test]
+    fn rebinding_switches_allocation() {
+        let (mut t, regs) = table(1);
+        t.define(
+            PartId(1),
+            BandwidthPartition {
+                max_bytes: 100,
+                period: 10,
+                frag_len: 4,
+            },
+        );
+        t.define(
+            PartId(2),
+            BandwidthPartition {
+                max_bytes: 999,
+                period: 99,
+                frag_len: 8,
+            },
+        );
+        t.bind(0, PartId(1)).unwrap();
+        t.apply().unwrap();
+        assert_eq!(regs[0].borrow().runtime.regions[0].budget_max, 100);
+        t.bind(0, PartId(2)).unwrap();
+        t.apply().unwrap();
+        assert_eq!(regs[0].borrow().runtime.regions[0].budget_max, 999);
+        assert_eq!(regs[0].borrow().runtime.frag_len, 8);
+    }
+
+    #[test]
+    fn binding_errors() {
+        let (mut t, _regs) = table(1);
+        assert!(matches!(
+            t.bind(0, PartId(9)),
+            Err(PartitionError::UnknownPartition { .. })
+        ));
+        t.define(PartId(9), BandwidthPartition::unlimited());
+        assert!(matches!(
+            t.bind(5, PartId(9)),
+            Err(PartitionError::UnknownUnit { .. })
+        ));
+        assert!(t.bind(0, PartId(9)).is_ok());
+    }
+
+    #[test]
+    fn unbound_units_untouched() {
+        let (mut t, regs) = table(2);
+        t.define(
+            PartId(1),
+            BandwidthPartition {
+                max_bytes: 50,
+                period: 5,
+                frag_len: 2,
+            },
+        );
+        t.bind(0, PartId(1)).unwrap();
+        t.apply().unwrap();
+        assert_eq!(regs[1].borrow().runtime.frag_len, 256, "default retained");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PartitionError::UnknownPartition { part: PartId(3) }
+            .to_string()
+            .contains("PARTID3"));
+        assert!(PartitionError::UnknownUnit { unit: 7, managed: 2 }
+            .to_string()
+            .contains("7"));
+    }
+}

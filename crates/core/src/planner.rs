@@ -1,0 +1,158 @@
+//! Budget and period selection from measured statistics.
+//!
+//! The paper's abstract promises that AXI-REALM *"tracks each manager's
+//! access and interference statistics for optimal budget and period
+//! selection"* — this module closes that loop: it turns the M&R unit's
+//! measured counters into concrete budget/period register values for a
+//! target bandwidth share, the computation an integrator (or hypervisor)
+//! performs between a profiling run and deployment.
+
+use crate::counters::RegionStats;
+
+/// Peak payload bandwidth of the simulated 64-bit bus, in bytes per cycle.
+pub const BUS_BYTES_PER_CYCLE: f64 = 8.0;
+
+/// A concrete budget/period recommendation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct BudgetAdvice {
+    /// Suggested byte budget per period.
+    pub budget: u64,
+    /// Suggested reservation period in cycles.
+    pub period: u64,
+    /// The manager's measured demand in bytes per cycle.
+    pub measured_demand: f64,
+    /// The bandwidth share the suggestion grants (of bus peak).
+    pub granted_share: f64,
+    /// `true` if the budget actually constrains the measured demand.
+    pub is_binding: bool,
+}
+
+impl BudgetAdvice {
+    /// The sustained byte rate the suggestion allows.
+    pub fn allowed_rate(&self) -> f64 {
+        self.budget as f64 / self.period as f64
+    }
+}
+
+/// Suggests a budget capping a manager at `target_share` of bus bandwidth.
+///
+/// `stats` and `elapsed_cycles` come from a profiling run (read them from
+/// the unit's registers or [`RegionStats`] directly); `period` is chosen by
+/// the caller — shorter periods bound the worst-case burst a depleted
+/// manager can still have in flight, at the cost of more frequent
+/// replenishment (the paper's Fig. 6b uses 1000 cycles).
+///
+/// # Panics
+///
+/// Panics if `target_share` is outside `(0.0, 1.0]`, or `period` or
+/// `elapsed_cycles` is zero.
+///
+/// ```
+/// use axi_realm::planner::suggest_budget;
+/// use axi_realm::RegionStats;
+///
+/// let mut stats = RegionStats::default();
+/// stats.bytes_total = 600_000; // measured over 100k cycles: 6 B/cycle
+/// let advice = suggest_budget(&stats, 100_000, 0.25, 1_000);
+/// assert_eq!(advice.budget, 2_000); // 25% of 8 B/cycle × 1000 cycles
+/// assert!(advice.is_binding);       // demand (6) exceeds the cap (2)
+/// ```
+pub fn suggest_budget(
+    stats: &RegionStats,
+    elapsed_cycles: u64,
+    target_share: f64,
+    period: u64,
+) -> BudgetAdvice {
+    assert!(
+        target_share > 0.0 && target_share <= 1.0,
+        "target share must be in (0, 1]"
+    );
+    assert!(period > 0, "period must be nonzero");
+    assert!(elapsed_cycles > 0, "profiling window must be nonzero");
+    let measured_demand = stats.bytes_total as f64 / elapsed_cycles as f64;
+    let allowed = target_share * BUS_BYTES_PER_CYCLE;
+    let budget = (allowed * period as f64).floor() as u64;
+    BudgetAdvice {
+        budget,
+        period,
+        measured_demand,
+        granted_share: target_share,
+        is_binding: measured_demand > allowed,
+    }
+}
+
+/// Splits the bus among managers proportionally to given weights, returning
+/// one advice per manager — the multi-tenant variant (weights are SLA
+/// tiers, as in the SmartNIC scenario).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, any weight is zero, or `period` is zero.
+pub fn split_by_weight(weights: &[u32], period: u64) -> Vec<BudgetAdvice> {
+    assert!(!weights.is_empty(), "need at least one manager");
+    assert!(period > 0, "period must be nonzero");
+    let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+    assert!(total > 0 && weights.iter().all(|&w| w > 0), "weights must be positive");
+    weights
+        .iter()
+        .map(|&w| {
+            let share = f64::from(w) / total as f64;
+            BudgetAdvice {
+                budget: (share * BUS_BYTES_PER_CYCLE * period as f64).floor() as u64,
+                period,
+                measured_demand: 0.0,
+                granted_share: share,
+                is_binding: false,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(bytes: u64) -> RegionStats {
+        RegionStats {
+            bytes_total: bytes,
+            ..RegionStats::default()
+        }
+    }
+
+    #[test]
+    fn caps_at_the_requested_share() {
+        let advice = suggest_budget(&stats(800_000), 100_000, 0.5, 1_000);
+        assert_eq!(advice.budget, 4_000);
+        assert!((advice.allowed_rate() - 4.0).abs() < 1e-9);
+        assert!(advice.is_binding, "8 B/cycle demand > 4 B/cycle cap");
+    }
+
+    #[test]
+    fn non_binding_when_demand_is_low() {
+        let advice = suggest_budget(&stats(10_000), 100_000, 0.5, 1_000);
+        assert!(!advice.is_binding, "0.1 B/cycle demand < 4 B/cycle cap");
+        assert!((advice.measured_demand - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_split_sums_to_the_bus() {
+        let advice = split_by_weight(&[4, 2, 1, 1], 1_000);
+        assert_eq!(advice.len(), 4);
+        let total: u64 = advice.iter().map(|a| a.budget).sum();
+        assert_eq!(total, 8_000, "the whole 8 B/cycle bus is allocated");
+        assert_eq!(advice[0].budget, 4_000);
+        assert_eq!(advice[3].budget, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "target share")]
+    fn rejects_bad_share() {
+        let _ = suggest_budget(&stats(1), 1, 1.5, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn rejects_zero_weight() {
+        let _ = split_by_weight(&[1, 0], 1_000);
+    }
+}

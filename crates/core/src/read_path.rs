@@ -1,0 +1,353 @@
+//! The read side of the REALM unit: fragment emission and response
+//! reassembly.
+
+use std::collections::{HashMap, VecDeque};
+
+use axi4::{ArBeat, FragPlan, RBeat, Resp};
+
+/// What happened when a downstream read beat was processed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RoutedRead {
+    /// The beat to forward upstream, with `last` gated to the *original*
+    /// burst boundary.
+    pub beat: RBeat,
+    /// Bytes transferred by this beat (budget charge).
+    pub bytes: u64,
+    /// Region the transaction was attributed to.
+    pub region: Option<usize>,
+    /// Set when this beat completed the original transaction: the latency
+    /// from acceptance.
+    pub completed_latency: Option<u64>,
+}
+
+#[derive(Debug)]
+struct ReadTxnState {
+    total_beats: u32,
+    beats_done: u32,
+    frags_total: usize,
+    frags_emitted: usize,
+    region: Option<usize>,
+    accepted_at: u64,
+    beat_bytes: u64,
+    resp: Resp,
+}
+
+/// Splitter + bookkeeping for the read direction.
+///
+/// Incoming `AR` bursts are decomposed per a [`FragPlan`]; fragments are
+/// emitted downstream one per cycle, bounded by the pending/throttle limit;
+/// returning `R` beats are passed through with `r.last` gated to the length
+/// of the original transaction (paper §III-A).
+#[derive(Debug)]
+pub struct ReadPath {
+    num_pending: usize,
+    frag_queue: VecDeque<ArBeat>,
+    txns: HashMap<u32, VecDeque<ReadTxnState>>,
+    pending_txns: usize,
+    outstanding_frags: usize,
+}
+
+impl ReadPath {
+    /// Creates the read path with its design-time pending limit.
+    pub fn new(num_pending: usize) -> Self {
+        Self {
+            num_pending,
+            frag_queue: VecDeque::new(),
+            txns: HashMap::new(),
+            pending_txns: 0,
+            outstanding_frags: 0,
+        }
+    }
+
+    /// `true` if a new transaction may be accepted (pending limit).
+    pub fn can_accept(&self) -> bool {
+        self.pending_txns < self.num_pending
+    }
+
+    /// Original transactions in flight.
+    pub fn pending(&self) -> usize {
+        self.pending_txns
+    }
+
+    /// Fragments emitted downstream and not yet fully answered.
+    pub fn outstanding_fragments(&self) -> usize {
+        self.outstanding_frags
+    }
+
+    /// `true` when nothing is in flight and nothing waits for emission.
+    pub fn is_drained(&self) -> bool {
+        self.pending_txns == 0 && self.frag_queue.is_empty()
+    }
+
+    /// Accepts a transaction with its fragmentation plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called when [`ReadPath::can_accept`] is `false`.
+    pub fn accept(&mut self, ar: ArBeat, plan: &FragPlan, region: Option<usize>, cycle: u64) {
+        assert!(self.can_accept(), "accept() without can_accept()");
+        for frag in plan {
+            let mut f = ar;
+            f.addr = frag.addr;
+            f.len = frag.len;
+            f.burst = frag.kind;
+            self.frag_queue.push_back(f);
+        }
+        self.txns.entry(ar.id.raw()).or_default().push_back(ReadTxnState {
+            total_beats: u32::from(ar.len.beats()),
+            beats_done: 0,
+            frags_total: plan.len(),
+            frags_emitted: 0,
+            region,
+            accepted_at: cycle,
+            beat_bytes: ar.size.bytes(),
+            resp: Resp::Okay,
+        });
+        self.pending_txns += 1;
+    }
+
+    /// The next fragment to emit downstream, if one exists and the
+    /// outstanding-fragment limit allows it.
+    pub fn peek_fragment(&self, limit: usize) -> Option<&ArBeat> {
+        if self.outstanding_frags >= limit {
+            return None;
+        }
+        self.frag_queue.front()
+    }
+
+    /// Removes and returns the fragment previously seen by
+    /// [`ReadPath::peek_fragment`], with its budget charge: the M&R unit
+    /// sits downstream of the splitter, so budgets are spent per *fragment*
+    /// as it enters the memory system. Call only after the downstream push
+    /// is known to succeed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fragment is queued.
+    pub fn emit_fragment(&mut self) -> (ArBeat, u64, Option<usize>) {
+        let frag = self
+            .frag_queue
+            .pop_front()
+            .expect("emit_fragment() without peek_fragment()");
+        let states = self
+            .txns
+            .get_mut(&frag.id.raw())
+            .expect("fragment belongs to a tracked transaction");
+        let state = states
+            .iter_mut()
+            .find(|s| s.frags_emitted < s.frags_total)
+            .expect("some transaction still has fragments to emit");
+        state.frags_emitted += 1;
+        self.outstanding_frags += 1;
+        let bytes = u64::from(frag.len.beats()) * state.beat_bytes;
+        (frag, bytes, state.region)
+    }
+
+    /// Processes one downstream `R` beat: attributes it to the oldest
+    /// incomplete transaction of its ID, gates `last`, and reports the
+    /// charge and (on the final beat) the completion latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the beat's ID has no transaction in flight — a protocol
+    /// violation by the downstream system.
+    pub fn on_response(&mut self, r: RBeat, cycle: u64) -> RoutedRead {
+        let states = self
+            .txns
+            .get_mut(&r.id.raw())
+            .expect("response for an unknown read ID");
+        let state = states.front_mut().expect("response with no read in flight");
+        state.beats_done += 1;
+        state.resp = state.resp.merge(r.resp);
+        if r.last {
+            // A downstream `last` closes one *fragment*.
+            self.outstanding_frags -= 1;
+        }
+        let txn_done = state.beats_done == state.total_beats;
+        let mut out = r;
+        out.last = txn_done;
+        let routed = RoutedRead {
+            beat: out,
+            bytes: state.beat_bytes,
+            region: state.region,
+            completed_latency: txn_done.then(|| cycle - state.accepted_at),
+        };
+        if txn_done {
+            debug_assert_eq!(state.frags_emitted, state.frags_total);
+            states.pop_front();
+            if states.is_empty() {
+                self.txns.remove(&r.id.raw());
+            }
+            self.pending_txns -= 1;
+        }
+        routed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4::{fragment_read, Addr, BurstKind, BurstLen, BurstSize, TxnId};
+
+    fn ar(id: u32, addr: u64, beats: u16) -> ArBeat {
+        ArBeat::new(
+            TxnId::new(id),
+            Addr::new(addr),
+            BurstLen::new(beats).unwrap(),
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        )
+    }
+
+    fn respond_all(path: &mut ReadPath, id: u32, frag_len: u16, total: u16, cycle: u64) -> Vec<RoutedRead> {
+        // Downstream answers each fragment with `last` on its final beat.
+        let mut out = Vec::new();
+        let mut into_frag = 0;
+        for i in 0..total {
+            into_frag += 1;
+            let frag_last = into_frag == frag_len || i == total - 1;
+            if frag_last {
+                into_frag = 0;
+            }
+            let beat = RBeat::okay(TxnId::new(id), u64::from(i), frag_last);
+            out.push(path.on_response(beat, cycle + u64::from(i)));
+        }
+        out
+    }
+
+    #[test]
+    fn passthrough_single_fragment() {
+        let mut p = ReadPath::new(8);
+        let beat = ar(1, 0x1000, 4);
+        let plan = fragment_read(&beat, 256).unwrap();
+        p.accept(beat, &plan, Some(0), 10);
+        assert_eq!(p.pending(), 1);
+        assert!(p.peek_fragment(8).is_some());
+        let (f, bytes, region) = p.emit_fragment();
+        assert_eq!(bytes, 32);
+        assert_eq!(region, Some(0));
+        assert_eq!(f.len.beats(), 4);
+        assert_eq!(p.outstanding_fragments(), 1);
+
+        let routed = respond_all(&mut p, 1, 4, 4, 20);
+        assert!(!routed[2].beat.last);
+        assert!(routed[3].beat.last);
+        assert_eq!(routed[3].completed_latency, Some(13));
+        assert!(p.is_drained());
+    }
+
+    #[test]
+    fn fragments_gate_last_to_original_boundary() {
+        let mut p = ReadPath::new(8);
+        let beat = ar(1, 0x1000, 8);
+        let plan = fragment_read(&beat, 2).unwrap();
+        p.accept(beat, &plan, None, 0);
+        // Emit all four fragments.
+        for _ in 0..4 {
+            assert!(p.peek_fragment(8).is_some());
+            p.emit_fragment();
+        }
+        assert_eq!(p.outstanding_fragments(), 4);
+        let routed = respond_all(&mut p, 1, 2, 8, 100);
+        // Downstream sent last on beats 1,3,5,7; upstream only beat 7.
+        let upstream_lasts: Vec<bool> = routed.iter().map(|r| r.beat.last).collect();
+        assert_eq!(
+            upstream_lasts,
+            [false, false, false, false, false, false, false, true]
+        );
+        assert_eq!(p.outstanding_fragments(), 0);
+        assert!(p.is_drained());
+    }
+
+    #[test]
+    fn pending_limit_blocks_accept() {
+        let mut p = ReadPath::new(2);
+        for i in 0..2 {
+            let beat = ar(i, 0x1000 + u64::from(i) * 64, 1);
+            let plan = fragment_read(&beat, 1).unwrap();
+            assert!(p.can_accept());
+            p.accept(beat, &plan, None, 0);
+        }
+        assert!(!p.can_accept());
+    }
+
+    #[test]
+    fn throttle_limit_blocks_emission() {
+        let mut p = ReadPath::new(8);
+        let beat = ar(1, 0x1000, 8);
+        let plan = fragment_read(&beat, 1).unwrap();
+        p.accept(beat, &plan, None, 0);
+        // Limit 2: only two fragments may be outstanding.
+        p.emit_fragment();
+        p.emit_fragment();
+        assert!(p.peek_fragment(2).is_none());
+        assert!(p.peek_fragment(3).is_some());
+        // A fragment completing frees a slot.
+        let r = RBeat::okay(TxnId::new(1), 0, true);
+        p.on_response(r, 1);
+        assert!(p.peek_fragment(2).is_some());
+    }
+
+    #[test]
+    fn interleaved_ids_tracked_independently() {
+        let mut p = ReadPath::new(8);
+        for id in [1u32, 2] {
+            let beat = ar(id, 0x1000 + u64::from(id) * 0x100, 2);
+            let plan = fragment_read(&beat, 1).unwrap();
+            p.accept(beat, &plan, None, 0);
+        }
+        for _ in 0..4 {
+            p.emit_fragment();
+        }
+        // Interleave responses: id1 beat, id2 beat, id1 last, id2 last.
+        let r1 = p.on_response(RBeat::okay(TxnId::new(1), 0, true), 10);
+        assert!(!r1.beat.last);
+        let r2 = p.on_response(RBeat::okay(TxnId::new(2), 0, true), 11);
+        assert!(!r2.beat.last);
+        let r3 = p.on_response(RBeat::okay(TxnId::new(1), 0, true), 12);
+        assert!(r3.beat.last);
+        let r4 = p.on_response(RBeat::okay(TxnId::new(2), 0, true), 13);
+        assert!(r4.beat.last);
+        assert!(p.is_drained());
+    }
+
+    #[test]
+    fn same_id_back_to_back_transactions() {
+        let mut p = ReadPath::new(8);
+        for _ in 0..2 {
+            let beat = ar(5, 0x1000, 2);
+            let plan = fragment_read(&beat, 1).unwrap();
+            p.accept(beat, &plan, None, 0);
+        }
+        for _ in 0..4 {
+            p.emit_fragment();
+        }
+        let lasts: Vec<bool> = (0..4)
+            .map(|i| {
+                p.on_response(RBeat::okay(TxnId::new(5), 0, true), i)
+                    .beat
+                    .last
+            })
+            .collect();
+        assert_eq!(lasts, [false, true, false, true]);
+    }
+
+    #[test]
+    fn bytes_charged_per_beat() {
+        let mut p = ReadPath::new(8);
+        let beat = ar(1, 0x1000, 2);
+        let plan = fragment_read(&beat, 256).unwrap();
+        p.accept(beat, &plan, Some(1), 0);
+        p.emit_fragment();
+        let r = p.on_response(RBeat::okay(TxnId::new(1), 0, false), 5);
+        assert_eq!(r.bytes, 8);
+        assert_eq!(r.region, Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown read ID")]
+    fn unknown_id_panics() {
+        let mut p = ReadPath::new(8);
+        let _ = p.on_response(RBeat::okay(TxnId::new(9), 0, true), 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! The REALM unit: isolation, splitting, buffering, and regulation in one
+//! component between a manager and the interconnect.
+
+use axi4::{fragment_read, fragment_write_header};
+use axi_sim::{AxiBundle, Component, TickCtx};
+
+use crate::config::{DesignConfig, RuntimeConfig};
+use crate::counters::UnitStats;
+use crate::monitor::BudgetMonitor;
+use crate::read_path::ReadPath;
+use crate::regs::{shared_regs, SharedRegs};
+use crate::write_path::WritePath;
+
+/// The real-time regulation and traffic monitoring unit (paper Fig. 2).
+///
+/// Sits between a manager's port (`upstream`) and an interconnect port
+/// (`downstream`) and applies, per cycle:
+///
+/// 1. **Isolation** — new transactions are refused while a regulated
+///    region's budget is depleted, a user isolation request is pending, or
+///    an intrusive reconfiguration is draining; outstanding transactions
+///    always complete.
+/// 2. **Granular burst splitting** — bursts are fragmented to the
+///    configured granularity (respecting AXI4 modifiability rules), and
+///    responses are re-merged: `r.last` gated, `B` coalesced.
+/// 3. **Write buffering** — a write fragment and its data are forwarded
+///    only once fully buffered, removing the W-channel DoS vector.
+/// 4. **Monitoring & regulation** — per-region byte budgets on periodic
+///    windows, bandwidth/latency/interference counters, optional
+///    outstanding-transaction throttling.
+///
+/// In-flight beats are delayed by one cycle, matching the single cycle of
+/// latency the paper reports for the RTL unit.
+#[derive(Debug)]
+pub struct RealmUnit {
+    design: DesignConfig,
+    regs: SharedRegs,
+    upstream: AxiBundle,
+    downstream: AxiBundle,
+    active: RuntimeConfig,
+    monitor: BudgetMonitor,
+    read: ReadPath,
+    write: WritePath,
+    stats: UnitStats,
+    reconfiguring: bool,
+    name: String,
+}
+
+impl RealmUnit {
+    /// Creates a unit with the given design parameters and initial runtime
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is invalid (see
+    /// [`DesignConfig::validate`] and [`RuntimeConfig::validate`]); unit
+    /// instantiation is testbench construction, where failing fast is the
+    /// useful behaviour.
+    pub fn new(
+        design: DesignConfig,
+        mut runtime: RuntimeConfig,
+        upstream: AxiBundle,
+        downstream: AxiBundle,
+    ) -> Self {
+        design.validate().expect("valid design configuration");
+        runtime
+            .regions
+            .resize_with(design.num_regions, Default::default);
+        runtime.validate(&design).expect("valid runtime configuration");
+        let monitor = BudgetMonitor::new(&runtime);
+        let regs = shared_regs(design, runtime.clone());
+        Self {
+            design,
+            regs,
+            upstream,
+            downstream,
+            active: runtime,
+            monitor,
+            read: ReadPath::new(design.num_pending),
+            write: WritePath::new(design.num_pending, design.write_buffer_depth),
+            stats: UnitStats::default(),
+            reconfiguring: false,
+            name: "realm".to_owned(),
+        }
+    }
+
+    /// The shared register cell, to be served by a
+    /// [`RealmRegFile`](crate::RealmRegFile).
+    pub fn regs(&self) -> SharedRegs {
+        self.regs.clone()
+    }
+
+    /// The manager-facing port.
+    pub fn upstream(&self) -> AxiBundle {
+        self.upstream
+    }
+
+    /// The interconnect-facing port.
+    pub fn downstream(&self) -> AxiBundle {
+        self.downstream
+    }
+
+    /// Unit-level counters.
+    pub fn stats(&self) -> UnitStats {
+        self.stats
+    }
+
+    /// Live view of the budget monitor (regions, budgets, statistics).
+    pub fn monitor(&self) -> &BudgetMonitor {
+        &self.monitor
+    }
+
+    /// The currently applied runtime configuration (intrusive fields may
+    /// lag the registers while the unit drains).
+    pub fn active_config(&self) -> &RuntimeConfig {
+        &self.active
+    }
+
+    /// `true` while the ingress refuses new transactions.
+    pub fn is_isolated(&self) -> bool {
+        self.monitor.any_depleted() || self.active.isolate_request || self.reconfiguring
+    }
+
+    /// `true` when no transactions are in flight.
+    pub fn is_drained(&self) -> bool {
+        self.read.is_drained() && self.write.is_drained()
+    }
+
+    /// Pulls configuration written through the register file: non-intrusive
+    /// fields apply immediately, intrusive ones (enable, fragmentation
+    /// length) trigger an isolate-and-drain before being adopted.
+    fn sync_config(&mut self, cycle: u64) {
+        let mut shared = self.regs.borrow_mut();
+        let target = shared.runtime.clone();
+        let clear = std::mem::take(&mut shared.clear_stats);
+        drop(shared);
+        if clear {
+            self.monitor.clear_stats();
+            self.stats = crate::counters::UnitStats::default();
+        }
+
+        self.active.throttle = target.throttle;
+        self.active.isolate_request = target.isolate_request;
+        for (i, &cfg) in target.regions.iter().enumerate() {
+            if self.monitor.regions()[i].config != cfg {
+                self.monitor.set_region(i, cfg, cycle);
+                self.active.regions[i] = cfg;
+            }
+        }
+
+        let intrusive_change =
+            target.frag_len != self.active.frag_len || target.enabled != self.active.enabled;
+        if intrusive_change {
+            self.reconfiguring = true;
+            if self.is_drained() {
+                self.active.frag_len = target.frag_len;
+                self.active.enabled = target.enabled;
+                self.reconfiguring = false;
+            }
+        }
+    }
+
+    /// Transparent-wire behaviour while regulation is disabled.
+    fn tick_bypass(&mut self, ctx: &mut TickCtx<'_>) {
+        let up = self.upstream;
+        let down = self.downstream;
+        if ctx.pool.peek(up.aw, ctx.cycle).is_some() && ctx.pool.can_push(down.aw, ctx.cycle) {
+            let beat = ctx.pool.pop(up.aw, ctx.cycle).expect("peeked beat");
+            ctx.pool.push(down.aw, ctx.cycle, beat);
+        }
+        if ctx.pool.peek(up.w, ctx.cycle).is_some() && ctx.pool.can_push(down.w, ctx.cycle) {
+            let beat = ctx.pool.pop(up.w, ctx.cycle).expect("peeked beat");
+            ctx.pool.push(down.w, ctx.cycle, beat);
+        }
+        if ctx.pool.peek(up.ar, ctx.cycle).is_some() && ctx.pool.can_push(down.ar, ctx.cycle) {
+            let beat = ctx.pool.pop(up.ar, ctx.cycle).expect("peeked beat");
+            ctx.pool.push(down.ar, ctx.cycle, beat);
+        }
+        if ctx.pool.peek(down.b, ctx.cycle).is_some() && ctx.pool.can_push(up.b, ctx.cycle) {
+            let beat = ctx.pool.pop(down.b, ctx.cycle).expect("peeked beat");
+            ctx.pool.push(up.b, ctx.cycle, beat);
+        }
+        if ctx.pool.peek(down.r, ctx.cycle).is_some() && ctx.pool.can_push(up.r, ctx.cycle) {
+            let beat = ctx.pool.pop(down.r, ctx.cycle).expect("peeked beat");
+            ctx.pool.push(up.r, ctx.cycle, beat);
+        }
+    }
+
+    fn throttle_limit(&self) -> usize {
+        if self.active.throttle {
+            self.monitor.throttle_limit(self.design.num_pending)
+        } else {
+            self.design.num_pending
+        }
+    }
+
+    fn frag_granularity(&self) -> u16 {
+        if self.design.splitter_present {
+            self.active.frag_len
+        } else {
+            256
+        }
+    }
+
+    fn tick_responses(&mut self, ctx: &mut TickCtx<'_>) {
+        // Read data downstream → upstream, with last-gating and charging.
+        if ctx.pool.peek(self.downstream.r, ctx.cycle).is_some()
+            && ctx.pool.can_push(self.upstream.r, ctx.cycle)
+        {
+            let r = ctx
+                .pool
+                .pop(self.downstream.r, ctx.cycle)
+                .expect("peeked beat");
+            let routed = self.read.on_response(r, ctx.cycle);
+            if let (Some(region), Some(latency)) = (routed.region, routed.completed_latency) {
+                self.monitor.record_completion(region, latency);
+            }
+            ctx.pool.push(self.upstream.r, ctx.cycle, routed.beat);
+        }
+        // Write responses: coalesce, forward on completion.
+        if ctx.pool.peek(self.downstream.b, ctx.cycle).is_some()
+            && ctx.pool.can_push(self.upstream.b, ctx.cycle)
+        {
+            let b = ctx
+                .pool
+                .pop(self.downstream.b, ctx.cycle)
+                .expect("peeked beat");
+            let routed = self.write.on_response(b, ctx.cycle);
+            if let (Some(region), Some(latency)) = (routed.region, routed.completed_latency) {
+                self.monitor.record_completion(region, latency);
+            }
+            if let Some(beat) = routed.beat {
+                ctx.pool.push(self.upstream.b, ctx.cycle, beat);
+            }
+        }
+    }
+
+    fn tick_intake(&mut self, ctx: &mut TickCtx<'_>) {
+        let isolated = self.is_isolated();
+        if !isolated {
+            if self.read.can_accept() {
+                if let Some(&ar) = ctx.pool.peek(self.upstream.ar, ctx.cycle) {
+                    let plan = fragment_read(&ar, self.frag_granularity())
+                        .expect("granularity validated by config");
+                    let region = self.monitor.region_of(ar.addr);
+                    ctx.pool.pop(self.upstream.ar, ctx.cycle);
+                    self.read.accept(ar, &plan, region, ctx.cycle);
+                    self.stats.txns_accepted += 1;
+                }
+            }
+            if self.write.can_accept() {
+                if let Some(&aw) = ctx.pool.peek(self.upstream.aw, ctx.cycle) {
+                    let plan = fragment_write_header(&aw, self.frag_granularity())
+                        .expect("granularity validated by config");
+                    let region = self.monitor.region_of(aw.addr);
+                    ctx.pool.pop(self.upstream.aw, ctx.cycle);
+                    self.write.accept(aw, &plan, region, ctx.cycle);
+                    self.stats.txns_accepted += 1;
+                }
+            }
+        }
+        // Write data is consumed even while isolated: it belongs to already
+        // accepted transactions, which must be allowed to complete.
+        if self.write.can_take_beat() {
+            if let Some(&w) = ctx.pool.peek(self.upstream.w, ctx.cycle) {
+                ctx.pool.pop(self.upstream.w, ctx.cycle);
+                self.write.take_beat(w);
+            }
+        }
+    }
+
+    fn tick_emission(&mut self, ctx: &mut TickCtx<'_>) {
+        let limit = self.throttle_limit();
+        // Budgets are spent per fragment as it enters the memory system
+        // (the M&R unit sits downstream of the splitter, Fig. 2); once a
+        // regulated region is dry, no further fragments leave the unit
+        // until the period replenishes — even mid-transaction.
+        let depleted = self.monitor.any_depleted();
+        // Read fragments.
+        if !depleted && self.read.peek_fragment(limit).is_some() {
+            if ctx.pool.can_push(self.downstream.ar, ctx.cycle) {
+                let (frag, bytes, region) = self.read.emit_fragment();
+                if let Some(region) = region {
+                    self.monitor.charge(region, bytes);
+                }
+                ctx.pool.push(self.downstream.ar, ctx.cycle, frag);
+                self.stats.fragments_emitted += 1;
+            } else {
+                self.stats.downstream_stall_cycles += 1;
+            }
+        }
+        // Write fragment headers.
+        if !depleted && self.write.peek_forward_aw(limit).is_some() {
+            if ctx.pool.can_push(self.downstream.aw, ctx.cycle) {
+                let (aw, charge) = self.write.forward_aw();
+                if let Some(region) = charge.region {
+                    self.monitor.charge(region, charge.bytes);
+                }
+                ctx.pool.push(self.downstream.aw, ctx.cycle, aw);
+                self.stats.fragments_emitted += 1;
+            } else {
+                self.stats.downstream_stall_cycles += 1;
+            }
+        }
+        // Write data beats of already-charged fragments always flow.
+        if self.write.peek_forward_beat().is_some()
+            && ctx.pool.can_push(self.downstream.w, ctx.cycle)
+        {
+            let (beat, _charge) = self.write.forward_beat();
+            ctx.pool.push(self.downstream.w, ctx.cycle, beat);
+        }
+    }
+
+    fn mirror_status(&mut self) {
+        let mut shared = self.regs.borrow_mut();
+        shared.status.isolated = self.is_isolated();
+        shared.status.drained = self.is_drained();
+        shared.status.stats = self.stats;
+        shared.status.regions = self
+            .monitor
+            .regions()
+            .iter()
+            .map(|r| (r.stats, r.budget_left))
+            .collect();
+    }
+}
+
+impl Component for RealmUnit {
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        self.sync_config(ctx.cycle);
+        self.monitor.tick(ctx.cycle);
+
+        if !self.active.enabled {
+            self.tick_bypass(ctx);
+            self.mirror_status();
+            return;
+        }
+
+        self.tick_responses(ctx);
+        self.tick_intake(ctx);
+        self.tick_emission(ctx);
+
+        if self.is_isolated() {
+            self.stats.isolated_cycles += 1;
+        }
+        self.mirror_status();
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}

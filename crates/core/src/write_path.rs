@@ -1,0 +1,489 @@
+//! The write side of the REALM unit: fragmentation, the write buffer, and
+//! response coalescing.
+//!
+//! The write buffer is the anti-DoS mechanism (paper §III-A): a fragment is
+//! forwarded — `AW` first, then its `W` burst — only once the data is fully
+//! contained in the buffer, so a manager that withholds data can no longer
+//! reserve the downstream W channel. Fragments larger than the buffer are
+//! forwarded *cut-through* (unprotected), which is why the paper sizes the
+//! buffer to the largest supported fragmentation.
+
+use std::collections::{HashMap, VecDeque};
+
+use axi4::{AwBeat, BBeat, FragPlan, Resp, WBeat};
+
+/// Charge information for one write beat forwarded downstream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WriteCharge {
+    /// Bytes transferred by the beat.
+    pub bytes: u64,
+    /// Region the transaction was attributed to.
+    pub region: Option<usize>,
+}
+
+/// Result of processing a downstream write response.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RoutedWrite {
+    /// The coalesced response to forward upstream, if the original
+    /// transaction just completed.
+    pub beat: Option<BBeat>,
+    /// Completion latency when `beat` is `Some`.
+    pub completed_latency: Option<u64>,
+    /// Region the transaction was attributed to.
+    pub region: Option<usize>,
+}
+
+#[derive(Debug)]
+struct FillTemplate {
+    aw: AwBeat,
+    expected: u16,
+    buffered: bool,
+    region: Option<usize>,
+}
+
+#[derive(Debug)]
+struct PendingFrag {
+    aw: AwBeat,
+    beats: VecDeque<WBeat>,
+    expected: u16,
+    filled: u16,
+    buffered: bool,
+    aw_sent: bool,
+    sent: u16,
+    region: Option<usize>,
+}
+
+#[derive(Debug)]
+struct WriteTxnState {
+    frags_total: usize,
+    frags_acked: usize,
+    resp: Resp,
+    region: Option<usize>,
+    accepted_at: u64,
+}
+
+/// Splitter + write buffer + B-coalescing for the write direction.
+#[derive(Debug)]
+pub struct WritePath {
+    num_pending: usize,
+    buffer_capacity: usize,
+    to_fill: VecDeque<FillTemplate>,
+    filling: Option<PendingFrag>,
+    /// `true` while the fragment currently receiving beats lives at the
+    /// back of `ready` (cut-through mode).
+    fill_in_ready: bool,
+    ready: VecDeque<PendingFrag>,
+    buffered_beats: usize,
+    txns: HashMap<u32, VecDeque<WriteTxnState>>,
+    pending_txns: usize,
+    outstanding_frags: usize,
+}
+
+impl WritePath {
+    /// Creates the write path with its design-time limits.
+    pub fn new(num_pending: usize, buffer_capacity: usize) -> Self {
+        Self {
+            num_pending,
+            buffer_capacity,
+            to_fill: VecDeque::new(),
+            filling: None,
+            fill_in_ready: false,
+            ready: VecDeque::new(),
+            buffered_beats: 0,
+            txns: HashMap::new(),
+            pending_txns: 0,
+            outstanding_frags: 0,
+        }
+    }
+
+    /// `true` if a new transaction may be accepted (pending limit).
+    pub fn can_accept(&self) -> bool {
+        self.pending_txns < self.num_pending
+    }
+
+    /// Original transactions in flight.
+    pub fn pending(&self) -> usize {
+        self.pending_txns
+    }
+
+    /// Fragments whose `AW` went downstream and whose `B` is outstanding.
+    pub fn outstanding_fragments(&self) -> usize {
+        self.outstanding_frags
+    }
+
+    /// `true` when nothing is buffered, filling, or awaiting responses.
+    pub fn is_drained(&self) -> bool {
+        self.pending_txns == 0
+            && self.to_fill.is_empty()
+            && self.filling.is_none()
+            && self.ready.is_empty()
+    }
+
+    /// Accepts a write transaction with its fragmentation plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called when [`WritePath::can_accept`] is `false`.
+    pub fn accept(&mut self, aw: AwBeat, plan: &FragPlan, region: Option<usize>, cycle: u64) {
+        assert!(self.can_accept(), "accept() without can_accept()");
+        for frag in plan {
+            let mut header = aw;
+            header.addr = frag.addr;
+            header.len = frag.len;
+            header.burst = frag.kind;
+            let expected = frag.len.beats();
+            self.to_fill.push_back(FillTemplate {
+                aw: header,
+                expected,
+                buffered: (expected as usize) <= self.buffer_capacity,
+                region,
+            });
+        }
+        self.txns.entry(aw.id.raw()).or_default().push_back(WriteTxnState {
+            frags_total: plan.len(),
+            frags_acked: 0,
+            resp: Resp::Okay,
+            region,
+            accepted_at: cycle,
+        });
+        self.pending_txns += 1;
+    }
+
+    /// `true` if the path can absorb one upstream `W` beat this cycle.
+    pub fn can_take_beat(&self) -> bool {
+        if self.filling.is_some() || self.fill_in_ready {
+            // A buffered fragment mid-fill still needs capacity per beat.
+            if self.filling.is_some() && self.buffered_beats >= self.buffer_capacity {
+                return false;
+            }
+            return true;
+        }
+        match self.to_fill.front() {
+            Some(t) if t.buffered => self.buffered_beats < self.buffer_capacity,
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    /// Absorbs one upstream `W` beat, rewriting `last` to the fragment
+    /// boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called when [`WritePath::can_take_beat`] is `false`.
+    pub fn take_beat(&mut self, mut beat: WBeat) {
+        assert!(self.can_take_beat(), "take_beat() without can_take_beat()");
+        // Start the next fragment if none is mid-fill.
+        if self.filling.is_none() && !self.fill_in_ready {
+            let t = self.to_fill.pop_front().expect("checked by can_take_beat");
+            let frag = PendingFrag {
+                aw: t.aw,
+                beats: VecDeque::new(),
+                expected: t.expected,
+                filled: 0,
+                buffered: t.buffered,
+                aw_sent: false,
+                sent: 0,
+                region: t.region,
+            };
+            if t.buffered {
+                self.filling = Some(frag);
+            } else {
+                self.ready.push_back(frag);
+                self.fill_in_ready = true;
+            }
+        }
+
+        let frag = if self.fill_in_ready {
+            self.ready.back_mut().expect("cut-through fragment at back")
+        } else {
+            self.filling.as_mut().expect("buffered fragment mid-fill")
+        };
+        frag.filled += 1;
+        beat.last = frag.filled == frag.expected;
+        frag.beats.push_back(beat);
+        if frag.buffered {
+            self.buffered_beats += 1;
+        }
+        if frag.filled == frag.expected {
+            if self.fill_in_ready {
+                self.fill_in_ready = false;
+            } else {
+                let done = self.filling.take().expect("buffered fragment completed");
+                self.ready.push_back(done);
+            }
+        }
+    }
+
+    /// The `AW` of the next fragment to forward, if its turn has come: the
+    /// front of the ready queue, not yet sent, within the throttle limit,
+    /// and (for buffered fragments) fully contained in the buffer.
+    pub fn peek_forward_aw(&self, limit: usize) -> Option<&AwBeat> {
+        if self.outstanding_frags >= limit {
+            return None;
+        }
+        let front = self.ready.front()?;
+        if front.aw_sent {
+            return None;
+        }
+        if front.buffered && front.filled < front.expected {
+            return None;
+        }
+        Some(&front.aw)
+    }
+
+    /// Marks the front fragment's `AW` as sent downstream and reports the
+    /// fragment's budget charge (the M&R unit spends budgets per fragment
+    /// as it enters the memory system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`WritePath::peek_forward_aw`] did not return a beat.
+    pub fn forward_aw(&mut self) -> (AwBeat, WriteCharge) {
+        let front = self.ready.front_mut().expect("forward_aw() after peek");
+        assert!(!front.aw_sent, "forward_aw() twice on one fragment");
+        front.aw_sent = true;
+        self.outstanding_frags += 1;
+        let charge = WriteCharge {
+            bytes: u64::from(front.expected) * front.aw.size.bytes(),
+            region: front.region,
+        };
+        (front.aw, charge)
+    }
+
+    /// The next data beat to forward for the front fragment, if available.
+    pub fn peek_forward_beat(&self) -> Option<&WBeat> {
+        let front = self.ready.front()?;
+        if !front.aw_sent {
+            return None;
+        }
+        front.beats.front()
+    }
+
+    /// Pops the next data beat for downstream; reports the budget charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`WritePath::peek_forward_beat`] did not return a beat.
+    pub fn forward_beat(&mut self) -> (WBeat, WriteCharge) {
+        let front = self.ready.front_mut().expect("forward_beat() after peek");
+        let beat = front.beats.pop_front().expect("peeked beat present");
+        front.sent += 1;
+        if front.buffered {
+            self.buffered_beats -= 1;
+        }
+        let charge = WriteCharge {
+            bytes: front.aw.size.bytes(),
+            region: front.region,
+        };
+        if front.sent == front.expected {
+            self.ready.pop_front();
+        }
+        (beat, charge)
+    }
+
+    /// Processes one downstream `B`: coalesces it into the oldest
+    /// incomplete transaction of its ID (worst response wins) and reports
+    /// the upstream response when the transaction completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response's ID has no write in flight.
+    pub fn on_response(&mut self, b: BBeat, cycle: u64) -> RoutedWrite {
+        self.outstanding_frags -= 1;
+        let states = self
+            .txns
+            .get_mut(&b.id.raw())
+            .expect("response for an unknown write ID");
+        let state = states.front_mut().expect("response with no write in flight");
+        state.frags_acked += 1;
+        state.resp = state.resp.merge(b.resp);
+        let region = state.region;
+        if state.frags_acked == state.frags_total {
+            let latency = cycle - state.accepted_at;
+            let resp = state.resp;
+            states.pop_front();
+            if states.is_empty() {
+                self.txns.remove(&b.id.raw());
+            }
+            self.pending_txns -= 1;
+            RoutedWrite {
+                beat: Some(BBeat::new(b.id, resp)),
+                completed_latency: Some(latency),
+                region,
+            }
+        } else {
+            RoutedWrite {
+                beat: None,
+                completed_latency: None,
+                region,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4::{fragment_write_header, Addr, BurstKind, BurstLen, BurstSize, TxnId};
+
+    fn aw(id: u32, addr: u64, beats: u16) -> AwBeat {
+        AwBeat::new(
+            TxnId::new(id),
+            Addr::new(addr),
+            BurstLen::new(beats).unwrap(),
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        )
+    }
+
+    fn accept(path: &mut WritePath, header: AwBeat, frag: u16) {
+        let plan = fragment_write_header(&header, frag).unwrap();
+        path.accept(header, &plan, Some(0), 0);
+    }
+
+    /// Buffered mode: the AW is withheld until the fragment's data is fully
+    /// in the buffer — the DoS countermeasure.
+    #[test]
+    fn buffered_fragment_holds_aw_until_full() {
+        let mut p = WritePath::new(8, 16);
+        accept(&mut p, aw(1, 0x1000, 4), 4);
+        assert!(p.peek_forward_aw(8).is_none(), "no data yet, no AW");
+        for i in 0..3 {
+            p.take_beat(WBeat::full(i, false));
+            assert!(p.peek_forward_aw(8).is_none(), "partial data, no AW");
+        }
+        p.take_beat(WBeat::full(3, true));
+        assert!(p.peek_forward_aw(8).is_some(), "fully buffered → forward");
+        let (hdr, charge) = p.forward_aw();
+        assert_eq!(hdr.len.beats(), 4);
+        assert_eq!(charge.bytes, 32);
+        assert_eq!(charge.region, Some(0));
+        // Stream the four beats.
+        for i in 0..4u64 {
+            let (beat, charge) = p.forward_beat();
+            assert_eq!(beat.data, i);
+            assert_eq!(charge.bytes, 8);
+            assert_eq!(beat.last, i == 3);
+        }
+        assert!(p.peek_forward_beat().is_none());
+    }
+
+    #[test]
+    fn fragments_rewrite_last_at_boundaries() {
+        let mut p = WritePath::new(8, 16);
+        accept(&mut p, aw(1, 0x1000, 4), 2);
+        // Upstream sends last only on the final beat; fragments get their
+        // own last.
+        for i in 0..4u64 {
+            p.take_beat(WBeat::full(i, i == 3));
+        }
+        let mut lasts = Vec::new();
+        for _ in 0..2 {
+            p.forward_aw();
+            while let Some(_) = p.peek_forward_beat() {
+                let (b, _) = p.forward_beat();
+                lasts.push(b.last);
+            }
+        }
+        assert_eq!(lasts, [false, true, false, true]);
+    }
+
+    #[test]
+    fn b_coalescing_merges_worst_response() {
+        let mut p = WritePath::new(8, 16);
+        accept(&mut p, aw(1, 0x1000, 4), 2);
+        for i in 0..4u64 {
+            p.take_beat(WBeat::full(i, i == 3));
+        }
+        p.forward_aw();
+        while p.peek_forward_beat().is_some() {
+            p.forward_beat();
+        }
+        p.forward_aw();
+        while p.peek_forward_beat().is_some() {
+            p.forward_beat();
+        }
+        assert_eq!(p.outstanding_fragments(), 2);
+        let first = p.on_response(BBeat::new(TxnId::new(1), Resp::SlvErr), 50);
+        assert!(first.beat.is_none(), "only one of two fragments acked");
+        let second = p.on_response(BBeat::okay(TxnId::new(1)), 60);
+        let b = second.beat.expect("transaction complete");
+        assert_eq!(b.resp, Resp::SlvErr, "worst response wins");
+        assert_eq!(second.completed_latency, Some(60));
+        assert!(p.is_drained());
+    }
+
+    /// Cut-through mode: fragments larger than the buffer forward the AW
+    /// immediately — the (documented) unprotected path.
+    #[test]
+    fn oversized_fragment_is_cut_through() {
+        let mut p = WritePath::new(8, 4);
+        accept(&mut p, aw(1, 0x1000, 8), 256); // fragment = 8 beats > 4 capacity
+        assert!(p.peek_forward_aw(8).is_none(), "nothing started yet");
+        p.take_beat(WBeat::full(0, false));
+        assert!(
+            p.peek_forward_aw(8).is_some(),
+            "cut-through forwards AW as data starts"
+        );
+        p.forward_aw();
+        let (b0, _) = p.forward_beat();
+        assert_eq!(b0.data, 0);
+        assert!(p.peek_forward_beat().is_none(), "waiting for more data");
+        p.take_beat(WBeat::full(1, false));
+        assert!(p.peek_forward_beat().is_some());
+    }
+
+    #[test]
+    fn capacity_backpressures_intake() {
+        let mut p = WritePath::new(8, 2);
+        accept(&mut p, aw(1, 0x1000, 2), 2); // one 2-beat buffered fragment
+        accept(&mut p, aw(1, 0x1040, 2), 2); // a second one
+        p.take_beat(WBeat::full(0, false));
+        p.take_beat(WBeat::full(1, true));
+        // Buffer full: the next fragment cannot start filling.
+        assert!(!p.can_take_beat());
+        // Draining the first fragment frees space.
+        p.forward_aw();
+        p.forward_beat();
+        assert!(p.can_take_beat());
+    }
+
+    #[test]
+    fn throttle_limit_blocks_aw() {
+        let mut p = WritePath::new(8, 16);
+        accept(&mut p, aw(1, 0x1000, 2), 1); // two 1-beat fragments
+        p.take_beat(WBeat::full(0, false));
+        p.take_beat(WBeat::full(1, true));
+        assert!(p.peek_forward_aw(1).is_some());
+        p.forward_aw();
+        p.forward_beat();
+        // One fragment outstanding; limit 1 blocks the second AW.
+        assert!(p.peek_forward_aw(1).is_none());
+        assert!(p.peek_forward_aw(2).is_some());
+        p.on_response(BBeat::okay(TxnId::new(1)), 10);
+        assert!(p.peek_forward_aw(1).is_some());
+    }
+
+    #[test]
+    fn pending_limit_blocks_accept() {
+        let mut p = WritePath::new(1, 16);
+        accept(&mut p, aw(1, 0x1000, 1), 1);
+        assert!(!p.can_accept());
+    }
+
+    #[test]
+    fn drained_accounting() {
+        let mut p = WritePath::new(8, 16);
+        assert!(p.is_drained());
+        accept(&mut p, aw(1, 0x1000, 1), 1);
+        assert!(!p.is_drained());
+        p.take_beat(WBeat::full(7, true));
+        p.forward_aw();
+        p.forward_beat();
+        assert!(!p.is_drained(), "awaiting B");
+        let done = p.on_response(BBeat::okay(TxnId::new(1)), 9);
+        assert!(done.beat.is_some());
+        assert!(p.is_drained());
+    }
+}

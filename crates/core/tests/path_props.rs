@@ -1,0 +1,212 @@
+//! Property-based tests of the REALM unit's read and write paths: beat
+//! conservation, ordering, fragment-boundary `last` flags, response
+//! coalescing, and budget-charge conservation under random parameters.
+
+use axi4::{
+    fragment_read, fragment_write_header, Addr, ArBeat, AwBeat, BBeat, BurstKind, BurstLen,
+    BurstSize, RBeat, Resp, TxnId, WBeat,
+};
+use axi_realm::{ReadPath, WritePath};
+use proptest::prelude::*;
+
+fn aw(id: u32, addr: u64, beats: u16) -> AwBeat {
+    AwBeat::new(
+        TxnId::new(id),
+        Addr::new(addr),
+        BurstLen::new(beats).expect("beats in range"),
+        BurstSize::bus64(),
+        BurstKind::Incr,
+    )
+}
+
+fn ar(id: u32, addr: u64, beats: u16) -> ArBeat {
+    ArBeat::new(
+        TxnId::new(id),
+        Addr::new(addr),
+        BurstLen::new(beats).expect("beats in range"),
+        BurstSize::bus64(),
+        BurstKind::Incr,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feeding a random burst through the write path and draining it
+    /// forwards every beat exactly once, in order, with `last` exactly at
+    /// fragment boundaries, and coalesces to one upstream B.
+    #[test]
+    fn write_path_conserves_beats(
+        beats in 1u16..=128,
+        granularity in 1u16..=256,
+        buffer_depth in 1usize..=32,
+    ) {
+        let header = aw(1, 0x1000, beats);
+        let plan = fragment_write_header(&header, granularity).expect("valid granularity");
+        let mut path = WritePath::new(8, buffer_depth);
+        path.accept(header, &plan, Some(0), 0);
+
+        let mut fed = 0u16;
+        let mut forwarded: Vec<WBeat> = Vec::new();
+        let mut aw_count = 0usize;
+        let mut charged = 0u64;
+        let mut guard = 0u32;
+        // Interleave feeding and draining so bounded buffers never stick.
+        while forwarded.len() < beats as usize {
+            guard += 1;
+            prop_assert!(guard < 10_000, "deadlock: {} of {} forwarded", forwarded.len(), beats);
+            if fed < beats && path.can_take_beat() {
+                path.take_beat(WBeat::full(u64::from(fed), fed + 1 == beats));
+                fed += 1;
+            }
+            if path.peek_forward_aw(usize::MAX >> 1).is_some() {
+                let (_, charge) = path.forward_aw();
+                charged += charge.bytes;
+                aw_count += 1;
+            }
+            if path.peek_forward_beat().is_some() {
+                forwarded.push(path.forward_beat().0);
+            }
+        }
+
+        prop_assert_eq!(aw_count, plan.len(), "one AW per fragment");
+        prop_assert_eq!(charged, u64::from(beats) * 8, "charges cover the burst");
+        // Data in order.
+        for (i, b) in forwarded.iter().enumerate() {
+            prop_assert_eq!(b.data, i as u64);
+        }
+        // `last` exactly at fragment ends.
+        let mut expected_last = vec![false; beats as usize];
+        for frag in &plan {
+            let end = frag.first_beat + frag.len.beats() - 1;
+            expected_last[end as usize] = true;
+        }
+        let got_last: Vec<bool> = forwarded.iter().map(|b| b.last).collect();
+        prop_assert_eq!(got_last, expected_last);
+
+        // All fragment Bs coalesce into exactly one upstream response.
+        let mut upstream_bs = 0;
+        for _ in 0..plan.len() {
+            if path.on_response(BBeat::okay(TxnId::new(1)), 100).beat.is_some() {
+                upstream_bs += 1;
+            }
+        }
+        prop_assert_eq!(upstream_bs, 1);
+        prop_assert!(path.is_drained());
+    }
+
+    /// A single SLVERR among the fragment responses surfaces in the
+    /// coalesced upstream response regardless of its position.
+    #[test]
+    fn write_path_coalesces_worst_response(
+        beats in 2u16..=64,
+        granularity in 1u16..=8,
+        err_at in 0usize..64,
+    ) {
+        let header = aw(1, 0x1000, beats);
+        let plan = fragment_write_header(&header, granularity).expect("valid granularity");
+        let mut path = WritePath::new(8, 256);
+        path.accept(header, &plan, None, 0);
+        for i in 0..beats {
+            path.take_beat(WBeat::full(0, i + 1 == beats));
+        }
+        for _ in 0..plan.len() {
+            path.forward_aw();
+            while path.peek_forward_beat().is_some() {
+                path.forward_beat();
+            }
+        }
+        let err_at = err_at % plan.len();
+        let mut final_resp = None;
+        for i in 0..plan.len() {
+            let resp = if i == err_at { Resp::SlvErr } else { Resp::Okay };
+            if let Some(b) = path.on_response(BBeat::new(TxnId::new(1), resp), 10).beat {
+                final_resp = Some(b.resp);
+            }
+        }
+        prop_assert_eq!(final_resp, Some(Resp::SlvErr));
+    }
+
+    /// The read path emits one fragment per plan entry and gates upstream
+    /// `last` to the original boundary no matter the granularity.
+    #[test]
+    fn read_path_gates_last(
+        beats in 1u16..=128,
+        granularity in 1u16..=256,
+    ) {
+        let beat = ar(1, 0x2000, beats);
+        let plan = fragment_read(&beat, granularity).expect("valid granularity");
+        let mut path = ReadPath::new(usize::MAX >> 1);
+        path.accept(beat, &plan, Some(0), 0);
+
+        let mut frag_lens = Vec::new();
+        while path.peek_fragment(usize::MAX >> 1).is_some() {
+            let (frag, bytes, region) = path.emit_fragment();
+            prop_assert_eq!(bytes, u64::from(frag.len.beats()) * 8);
+            prop_assert_eq!(region, Some(0));
+            frag_lens.push(frag.len.beats());
+        }
+        prop_assert_eq!(frag_lens.len(), plan.len());
+        prop_assert_eq!(frag_lens.iter().sum::<u16>(), beats);
+
+        // Downstream answers fragment by fragment; upstream last only once.
+        let mut upstream_lasts = 0;
+        let mut served = 0u16;
+        for len in frag_lens {
+            for i in 0..len {
+                let routed = path.on_response(
+                    RBeat::okay(TxnId::new(1), u64::from(served), i + 1 == len),
+                    u64::from(served),
+                );
+                served += 1;
+                if routed.beat.last {
+                    upstream_lasts += 1;
+                    prop_assert_eq!(served, beats, "last only on the final beat");
+                }
+            }
+        }
+        prop_assert_eq!(upstream_lasts, 1);
+        prop_assert!(path.is_drained());
+    }
+
+    /// Two interleaved transactions on different IDs never cross-talk: each
+    /// sees its own completion at its own boundary.
+    #[test]
+    fn read_path_isolates_ids(
+        beats_a in 1u16..=32,
+        beats_b in 1u16..=32,
+        interleave in prop::collection::vec(any::<bool>(), 64..=96),
+    ) {
+        let mut path = ReadPath::new(16);
+        let a = ar(1, 0x1000, beats_a);
+        let b = ar(2, 0x3000, beats_b);
+        let plan_a = fragment_read(&a, 1).expect("valid granularity");
+        let plan_b = fragment_read(&b, 1).expect("valid granularity");
+        path.accept(a, &plan_a, None, 0);
+        path.accept(b, &plan_b, None, 0);
+        while path.peek_fragment(usize::MAX >> 1).is_some() {
+            path.emit_fragment();
+        }
+
+        let (mut done_a, mut done_b) = (0u16, 0u16);
+        let mut pick = interleave.into_iter();
+        while done_a < beats_a || done_b < beats_b {
+            let choose_a = match (done_a < beats_a, done_b < beats_b) {
+                (true, true) => pick.next().unwrap_or(true),
+                (true, false) => true,
+                (false, true) => false,
+                (false, false) => unreachable!("loop condition"),
+            };
+            let (id, done, total) = if choose_a {
+                done_a += 1;
+                (1, done_a, beats_a)
+            } else {
+                done_b += 1;
+                (2, done_b, beats_b)
+            };
+            let routed = path.on_response(RBeat::okay(TxnId::new(id), 0, true), 0);
+            prop_assert_eq!(routed.beat.last, done == total, "id {} beat {}", id, done);
+        }
+        prop_assert!(path.is_drained());
+    }
+}

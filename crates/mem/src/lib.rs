@@ -1,0 +1,41 @@
+//! Memory subordinates for the AXI-REALM testbench.
+//!
+//! Three kinds of subordinate live here:
+//!
+//! - [`MemoryModel`]: a byte-accurate memory with configurable service
+//!   timing, used both as the scratchpad (SPM) and as the LLC port of the
+//!   Cheshire-like testbench. It serves bursts **in acceptance order, one
+//!   beat per cycle** — exactly the discipline that makes a short core
+//!   access wait behind a full 256-beat DMA burst and yields the paper's
+//!   264-cycle worst case.
+//! - [`MmioSubordinate`]: adapts any [`MmioDevice`] (e.g. the AXI-REALM
+//!   configuration register file) to an AXI port.
+//! - [`Storage`]: the sparse byte store backing them.
+//!
+//! # Example
+//!
+//! ```
+//! use axi_mem::{MemoryConfig, MemoryModel};
+//! use axi_sim::{AxiBundle, ChannelPool};
+//! use axi4::Addr;
+//!
+//! let mut pool = ChannelPool::new();
+//! let port = AxiBundle::with_defaults(&mut pool);
+//! let mem = MemoryModel::new(MemoryConfig::spm(Addr::new(0x1000_0000), 64 * 1024), port);
+//! assert_eq!(mem.reads_served(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod dram;
+mod memory;
+mod mmio;
+mod storage;
+
+pub use cache::{CacheConfig, CacheModel, CacheStats};
+pub use dram::{DramConfig, DramModel, DramStats};
+pub use memory::{MemoryConfig, MemoryModel, MissModel};
+pub use mmio::{MmioDevice, MmioSubordinate};
+pub use storage::Storage;

@@ -1,0 +1,639 @@
+//! The in-order memory model used for both the LLC port and scratchpads.
+
+use std::collections::VecDeque;
+
+use axi4::{beat_addresses, Addr, ArBeat, AwBeat, BBeat, RBeat, Resp};
+use axi_sim::{AxiBundle, Component, Cycle, TickCtx};
+
+use crate::storage::Storage;
+
+/// When the model charges its miss penalty.
+///
+/// The paper's evaluation assumes a *hot* LLC (constant service latency);
+/// [`MissModel::Never`] reproduces that. [`MissModel::EveryN`] gives a
+/// deterministic cold-access pattern for sensitivity experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MissModel {
+    /// Always hit — the paper's hot-LLC assumption.
+    #[default]
+    Never,
+    /// Every access misses (uncached DRAM behaviour).
+    Always,
+    /// Every `n`-th accepted burst misses (deterministic, 1-based).
+    EveryN(u64),
+}
+
+impl MissModel {
+    fn is_miss(self, accepted: u64) -> bool {
+        match self {
+            MissModel::Never => false,
+            MissModel::Always => true,
+            MissModel::EveryN(n) => n != 0 && accepted % n == 0,
+        }
+    }
+}
+
+/// Timing and placement parameters of a [`MemoryModel`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemoryConfig {
+    /// First bus address served by this memory.
+    pub base: Addr,
+    /// Size of the address window in bytes.
+    pub size: u64,
+    /// Cycles from a read burst reaching the head of the queue to its first
+    /// data beat.
+    pub read_latency: u64,
+    /// Cycles from the last write beat to the write response.
+    pub write_latency: u64,
+    /// How many accepted-but-unserved read bursts may queue.
+    pub ar_depth: usize,
+    /// How many accepted-but-unserved write bursts may queue.
+    pub aw_depth: usize,
+    /// Miss pattern; a miss adds [`MemoryConfig::miss_penalty`] cycles.
+    pub miss: MissModel,
+    /// Extra cycles charged on a miss.
+    pub miss_penalty: u64,
+    /// `true` models a single-ported memory: read and write bursts share
+    /// one service pipeline and serialise in arrival order — the behaviour
+    /// of an LLC port backed by single-ported SRAM, and the reason a core
+    /// access can wait behind a full DMA burst in *either* direction.
+    /// `false` gives independent read and write pipelines.
+    pub shared_port: bool,
+    /// Failure injection: every `n`-th accepted burst (1-based, 0 = never)
+    /// answers `SLVERR` instead of transferring data — for exercising
+    /// error propagation and response coalescing downstream consumers.
+    pub error_every: u64,
+}
+
+impl MemoryConfig {
+    /// A scratchpad memory: two-cycle reads, single-cycle write response,
+    /// always hits.
+    pub fn spm(base: Addr, size: u64) -> Self {
+        Self {
+            base,
+            size,
+            read_latency: 2,
+            write_latency: 1,
+            ar_depth: 8,
+            aw_depth: 8,
+            miss: MissModel::Never,
+            miss_penalty: 0,
+            shared_port: false,
+            error_every: 0,
+        }
+    }
+
+    /// The hot last-level-cache port of the Cheshire testbench.
+    ///
+    /// Calibrated so a single-beat core read, including the crossbar hops,
+    /// completes within the paper's eight-cycle single-source bound.
+    pub fn llc(base: Addr, size: u64) -> Self {
+        Self {
+            base,
+            size,
+            read_latency: 2,
+            write_latency: 1,
+            ar_depth: 16,
+            aw_depth: 16,
+            miss: MissModel::Never,
+            miss_penalty: 30,
+            shared_port: true,
+            error_every: 0,
+        }
+    }
+
+    /// Returns `true` if `addr` falls inside this memory's window.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr.raw() < self.base.raw() + self.size
+    }
+}
+
+#[derive(Debug)]
+struct ActiveRead {
+    id: axi4::TxnId,
+    addrs: Vec<Addr>,
+    next_beat: usize,
+    ready_at: Cycle,
+    resp: Resp,
+    size_bytes: u64,
+}
+
+#[derive(Debug)]
+struct ActiveWrite {
+    id: axi4::TxnId,
+    addrs: Vec<Addr>,
+    next_beat: usize,
+    resp: Resp,
+}
+
+#[derive(Debug)]
+enum Pending {
+    Read(ArBeat),
+    Write(AwBeat),
+}
+
+/// A byte-accurate, in-order AXI memory subordinate.
+///
+/// Service discipline (the property the whole evaluation rests on):
+/// accepted bursts are served strictly in arrival order, one data beat per
+/// cycle, and a burst occupies its pipeline until the last beat — so a
+/// one-beat access that arrives behind a 256-beat burst waits ~256 cycles.
+/// With [`MemoryConfig::shared_port`] set, reads and writes additionally
+/// share a single pipeline, like an LLC port backed by single-ported SRAM.
+#[derive(Debug)]
+pub struct MemoryModel {
+    cfg: MemoryConfig,
+    port: AxiBundle,
+    storage: Storage,
+    /// Accepted bursts in arrival order, reads and writes interleaved.
+    pending: VecDeque<Pending>,
+    reads_queued: usize,
+    writes_queued: usize,
+    active_read: Option<ActiveRead>,
+    active_write: Option<ActiveWrite>,
+    b_pending: VecDeque<(Cycle, BBeat)>,
+    /// Cycle the most recent burst finished service (pipeline-warm window).
+    last_service_end: Option<Cycle>,
+    bursts_accepted: u64,
+    reads_accepted: u64,
+    reads_served: u64,
+    writes_served: u64,
+    beats_served: u64,
+    name: String,
+}
+
+impl MemoryModel {
+    /// Creates a memory serving the given port.
+    pub fn new(cfg: MemoryConfig, port: AxiBundle) -> Self {
+        Self {
+            cfg,
+            port,
+            storage: Storage::new(),
+            pending: VecDeque::new(),
+            reads_queued: 0,
+            writes_queued: 0,
+            active_read: None,
+            active_write: None,
+            b_pending: VecDeque::new(),
+            last_service_end: None,
+            bursts_accepted: 0,
+            reads_accepted: 0,
+            reads_served: 0,
+            writes_served: 0,
+            beats_served: 0,
+            name: format!("mem@{}", cfg.base),
+        }
+    }
+
+    /// The configuration this memory was built with.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.cfg
+    }
+
+    /// The AXI port this memory serves.
+    pub fn port(&self) -> AxiBundle {
+        self.port
+    }
+
+    /// Direct access to the backing store (test setup and checking).
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Mutable access to the backing store (preloading test images).
+    pub fn storage_mut(&mut self) -> &mut Storage {
+        &mut self.storage
+    }
+
+    /// Completed read bursts.
+    pub fn reads_served(&self) -> u64 {
+        self.reads_served
+    }
+
+    /// Completed write bursts.
+    pub fn writes_served(&self) -> u64 {
+        self.writes_served
+    }
+
+    /// Total data beats moved in either direction.
+    pub fn beats_served(&self) -> u64 {
+        self.beats_served
+    }
+
+    /// Returns `true` when no requests are queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty()
+            && self.active_read.is_none()
+            && self.active_write.is_none()
+            && self.b_pending.is_empty()
+    }
+
+    fn resp_for(&mut self, addr: Addr) -> Resp {
+        self.bursts_accepted += 1;
+        if self.cfg.error_every > 0 && self.bursts_accepted % self.cfg.error_every == 0 {
+            return Resp::SlvErr;
+        }
+        if self.cfg.contains(addr) {
+            Resp::Okay
+        } else {
+            Resp::SlvErr
+        }
+    }
+
+    /// Accepts address beats into the unified arrival-order queue.
+    fn tick_intake(&mut self, ctx: &mut TickCtx<'_>) {
+        if self.reads_queued < self.cfg.ar_depth {
+            if let Some(ar) = ctx.pool.pop(self.port.ar, ctx.cycle) {
+                self.pending.push_back(Pending::Read(ar));
+                self.reads_queued += 1;
+            }
+        }
+        if self.writes_queued < self.cfg.aw_depth {
+            if let Some(aw) = ctx.pool.pop(self.port.aw, ctx.cycle) {
+                self.pending.push_back(Pending::Write(aw));
+                self.writes_queued += 1;
+            }
+        }
+    }
+
+    fn activate_read(&mut self, ar: ArBeat, cycle: Cycle) {
+        self.reads_accepted += 1;
+        self.reads_queued -= 1;
+        let penalty = if self.cfg.miss.is_miss(self.reads_accepted) {
+            self.cfg.miss_penalty
+        } else {
+            0
+        };
+        // Pipelined service: a burst promoted while the pipeline is still
+        // warm (the previous burst finished within a cycle) streams its
+        // first beat immediately; only a cold pipeline pays the full
+        // access latency. This gives back-to-back single-beat bursts the
+        // one-per-cycle throughput of real pipelined SRAM.
+        let warm = self
+            .last_service_end
+            .is_some_and(|end| cycle <= end + 1);
+        let latency = if warm { 1 } else { self.cfg.read_latency };
+        self.active_read = Some(ActiveRead {
+            id: ar.id,
+            addrs: beat_addresses(ar.burst, ar.addr, ar.len, ar.size).collect(),
+            next_beat: 0,
+            ready_at: cycle + latency + penalty,
+            resp: self.resp_for(ar.addr),
+            size_bytes: ar.size.bytes(),
+        });
+    }
+
+    fn activate_write(&mut self, aw: AwBeat) {
+        self.writes_queued -= 1;
+        self.active_write = Some(ActiveWrite {
+            id: aw.id,
+            addrs: beat_addresses(aw.burst, aw.addr, aw.len, aw.size).collect(),
+            next_beat: 0,
+            resp: self.resp_for(aw.addr),
+        });
+    }
+
+    /// Promotes queued bursts to the service engines.
+    ///
+    /// Shared-port mode (the LLC): one burst at a time, strictly in arrival
+    /// order — a read behind a queued write burst waits for it and vice
+    /// versa. Split mode: the oldest read and the oldest write proceed
+    /// independently.
+    fn tick_promote(&mut self, ctx: &TickCtx<'_>) {
+        if self.cfg.shared_port {
+            if self.active_read.is_none() && self.active_write.is_none() {
+                match self.pending.pop_front() {
+                    Some(Pending::Read(ar)) => self.activate_read(ar, ctx.cycle),
+                    Some(Pending::Write(aw)) => self.activate_write(aw),
+                    None => {}
+                }
+            }
+        } else {
+            if self.active_read.is_none() {
+                if let Some(pos) = self
+                    .pending
+                    .iter()
+                    .position(|p| matches!(p, Pending::Read(_)))
+                {
+                    let Some(Pending::Read(ar)) = self.pending.remove(pos) else {
+                        unreachable!("position() found a read")
+                    };
+                    self.activate_read(ar, ctx.cycle);
+                }
+            }
+            if self.active_write.is_none() {
+                if let Some(pos) = self
+                    .pending
+                    .iter()
+                    .position(|p| matches!(p, Pending::Write(_)))
+                {
+                    let Some(Pending::Write(aw)) = self.pending.remove(pos) else {
+                        unreachable!("position() found a write")
+                    };
+                    self.activate_write(aw);
+                }
+            }
+        }
+    }
+
+    fn tick_read(&mut self, ctx: &mut TickCtx<'_>) {
+        // Emit one data beat per cycle.
+        if let Some(active) = &mut self.active_read {
+            if ctx.cycle >= active.ready_at && ctx.pool.can_push(self.port.r, ctx.cycle) {
+                let addr = active.addrs[active.next_beat];
+                let data = if active.resp == Resp::Okay {
+                    // Sub-word beats read the containing word; lanes carry it.
+                    let _ = active.size_bytes;
+                    self.storage.read_word(addr)
+                } else {
+                    0
+                };
+                let last = active.next_beat + 1 == active.addrs.len();
+                ctx.pool
+                    .push(self.port.r, ctx.cycle, RBeat::new(active.id, data, active.resp, last));
+                active.next_beat += 1;
+                self.beats_served += 1;
+                if last {
+                    self.reads_served += 1;
+                    self.active_read = None;
+                    self.last_service_end = Some(ctx.cycle);
+                }
+            }
+        }
+    }
+
+    fn tick_write(&mut self, ctx: &mut TickCtx<'_>) {
+        if let Some(active) = &mut self.active_write {
+            if let Some(w) = ctx.pool.pop(self.port.w, ctx.cycle) {
+                let addr = active.addrs[active.next_beat.min(active.addrs.len() - 1)];
+                if active.resp == Resp::Okay {
+                    self.storage.write_word(addr, w.data, w.strb);
+                }
+                active.next_beat += 1;
+                self.beats_served += 1;
+                if w.last {
+                    // A well-formed burst ends exactly at the header length;
+                    // a short or long W stream is a protocol error response.
+                    if active.next_beat != active.addrs.len() {
+                        active.resp = active.resp.merge(Resp::SlvErr);
+                    }
+                    let ready = ctx.cycle + self.cfg.write_latency;
+                    self.b_pending
+                        .push_back((ready, BBeat::new(active.id, active.resp)));
+                    self.writes_served += 1;
+                    self.active_write = None;
+                    self.last_service_end = Some(ctx.cycle);
+                }
+            }
+        }
+        // Issue one write response per cycle when due.
+        if let Some((ready, _)) = self.b_pending.front() {
+            if ctx.cycle >= *ready && ctx.pool.can_push(self.port.b, ctx.cycle) {
+                let (_, beat) = self.b_pending.pop_front().expect("front checked above");
+                ctx.pool.push(self.port.b, ctx.cycle, beat);
+            }
+        }
+    }
+}
+
+impl Component for MemoryModel {
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        self.tick_intake(ctx);
+        self.tick_read(ctx);
+        self.tick_write(ctx);
+        // Promoting after serving lets the next queued burst start in the
+        // same cycle its predecessor retired (pipelined back-to-back
+        // service).
+        self.tick_promote(ctx);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4::{BurstKind, BurstLen, BurstSize, TxnId, WBeat};
+    use axi_sim::Sim;
+
+    fn setup(cfg: MemoryConfig) -> (Sim, AxiBundle, axi_sim::ComponentId) {
+        let mut sim = Sim::new();
+        let port = AxiBundle::new(sim.pool_mut(), axi_sim::BundleCapacity::uniform(4));
+        let id = sim.add(MemoryModel::new(cfg, port));
+        (sim, port, id)
+    }
+
+    fn ar(id: u32, addr: u64, beats: u16) -> ArBeat {
+        ArBeat::new(
+            TxnId::new(id),
+            Addr::new(addr),
+            BurstLen::new(beats).unwrap(),
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        )
+    }
+
+    fn aw(id: u32, addr: u64, beats: u16) -> AwBeat {
+        AwBeat::new(
+            TxnId::new(id),
+            Addr::new(addr),
+            BurstLen::new(beats).unwrap(),
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        )
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let (mut sim, port, mem) = setup(MemoryConfig::spm(Addr::new(0x1000), 0x1000));
+        sim.pool_mut().push(port.aw, 0, aw(1, 0x1100, 2));
+        sim.step();
+        sim.pool_mut().push(port.w, 1, WBeat::full(0xaaaa, false));
+        sim.step();
+        sim.pool_mut().push(port.w, 2, WBeat::full(0xbbbb, true));
+        // Wait for the B response.
+        let got_b = sim.run_until(50, |s| s.pool().peek(port.b, s.cycle()).is_some());
+        assert!(got_b);
+        let c = sim.cycle();
+        let b = sim.pool_mut().pop(port.b, c).unwrap();
+        assert_eq!(b.resp, Resp::Okay);
+        assert_eq!(b.id, TxnId::new(1));
+
+        // Read both words back.
+        let c = sim.cycle();
+        sim.pool_mut().push(port.ar, c, ar(2, 0x1100, 2));
+        let mut data = Vec::new();
+        for _ in 0..50 {
+            sim.step();
+            let c = sim.cycle();
+            if let Some(r) = sim.pool_mut().pop(port.r, c) {
+                assert_eq!(r.resp, Resp::Okay);
+                data.push(r.data);
+                if r.last {
+                    break;
+                }
+            }
+        }
+        assert_eq!(data, [0xaaaa, 0xbbbb]);
+        let model = sim.component::<MemoryModel>(mem).unwrap();
+        assert_eq!(model.reads_served(), 1);
+        assert_eq!(model.writes_served(), 1);
+        assert_eq!(model.beats_served(), 4);
+        assert!(model.is_idle());
+    }
+
+    #[test]
+    fn reads_served_in_order_one_beat_per_cycle() {
+        let (mut sim, port, _) = setup(MemoryConfig::spm(Addr::new(0), 0x10000));
+        // Long burst first, short access second.
+        sim.pool_mut().push(port.ar, 0, ar(1, 0x0, 16));
+        sim.step();
+        let c = sim.cycle();
+        sim.pool_mut().push(port.ar, c, ar(2, 0x100, 1));
+        let mut completions = Vec::new();
+        for _ in 0..100 {
+            sim.step();
+            let c = sim.cycle();
+            if let Some(r) = sim.pool_mut().pop(port.r, c) {
+                if r.last {
+                    completions.push((r.id, sim.cycle()));
+                }
+            }
+        }
+        assert_eq!(completions.len(), 2);
+        assert_eq!(completions[0].0, TxnId::new(1));
+        assert_eq!(completions[1].0, TxnId::new(2));
+        // The short read finished at least 16 cycles after the long one
+        // started — it waited for the whole burst.
+        assert!(completions[1].1 > completions[0].1);
+    }
+
+    #[test]
+    fn out_of_range_read_is_slverr() {
+        let (mut sim, port, _) = setup(MemoryConfig::spm(Addr::new(0x1000), 0x100));
+        sim.pool_mut().push(port.ar, 0, ar(1, 0x9000, 1));
+        let got = sim.run_until(50, |s| s.pool().peek(port.r, s.cycle()).is_some());
+        assert!(got);
+        let c = sim.cycle();
+        let r = sim.pool_mut().pop(port.r, c).unwrap();
+        assert_eq!(r.resp, Resp::SlvErr);
+        assert_eq!(r.data, 0);
+        assert!(r.last);
+    }
+
+    #[test]
+    fn short_w_stream_yields_slverr() {
+        let (mut sim, port, _) = setup(MemoryConfig::spm(Addr::new(0), 0x1000));
+        sim.pool_mut().push(port.aw, 0, aw(1, 0x0, 4));
+        sim.step();
+        // Terminate after two beats instead of four.
+        let c = sim.cycle();
+        sim.pool_mut().push(port.w, c, WBeat::full(1, false));
+        sim.step();
+        let c = sim.cycle();
+        sim.pool_mut().push(port.w, c, WBeat::full(2, true));
+        let got = sim.run_until(50, |s| s.pool().peek(port.b, s.cycle()).is_some());
+        assert!(got);
+        let c = sim.cycle();
+        assert_eq!(sim.pool_mut().pop(port.b, c).unwrap().resp, Resp::SlvErr);
+    }
+
+    #[test]
+    fn miss_model_adds_latency() {
+        let mut hit_cfg = MemoryConfig::spm(Addr::new(0), 0x1000);
+        hit_cfg.miss = MissModel::Never;
+        let mut miss_cfg = hit_cfg;
+        miss_cfg.miss = MissModel::Always;
+        miss_cfg.miss_penalty = 20;
+
+        let latency = |cfg: MemoryConfig| {
+            let (mut sim, port, _) = setup(cfg);
+            sim.pool_mut().push(port.ar, 0, ar(1, 0x0, 1));
+            sim.run_until(100, |s| s.pool().peek(port.r, s.cycle()).is_some());
+            sim.cycle()
+        };
+        let hit = latency(hit_cfg);
+        let miss = latency(miss_cfg);
+        assert_eq!(miss - hit, 20);
+    }
+
+    #[test]
+    fn every_n_miss_pattern() {
+        assert!(!MissModel::Never.is_miss(5));
+        assert!(MissModel::Always.is_miss(5));
+        assert!(MissModel::EveryN(3).is_miss(3));
+        assert!(MissModel::EveryN(3).is_miss(6));
+        assert!(!MissModel::EveryN(3).is_miss(4));
+        assert!(!MissModel::EveryN(0).is_miss(4));
+    }
+
+    #[test]
+    fn config_contains() {
+        let cfg = MemoryConfig::llc(Addr::new(0x8000_0000), 0x1000);
+        assert!(cfg.contains(Addr::new(0x8000_0000)));
+        assert!(cfg.contains(Addr::new(0x8000_0fff)));
+        assert!(!cfg.contains(Addr::new(0x8000_1000)));
+        assert!(!cfg.contains(Addr::new(0x7fff_ffff)));
+    }
+
+    #[test]
+    fn error_injection_every_n() {
+        let mut cfg = MemoryConfig::spm(Addr::new(0), 0x10000);
+        cfg.error_every = 3;
+        let (mut sim, port, _) = setup(cfg);
+        let mut resps = Vec::new();
+        for i in 0..6u32 {
+            let c = sim.cycle();
+            sim.pool_mut().push(port.ar, c, ar(i, u64::from(i) * 0x40, 1));
+            assert!(sim.run_until(100, |s| s.pool().peek(port.r, s.cycle()).is_some()));
+            let c = sim.cycle();
+            resps.push(sim.pool_mut().pop(port.r, c).unwrap().resp);
+        }
+        assert_eq!(
+            resps,
+            [Resp::Okay, Resp::Okay, Resp::SlvErr, Resp::Okay, Resp::Okay, Resp::SlvErr]
+        );
+    }
+
+    #[test]
+    fn narrow_write_burst_assembles_bytes() {
+        use axi4::{lane_mask, WBeat};
+        let (mut sim, port, mem) = setup(MemoryConfig::spm(Addr::new(0), 0x1000));
+        // A 4-beat byte-granular burst writing 0x44, 0x33, 0x22, 0x11 to
+        // consecutive addresses 0x20..0x24.
+        let aw = AwBeat::new(
+            TxnId::new(1),
+            Addr::new(0x20),
+            BurstLen::new(4).unwrap(),
+            axi4::BurstSize::new(0).unwrap(),
+            BurstKind::Incr,
+        );
+        sim.pool_mut().push(port.aw, 0, aw);
+        for (i, byte) in [0x44u64, 0x33, 0x22, 0x11].into_iter().enumerate() {
+            sim.step();
+            let c = sim.cycle();
+            let addr = Addr::new(0x20 + i as u64);
+            let beat = WBeat::narrow(addr, axi4::BurstSize::new(0).unwrap(), byte, i == 3);
+            assert_eq!(beat.strb, lane_mask(addr, axi4::BurstSize::new(0).unwrap()));
+            sim.pool_mut().push(port.w, c, beat);
+        }
+        assert!(sim.run_until(50, |s| s.pool().peek(port.b, s.cycle()).is_some()));
+        let m = sim.component::<MemoryModel>(mem).unwrap();
+        assert_eq!(m.storage().read_word(Addr::new(0x20)), 0x1122_3344);
+    }
+
+    #[test]
+    fn storage_preload_is_readable() {
+        let (mut sim, port, mem) = setup(MemoryConfig::spm(Addr::new(0), 0x1000));
+        sim.component_mut::<MemoryModel>(mem)
+            .unwrap()
+            .storage_mut()
+            .write_word(Addr::new(0x20), 0xfeed, 0xff);
+        sim.pool_mut().push(port.ar, 0, ar(1, 0x20, 1));
+        sim.run_until(50, |s| s.pool().peek(port.r, s.cycle()).is_some());
+        let c = sim.cycle();
+        assert_eq!(sim.pool_mut().pop(port.r, c).unwrap().data, 0xfeed);
+    }
+}

@@ -1,0 +1,316 @@
+//! Memory-mapped I/O adapter: exposes a register-style device on an AXI
+//! port.
+
+use std::collections::VecDeque;
+
+use axi4::{beat_addresses, Addr, BBeat, RBeat, Resp, TxnId};
+use axi_sim::{AxiBundle, Component, Cycle, TickCtx};
+
+/// A word-addressed register device behind an [`MmioSubordinate`].
+///
+/// Offsets are byte offsets from the device base, always 8-byte aligned by
+/// the adapter. The transaction ID is passed through because AXI-REALM's
+/// *bus guard* grants or refuses configuration access per manager TID.
+pub trait MmioDevice {
+    /// Reads the word at `offset`; returns the data and a response code.
+    fn read(&mut self, offset: u64, id: TxnId) -> (u64, Resp);
+
+    /// Writes byte lanes of the word at `offset` (bit *i* of `strb` set
+    /// means lane *i* of `data` is written); returns a response code.
+    fn write(&mut self, offset: u64, data: u64, strb: u8, id: TxnId) -> Resp;
+}
+
+#[derive(Debug)]
+struct ActiveAccess {
+    id: TxnId,
+    offsets: Vec<u64>,
+    next: usize,
+    resp: Resp,
+}
+
+/// Adapts an [`MmioDevice`] to an AXI subordinate port.
+///
+/// Serves one beat per cycle with a one-cycle access latency, in acceptance
+/// order; reads and writes are handled independently like the other
+/// subordinates.
+#[derive(Debug)]
+pub struct MmioSubordinate<D> {
+    device: D,
+    base: Addr,
+    size: u64,
+    port: AxiBundle,
+    active_read: Option<ActiveAccess>,
+    active_write: Option<ActiveAccess>,
+    b_pending: VecDeque<(Cycle, BBeat)>,
+    accesses: u64,
+}
+
+impl<D: MmioDevice> MmioSubordinate<D> {
+    /// Creates an adapter serving `device` over `[base, base + size)`.
+    pub fn new(device: D, base: Addr, size: u64, port: AxiBundle) -> Self {
+        Self {
+            device,
+            base,
+            size,
+            port,
+            active_read: None,
+            active_write: None,
+            b_pending: VecDeque::new(),
+            accesses: 0,
+        }
+    }
+
+    /// The wrapped device.
+    pub fn device(&self) -> &D {
+        &self.device
+    }
+
+    /// Mutable access to the wrapped device.
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.device
+    }
+
+    /// The AXI port this adapter serves.
+    pub fn port(&self) -> AxiBundle {
+        self.port
+    }
+
+    /// Total beats served in either direction.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    fn offset_of(&self, addr: Addr) -> Option<u64> {
+        (addr >= self.base && addr.raw() < self.base.raw() + self.size)
+            .then(|| addr.align_down(8).raw() - self.base.raw())
+    }
+}
+
+impl<D: MmioDevice + 'static> Component for MmioSubordinate<D> {
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        // Reads.
+        if self.active_read.is_none() {
+            if let Some(ar) = ctx.pool.pop(self.port.ar, ctx.cycle) {
+                self.active_read = Some(ActiveAccess {
+                    id: ar.id,
+                    offsets: beat_addresses(ar.burst, ar.addr, ar.len, ar.size)
+                        .map(|a| self.offset_of(a).unwrap_or(u64::MAX))
+                        .collect(),
+                    next: 0,
+                    resp: Resp::Okay,
+                });
+            }
+        }
+        if let Some(active) = &mut self.active_read {
+            if ctx.pool.can_push(self.port.r, ctx.cycle) {
+                let offset = active.offsets[active.next];
+                let (data, resp) = if offset == u64::MAX {
+                    (0, Resp::SlvErr)
+                } else {
+                    self.device.read(offset, active.id)
+                };
+                let last = active.next + 1 == active.offsets.len();
+                ctx.pool
+                    .push(self.port.r, ctx.cycle, RBeat::new(active.id, data, resp, last));
+                active.next += 1;
+                self.accesses += 1;
+                if last {
+                    self.active_read = None;
+                }
+            }
+        }
+
+        // Writes.
+        if self.active_write.is_none() {
+            if let Some(aw) = ctx.pool.pop(self.port.aw, ctx.cycle) {
+                self.active_write = Some(ActiveAccess {
+                    id: aw.id,
+                    offsets: beat_addresses(aw.burst, aw.addr, aw.len, aw.size)
+                        .map(|a| self.offset_of(a).unwrap_or(u64::MAX))
+                        .collect(),
+                    next: 0,
+                    resp: Resp::Okay,
+                });
+            }
+        }
+        if let Some(active) = &mut self.active_write {
+            if let Some(w) = ctx.pool.pop(self.port.w, ctx.cycle) {
+                let offset = active.offsets[active.next.min(active.offsets.len() - 1)];
+                let resp = if offset == u64::MAX {
+                    Resp::SlvErr
+                } else {
+                    self.device.write(offset, w.data, w.strb, active.id)
+                };
+                active.resp = active.resp.merge(resp);
+                active.next += 1;
+                self.accesses += 1;
+                if w.last {
+                    if active.next != active.offsets.len() {
+                        active.resp = active.resp.merge(Resp::SlvErr);
+                    }
+                    self.b_pending
+                        .push_back((ctx.cycle + 1, BBeat::new(active.id, active.resp)));
+                    self.active_write = None;
+                }
+            }
+        }
+        if let Some((ready, _)) = self.b_pending.front() {
+            if ctx.cycle >= *ready && ctx.pool.can_push(self.port.b, ctx.cycle) {
+                let (_, beat) = self.b_pending.pop_front().expect("front checked above");
+                ctx.pool.push(self.port.b, ctx.cycle, beat);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "mmio"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4::{ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, WBeat};
+    use axi_sim::Sim;
+
+    /// A trivial device: four 64-bit scratch registers, errors elsewhere.
+    #[derive(Debug, Default)]
+    struct Scratch {
+        regs: [u64; 4],
+        last_writer: Option<TxnId>,
+    }
+
+    impl MmioDevice for Scratch {
+        fn read(&mut self, offset: u64, _id: TxnId) -> (u64, Resp) {
+            match self.regs.get((offset / 8) as usize) {
+                Some(&v) => (v, Resp::Okay),
+                None => (0, Resp::SlvErr),
+            }
+        }
+
+        fn write(&mut self, offset: u64, data: u64, strb: u8, id: TxnId) -> Resp {
+            if strb != 0xff {
+                return Resp::SlvErr;
+            }
+            match self.regs.get_mut((offset / 8) as usize) {
+                Some(slot) => {
+                    *slot = data;
+                    self.last_writer = Some(id);
+                    Resp::Okay
+                }
+                None => Resp::SlvErr,
+            }
+        }
+    }
+
+    fn setup() -> (Sim, AxiBundle, axi_sim::ComponentId) {
+        let mut sim = Sim::new();
+        let port = AxiBundle::with_defaults(sim.pool_mut());
+        let id = sim.add(MmioSubordinate::new(
+            Scratch::default(),
+            Addr::new(0x4000),
+            0x40,
+            port,
+        ));
+        (sim, port, id)
+    }
+
+    fn single_write(sim: &mut Sim, port: AxiBundle, id: u32, addr: u64, data: u64) -> Resp {
+        let c = sim.cycle();
+        sim.pool_mut().push(
+            port.aw,
+            c,
+            AwBeat::new(
+                TxnId::new(id),
+                Addr::new(addr),
+                BurstLen::ONE,
+                BurstSize::bus64(),
+                BurstKind::Incr,
+            ),
+        );
+        sim.step();
+        let c = sim.cycle();
+        sim.pool_mut().push(port.w, c, WBeat::full(data, true));
+        assert!(sim.run_until(50, |s| s.pool().peek(port.b, s.cycle()).is_some()));
+        let c = sim.cycle();
+        sim.pool_mut().pop(port.b, c).unwrap().resp
+    }
+
+    fn single_read(sim: &mut Sim, port: AxiBundle, id: u32, addr: u64) -> (u64, Resp) {
+        let c = sim.cycle();
+        sim.pool_mut().push(
+            port.ar,
+            c,
+            ArBeat::new(
+                TxnId::new(id),
+                Addr::new(addr),
+                BurstLen::ONE,
+                BurstSize::bus64(),
+                BurstKind::Incr,
+            ),
+        );
+        assert!(sim.run_until(50, |s| s.pool().peek(port.r, s.cycle()).is_some()));
+        let c = sim.cycle();
+        let r = sim.pool_mut().pop(port.r, c).unwrap();
+        (r.data, r.resp)
+    }
+
+    #[test]
+    fn register_write_read_roundtrip() {
+        let (mut sim, port, dev) = setup();
+        assert_eq!(single_write(&mut sim, port, 7, 0x4008, 0xcafe), Resp::Okay);
+        assert_eq!(single_read(&mut sim, port, 7, 0x4008), (0xcafe, Resp::Okay));
+        let adapter = sim
+            .component::<MmioSubordinate<Scratch>>(dev)
+            .unwrap();
+        assert_eq!(adapter.device().last_writer, Some(TxnId::new(7)));
+        assert_eq!(adapter.accesses(), 2);
+    }
+
+    #[test]
+    fn out_of_window_access_errors() {
+        let (mut sim, port, _) = setup();
+        let (_, resp) = single_read(&mut sim, port, 1, 0x9000);
+        assert_eq!(resp, Resp::SlvErr);
+        assert_eq!(single_write(&mut sim, port, 1, 0x9000, 1), Resp::SlvErr);
+    }
+
+    #[test]
+    fn device_error_propagates() {
+        let (mut sim, port, _) = setup();
+        // Offset 0x20 is inside the window but beyond the four registers.
+        let (_, resp) = single_read(&mut sim, port, 1, 0x4020);
+        assert_eq!(resp, Resp::SlvErr);
+    }
+
+    #[test]
+    fn burst_read_iterates_registers() {
+        let (mut sim, port, _) = setup();
+        single_write(&mut sim, port, 1, 0x4000, 11);
+        single_write(&mut sim, port, 1, 0x4008, 22);
+        let c = sim.cycle();
+        sim.pool_mut().push(
+            port.ar,
+            c,
+            ArBeat::new(
+                TxnId::new(2),
+                Addr::new(0x4000),
+                BurstLen::new(2).unwrap(),
+                BurstSize::bus64(),
+                BurstKind::Incr,
+            ),
+        );
+        let mut data = Vec::new();
+        for _ in 0..50 {
+            sim.step();
+            let c = sim.cycle();
+            if let Some(r) = sim.pool_mut().pop(port.r, c) {
+                data.push(r.data);
+                if r.last {
+                    break;
+                }
+            }
+        }
+        assert_eq!(data, [11, 22]);
+    }
+}

@@ -1,0 +1,77 @@
+//! The component trait every simulated block implements.
+
+use std::any::Any;
+
+use crate::pool::ChannelPool;
+use crate::Cycle;
+
+/// Per-cycle context handed to every component: the current cycle and
+/// mutable access to all wires.
+#[derive(Debug)]
+pub struct TickCtx<'a> {
+    /// The cycle being evaluated.
+    pub cycle: Cycle,
+    /// All wires in the system; components address theirs by handle.
+    pub pool: &'a mut ChannelPool,
+}
+
+/// A simulated hardware block, ticked once per clock cycle.
+///
+/// Components communicate exclusively through wires in the shared
+/// [`ChannelPool`]; the register-per-hop wire semantics make the system's
+/// behaviour independent of tick order (see the crate docs).
+///
+/// The `Any` supertrait lets a [`Sim`](crate::Sim) hand back concrete
+/// component references for post-run inspection via
+/// [`Sim::component`](crate::Sim::component).
+pub trait Component: Any {
+    /// Advances the component by one clock cycle.
+    fn tick(&mut self, ctx: &mut TickCtx<'_>);
+
+    /// A short human-readable instance name for traces and diagnostics.
+    fn name(&self) -> &str {
+        "component"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4::WBeat;
+    use crate::pool::WireId;
+
+    struct Counter {
+        out: WireId<WBeat>,
+        sent: u64,
+    }
+
+    impl Component for Counter {
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            if ctx.pool.can_push(self.out, ctx.cycle) {
+                ctx.pool.push(self.out, ctx.cycle, WBeat::full(self.sent, false));
+                self.sent += 1;
+            }
+        }
+
+        fn name(&self) -> &str {
+            "counter"
+        }
+    }
+
+    #[test]
+    fn component_drives_wire_through_ctx() {
+        let mut pool = ChannelPool::new();
+        let out = pool.new_wire::<WBeat>(4);
+        let mut c = Counter { out, sent: 0 };
+        for cycle in 0..3 {
+            let mut ctx = TickCtx {
+                cycle,
+                pool: &mut pool,
+            };
+            c.tick(&mut ctx);
+        }
+        assert_eq!(c.sent, 3);
+        assert_eq!(pool.pop(out, 3).map(|b| b.data), Some(0));
+        assert_eq!(c.name(), "counter");
+    }
+}

@@ -1,0 +1,273 @@
+//! Typed wire handles and the channel pool that owns all wires.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use axi4::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
+
+use crate::wire::{PushError, Wire, WireStats};
+use crate::Cycle;
+
+/// A typed handle to a [`Wire`] owned by a [`ChannelPool`].
+///
+/// Handles are cheap copies; components hold handles, the pool holds wires.
+pub struct WireId<T> {
+    index: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> WireId<T> {
+    fn new(index: usize) -> Self {
+        Self {
+            index,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Returns the pool-internal index, useful only for debug output.
+    pub fn index(self) -> usize {
+        self.index
+    }
+}
+
+// Manual impls: `derive` would bound them on `T`, but handles are plain
+// indices and always copyable (C-STRUCT-BOUNDS).
+impl<T> Clone for WireId<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for WireId<T> {}
+
+impl<T> PartialEq for WireId<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+
+impl<T> Eq for WireId<T> {}
+
+impl<T> fmt::Debug for WireId<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WireId<{}>({})", std::any::type_name::<T>(), self.index)
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for axi4::AwBeat {}
+    impl Sealed for axi4::WBeat {}
+    impl Sealed for axi4::BBeat {}
+    impl Sealed for axi4::ArBeat {}
+    impl Sealed for axi4::RBeat {}
+}
+
+/// Beat types that can travel on pool-managed wires: the five AXI channel
+/// payloads. Sealed — the pool's storage is concrete per channel.
+pub trait Channel: sealed::Sealed + Sized {
+    #[doc(hidden)]
+    fn wires(pool: &ChannelPool) -> &Vec<Wire<Self>>;
+    #[doc(hidden)]
+    fn wires_mut(pool: &mut ChannelPool) -> &mut Vec<Wire<Self>>;
+}
+
+macro_rules! impl_channel {
+    ($ty:ty, $field:ident) => {
+        impl Channel for $ty {
+            fn wires(pool: &ChannelPool) -> &Vec<Wire<Self>> {
+                &pool.$field
+            }
+            fn wires_mut(pool: &mut ChannelPool) -> &mut Vec<Wire<Self>> {
+                &mut pool.$field
+            }
+        }
+    };
+}
+
+impl_channel!(AwBeat, aw);
+impl_channel!(WBeat, w);
+impl_channel!(BBeat, b);
+impl_channel!(ArBeat, ar);
+impl_channel!(RBeat, r);
+
+/// Owns every wire in a simulated system and hands out typed [`WireId`]
+/// handles.
+///
+/// Centralised ownership lets any number of components share access to the
+/// same wires without `Rc<RefCell<…>>`: components receive
+/// `&mut ChannelPool` in their tick and address wires by handle.
+#[derive(Debug, Default)]
+pub struct ChannelPool {
+    aw: Vec<Wire<AwBeat>>,
+    w: Vec<Wire<WBeat>>,
+    b: Vec<Wire<BBeat>>,
+    ar: Vec<Wire<ArBeat>>,
+    r: Vec<Wire<RBeat>>,
+}
+
+impl ChannelPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a new wire with the given capacity and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new_wire<T: Channel>(&mut self, capacity: usize) -> WireId<T> {
+        let wires = T::wires_mut(self);
+        wires.push(Wire::new(capacity));
+        WireId::new(wires.len() - 1)
+    }
+
+    fn wire<T: Channel>(&self, id: WireId<T>) -> &Wire<T> {
+        &T::wires(self)[id.index]
+    }
+
+    fn wire_mut<T: Channel>(&mut self, id: WireId<T>) -> &mut Wire<T> {
+        &mut T::wires_mut(self)[id.index]
+    }
+
+    /// Returns `true` if a push onto `id` at `cycle` would be accepted.
+    pub fn can_push<T: Channel>(&self, id: WireId<T>, cycle: Cycle) -> bool {
+        self.wire(id).can_push(cycle)
+    }
+
+    /// Pushes a beat; visible to consumers from the next cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on backpressure or double-push — callers must check
+    /// [`ChannelPool::can_push`] first. Use [`ChannelPool::try_push`] to
+    /// handle refusal as data.
+    pub fn push<T: Channel>(&mut self, id: WireId<T>, cycle: Cycle, beat: T) {
+        if let Err(e) = self.wire_mut(id).try_push(cycle, beat) {
+            panic!("push on {id:?} at cycle {cycle} refused: {e}");
+        }
+    }
+
+    /// Pushes a beat, reporting refusal instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] on backpressure, [`PushError::Busy`] on a second
+    /// push in the same cycle.
+    pub fn try_push<T: Channel>(
+        &mut self,
+        id: WireId<T>,
+        cycle: Cycle,
+        beat: T,
+    ) -> Result<(), PushError> {
+        self.wire_mut(id).try_push(cycle, beat)
+    }
+
+    /// Returns the front beat if one is visible at `cycle`.
+    pub fn peek<T: Channel>(&self, id: WireId<T>, cycle: Cycle) -> Option<&T> {
+        self.wire(id).peek(cycle)
+    }
+
+    /// Pops the front beat if one is visible at `cycle` (at most once per
+    /// wire per cycle).
+    pub fn pop<T: Channel>(&mut self, id: WireId<T>, cycle: Cycle) -> Option<T> {
+        self.wire_mut(id).pop(cycle)
+    }
+
+    /// Number of in-flight beats on the wire.
+    pub fn len<T: Channel>(&self, id: WireId<T>) -> usize {
+        self.wire(id).len()
+    }
+
+    /// Returns `true` if the wire has no in-flight beats.
+    pub fn is_empty<T: Channel>(&self, id: WireId<T>) -> bool {
+        self.wire(id).is_empty()
+    }
+
+    /// Occupancy and throughput counters for the wire.
+    pub fn stats<T: Channel>(&self, id: WireId<T>) -> WireStats {
+        self.wire(id).stats()
+    }
+
+    /// Total number of wires across all five channels (diagnostics).
+    pub fn wire_count(&self) -> usize {
+        self.aw.len() + self.w.len() + self.b.len() + self.ar.len() + self.r.len()
+    }
+
+    /// Total beats ever pushed onto any wire — a monotone activity counter;
+    /// if it stops moving, no beat is flowing anywhere in the system.
+    pub fn total_pushes(&self) -> u64 {
+        fn sum<T>(wires: &[Wire<T>]) -> u64 {
+            wires.iter().map(|w| w.stats().total_pushed).sum()
+        }
+        sum(&self.aw) + sum(&self.w) + sum(&self.b) + sum(&self.ar) + sum(&self.r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4::TxnId;
+
+    #[test]
+    fn typed_wires_are_independent() {
+        let mut pool = ChannelPool::new();
+        let w0 = pool.new_wire::<WBeat>(2);
+        let b0 = pool.new_wire::<BBeat>(2);
+        // Same index, different channels.
+        assert_eq!(w0.index(), 0);
+        assert_eq!(b0.index(), 0);
+
+        pool.push(w0, 0, WBeat::full(7, true));
+        pool.push(b0, 0, BBeat::okay(TxnId::new(1)));
+        assert_eq!(pool.pop(w0, 1).map(|b| b.data), Some(7));
+        assert_eq!(pool.pop(b0, 1).map(|b| b.id), Some(TxnId::new(1)));
+        assert_eq!(pool.wire_count(), 2);
+    }
+
+    #[test]
+    fn try_push_reports_backpressure() {
+        let mut pool = ChannelPool::new();
+        let w = pool.new_wire::<WBeat>(1);
+        pool.try_push(w, 0, WBeat::full(1, true)).unwrap();
+        assert_eq!(
+            pool.try_push(w, 1, WBeat::full(2, true)),
+            Err(PushError::Full)
+        );
+        assert_eq!(pool.len(w), 1);
+        assert!(!pool.is_empty(w));
+        assert_eq!(pool.stats(w).full_stalls, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "refused")]
+    fn push_panics_on_full() {
+        let mut pool = ChannelPool::new();
+        let w = pool.new_wire::<WBeat>(1);
+        pool.push(w, 0, WBeat::full(1, true));
+        pool.push(w, 1, WBeat::full(2, true));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut pool = ChannelPool::new();
+        let w = pool.new_wire::<WBeat>(2);
+        pool.push(w, 0, WBeat::full(9, false));
+        assert_eq!(pool.peek(w, 1).map(|b| b.data), Some(9));
+        assert_eq!(pool.peek(w, 1).map(|b| b.data), Some(9));
+        assert_eq!(pool.pop(w, 1).map(|b| b.data), Some(9));
+    }
+
+    #[test]
+    fn handles_are_copy_and_eq() {
+        let mut pool = ChannelPool::new();
+        let a = pool.new_wire::<WBeat>(1);
+        let b = a;
+        assert_eq!(a, b);
+        let c = pool.new_wire::<WBeat>(1);
+        assert_ne!(a, c);
+        let dbg = format!("{a:?}");
+        assert!(dbg.contains("WireId"));
+    }
+}

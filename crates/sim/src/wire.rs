@@ -1,0 +1,232 @@
+//! Bounded, timestamped queues modelling registered channel hops.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use crate::Cycle;
+
+/// Why a push onto a [`Wire`] was refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PushError {
+    /// The wire's bounded queue is full — downstream backpressure.
+    Full,
+    /// The wire already accepted a beat this cycle (one beat per cycle).
+    Busy,
+}
+
+impl fmt::Display for PushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Full => f.write_str("wire queue is full"),
+            PushError::Busy => f.write_str("wire already accepted a beat this cycle"),
+        }
+    }
+}
+
+impl Error for PushError {}
+
+/// Occupancy and throughput counters of a [`Wire`], for congestion analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WireStats {
+    /// Total number of items ever pushed.
+    pub total_pushed: u64,
+    /// Highest queue occupancy observed.
+    pub high_water: usize,
+    /// Number of pushes refused because the queue was full.
+    pub full_stalls: u64,
+}
+
+/// A bounded queue with register-per-hop timing: an item pushed at cycle *t*
+/// becomes visible at *t + 1*, and at most one item may be pushed and one
+/// popped per cycle.
+///
+/// This is the kernel's model of a registered hardware FIFO between two
+/// components; see the crate docs for the rationale.
+#[derive(Clone, Debug)]
+pub struct Wire<T> {
+    queue: VecDeque<(Cycle, T)>,
+    capacity: usize,
+    last_push: Option<Cycle>,
+    last_pop: Option<Cycle>,
+    stats: WireStats,
+}
+
+impl<T> Wire<T> {
+    /// Creates a wire holding at most `capacity` in-flight items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity wire could never
+    /// transport anything.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "wire capacity must be at least 1");
+        Self {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            last_push: None,
+            last_pop: None,
+            stats: WireStats::default(),
+        }
+    }
+
+    /// Returns `true` if a push at `cycle` would be accepted.
+    pub fn can_push(&self, cycle: Cycle) -> bool {
+        self.queue.len() < self.capacity && self.last_push != Some(cycle)
+    }
+
+    /// Pushes an item at `cycle`; it becomes visible to `pop` from
+    /// `cycle + 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] on backpressure, [`PushError::Busy`] if a beat
+    /// was already pushed this cycle.
+    pub fn try_push(&mut self, cycle: Cycle, item: T) -> Result<(), PushError> {
+        if self.last_push == Some(cycle) {
+            return Err(PushError::Busy);
+        }
+        if self.queue.len() >= self.capacity {
+            self.stats.full_stalls += 1;
+            return Err(PushError::Full);
+        }
+        self.queue.push_back((cycle, item));
+        self.last_push = Some(cycle);
+        self.stats.total_pushed += 1;
+        self.stats.high_water = self.stats.high_water.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Returns a reference to the front item if one is visible at `cycle`
+    /// and it has not been popped this cycle.
+    pub fn peek(&self, cycle: Cycle) -> Option<&T> {
+        if self.last_pop == Some(cycle) {
+            return None;
+        }
+        match self.queue.front() {
+            Some((pushed, item)) if *pushed < cycle => Some(item),
+            _ => None,
+        }
+    }
+
+    /// Pops the front item if one is visible at `cycle`; at most one pop
+    /// succeeds per cycle.
+    pub fn pop(&mut self, cycle: Cycle) -> Option<T> {
+        if self.last_pop == Some(cycle) {
+            return None;
+        }
+        match self.queue.front() {
+            Some((pushed, _)) if *pushed < cycle => {
+                self.last_pop = Some(cycle);
+                self.queue.pop_front().map(|(_, item)| item)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of items currently in flight (visible or not).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if no items are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The maximum number of in-flight items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupancy and throughput counters.
+    pub fn stats(&self) -> WireStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_visible_next_cycle() {
+        let mut w = Wire::new(4);
+        w.try_push(5, "a").unwrap();
+        assert!(w.peek(5).is_none());
+        assert_eq!(w.peek(6), Some(&"a"));
+        assert_eq!(w.pop(6), Some("a"));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn one_push_per_cycle() {
+        let mut w = Wire::new(4);
+        w.try_push(0, 1).unwrap();
+        assert_eq!(w.try_push(0, 2), Err(PushError::Busy));
+        assert!(!w.can_push(0));
+        assert!(w.can_push(1));
+        w.try_push(1, 2).unwrap();
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn one_pop_per_cycle() {
+        let mut w = Wire::new(4);
+        w.try_push(0, 1).unwrap();
+        w.try_push(1, 2).unwrap();
+        assert_eq!(w.pop(2), Some(1));
+        // Second item was pushed at cycle 1, so visible at 2 — but only one
+        // pop per cycle is allowed.
+        assert_eq!(w.pop(2), None);
+        assert_eq!(w.peek(2), None);
+        assert_eq!(w.pop(3), Some(2));
+    }
+
+    #[test]
+    fn capacity_backpressure() {
+        let mut w = Wire::new(2);
+        w.try_push(0, 1).unwrap();
+        w.try_push(1, 2).unwrap();
+        assert_eq!(w.try_push(2, 3), Err(PushError::Full));
+        assert!(!w.can_push(2));
+        assert_eq!(w.stats().full_stalls, 1);
+        // Draining frees a slot.
+        assert_eq!(w.pop(2), Some(1));
+        assert!(w.can_push(3));
+    }
+
+    #[test]
+    fn stats_track_throughput() {
+        let mut w = Wire::new(3);
+        for c in 0..3 {
+            w.try_push(c, c).unwrap();
+        }
+        let s = w.stats();
+        assert_eq!(s.total_pushed, 3);
+        assert_eq!(s.high_water, 3);
+        assert_eq!(s.full_stalls, 0);
+        assert_eq!(w.capacity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = Wire::<u8>::new(0);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut w = Wire::new(8);
+        for c in 0..5u64 {
+            w.try_push(c, c * 10).unwrap();
+        }
+        let mut out = Vec::new();
+        let mut cycle = 5;
+        while let Some(v) = w.pop(cycle) {
+            out.push(v);
+            cycle += 1;
+        }
+        assert_eq!(out, [0, 10, 20, 30, 40]);
+    }
+}

@@ -1,0 +1,184 @@
+//! The malicious stalling writer of the denial-of-service experiment.
+
+use axi4::{Addr, AwBeat, BurstKind, BurstLen, BurstSize, TxnId, WBeat};
+use axi_sim::{AxiBundle, Component, Cycle, TickCtx};
+
+/// What the [`StallingManager`] does after issuing its `AW`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StallPlan {
+    /// Target address of the write burst.
+    pub addr: Addr,
+    /// Burst length in beats.
+    pub beats: u16,
+    /// Deliver the write data this many cycles after the `AW` was accepted;
+    /// `None` withholds it forever (a permanent DoS without countermeasures).
+    pub release_after: Option<u64>,
+    /// Transaction ID of the burst.
+    pub id: TxnId,
+}
+
+impl StallPlan {
+    /// A writer that reserves the W channel for a 16-beat burst and never
+    /// delivers — the attack the paper's write buffer defuses.
+    pub fn forever(addr: Addr) -> Self {
+        Self {
+            addr,
+            beats: 16,
+            release_after: None,
+            id: TxnId::new(9),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    IssueAw,
+    Stalling { since: Cycle },
+    Stream { beats_left: u16 },
+    AwaitB,
+    Done,
+}
+
+/// A manager modelling the paper's misbehaving writer: it wins W-channel
+/// arbitration with an `AW` and then stalls, denying the channel to every
+/// later writer until (optionally) releasing the data.
+#[derive(Debug)]
+pub struct StallingManager {
+    plan: StallPlan,
+    port: AxiBundle,
+    state: State,
+    aw_issued_at: Option<Cycle>,
+    completed_at: Option<Cycle>,
+    name: String,
+}
+
+impl StallingManager {
+    /// Creates the manager on `port`.
+    pub fn new(plan: StallPlan, port: AxiBundle) -> Self {
+        Self {
+            plan,
+            port,
+            state: State::IssueAw,
+            aw_issued_at: None,
+            completed_at: None,
+            name: "staller".to_owned(),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &StallPlan {
+        &self.plan
+    }
+
+    /// The manager-side AXI port.
+    pub fn port(&self) -> AxiBundle {
+        self.port
+    }
+
+    /// Cycle the `AW` was issued, if it has been.
+    pub fn aw_issued_at(&self) -> Option<Cycle> {
+        self.aw_issued_at
+    }
+
+    /// Cycle the write response arrived, if the write ever completed.
+    pub fn completed_at(&self) -> Option<Cycle> {
+        self.completed_at
+    }
+}
+
+impl Component for StallingManager {
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        self.state = match std::mem::replace(&mut self.state, State::Done) {
+            State::IssueAw => {
+                if ctx.pool.can_push(self.port.aw, ctx.cycle) {
+                    let aw = AwBeat::new(
+                        self.plan.id,
+                        self.plan.addr,
+                        BurstLen::new(self.plan.beats).expect("beats within 1..=256"),
+                        BurstSize::bus64(),
+                        BurstKind::Incr,
+                    );
+                    ctx.pool.push(self.port.aw, ctx.cycle, aw);
+                    self.aw_issued_at = Some(ctx.cycle);
+                    State::Stalling { since: ctx.cycle }
+                } else {
+                    State::IssueAw
+                }
+            }
+            State::Stalling { since } => match self.plan.release_after {
+                Some(delay) if ctx.cycle >= since + delay => State::Stream {
+                    beats_left: self.plan.beats,
+                },
+                _ => State::Stalling { since },
+            },
+            State::Stream { beats_left } => {
+                if ctx.pool.can_push(self.port.w, ctx.cycle) {
+                    let last = beats_left == 1;
+                    ctx.pool.push(self.port.w, ctx.cycle, WBeat::full(0, last));
+                    if last {
+                        State::AwaitB
+                    } else {
+                        State::Stream {
+                            beats_left: beats_left - 1,
+                        }
+                    }
+                } else {
+                    State::Stream { beats_left }
+                }
+            }
+            State::AwaitB => {
+                if ctx.pool.pop(self.port.b, ctx.cycle).is_some() {
+                    self.completed_at = Some(ctx.cycle);
+                    State::Done
+                } else {
+                    State::AwaitB
+                }
+            }
+            State::Done => State::Done,
+        };
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi_mem::{MemoryConfig, MemoryModel};
+    use axi_sim::Sim;
+
+    fn setup(plan: StallPlan) -> (Sim, axi_sim::ComponentId) {
+        let mut sim = Sim::new();
+        let port = AxiBundle::with_defaults(sim.pool_mut());
+        let s = sim.add(StallingManager::new(plan, port));
+        sim.add(MemoryModel::new(
+            MemoryConfig::spm(Addr::new(0), 1 << 20),
+            port,
+        ));
+        (sim, s)
+    }
+
+    #[test]
+    fn forever_never_completes() {
+        let (mut sim, s) = setup(StallPlan::forever(Addr::new(0x100)));
+        sim.run(2000);
+        let m = sim.component::<StallingManager>(s).unwrap();
+        assert!(m.aw_issued_at().is_some());
+        assert!(m.completed_at().is_none());
+    }
+
+    #[test]
+    fn release_completes_the_write() {
+        let mut plan = StallPlan::forever(Addr::new(0x100));
+        plan.release_after = Some(100);
+        let (mut sim, s) = setup(plan);
+        sim.run(500);
+        let m = sim.component::<StallingManager>(s).unwrap();
+        let issued = m.aw_issued_at().unwrap();
+        let done = m.completed_at().unwrap();
+        assert!(done >= issued + 100 + u64::from(plan.beats));
+        assert_eq!(m.plan().beats, 16);
+    }
+}

@@ -1,0 +1,301 @@
+//! Latency aggregation shared by all traffic generators.
+
+use std::fmt;
+
+/// Aggregates access latencies: count, mean, minimum, maximum.
+///
+/// The paper's headline latency numbers (8-cycle single-source, 264-cycle
+/// uncontrolled worst case, <10 cycles regulated) are all expressible as
+/// the min/max/mean of a run's per-access latencies.
+///
+/// ```
+/// use axi_traffic::LatencyStats;
+///
+/// let mut s = LatencyStats::new();
+/// s.record(8);
+/// s.record(12);
+/// assert_eq!(s.count(), 2);
+/// assert_eq!(s.min(), Some(8));
+/// assert_eq!(s.max(), Some(12));
+/// assert_eq!(s.mean(), Some(10.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LatencyStats {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LatencyStats {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access latency in cycles.
+    pub fn record(&mut self, latency: u64) {
+        if self.count == 0 {
+            self.min = latency;
+            self.max = latency;
+        } else {
+            self.min = self.min.min(latency);
+            self.max = self.max.max(latency);
+        }
+        self.count += 1;
+        self.sum += latency;
+    }
+
+    /// Number of recorded accesses.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded latencies.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded latency, `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded latency — the worst-case access — `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A power-of-two-bucketed latency histogram: bucket *i* counts latencies
+/// in `[2^i, 2^(i+1))` (bucket 0 additionally holds latency 0).
+///
+/// Exposes the shape of the tail that min/mean/max hide — e.g. the
+/// bimodality of a core that usually hits an idle interconnect but
+/// occasionally waits behind a full DMA burst.
+///
+/// ```
+/// use axi_traffic::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// h.record(1);
+/// h.record(6);
+/// h.record(300);
+/// assert_eq!(h.bucket_count(0), 1); // [1, 2)
+/// assert_eq!(h.bucket_count(2), 1); // [4, 8)
+/// assert_eq!(h.bucket_count(8), 1); // [256, 512)
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [u64; Self::BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Number of buckets: latencies up to `2^31` land in distinct buckets;
+    /// anything larger saturates into the final one.
+    pub const BUCKETS: usize = 32;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency.
+    pub fn record(&mut self, latency: u64) {
+        let idx = (64 - u64::leading_zeros(latency.max(1)) as usize - 1).min(Self::BUCKETS - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// The count in bucket `i` (`[2^i, 2^(i+1))`).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The smallest latency `p` such that at least `fraction` of samples
+    /// are `< 2^(bucket(p)+1)` — a bucket-resolution percentile bound.
+    /// Returns `None` if empty or `fraction` is not in `0.0..=1.0`.
+    pub fn percentile_bound(&self, fraction: f64) -> Option<u64> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return None;
+        }
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let threshold = (total as f64 * fraction).ceil() as u64;
+        let mut seen = 0;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= threshold {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` pairs with nonzero
+    /// counts.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (lo, count) in self.nonzero_buckets() {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "[{lo}+]:{count}")?;
+            first = false;
+        }
+        if first {
+            f.write_str("(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min(), self.mean(), self.max()) {
+            (Some(min), Some(mean), Some(max)) => {
+                write!(f, "n={} min={} mean={:.1} max={}", self.count, min, mean, max)
+            }
+            _ => write!(f, "n=0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(format!("{s}"), "n=0");
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = LatencyStats::new();
+        s.record(7);
+        assert_eq!(s.min(), Some(7));
+        assert_eq!(s.max(), Some(7));
+        assert_eq!(s.mean(), Some(7.0));
+        assert_eq!(s.sum(), 7);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyStats::new();
+        a.record(5);
+        a.record(15);
+        let mut b = LatencyStats::new();
+        b.record(1);
+        b.record(99);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(99));
+        assert_eq!(a.mean(), Some(30.0));
+
+        // Merging empty is a no-op; merging into empty copies.
+        let mut e = LatencyStats::new();
+        e.merge(&a);
+        assert_eq!(e, a);
+        a.merge(&LatencyStats::new());
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut s = LatencyStats::new();
+        s.record(8);
+        s.record(9);
+        assert_eq!(format!("{s}"), "n=2 min=8 mean=8.5 max=9");
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(0); // clamped into bucket 0
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(255);
+        h.record(256);
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 2);
+        assert_eq!(h.bucket_count(7), 1);
+        assert_eq!(h.bucket_count(8), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_saturates_huge_latencies() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_count(LatencyHistogram::BUCKETS - 1), 1);
+    }
+
+    #[test]
+    fn histogram_percentile_bound() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(8); // bucket 3 → bound 16
+        }
+        h.record(1000); // bucket 9 → bound 1024
+        assert_eq!(h.percentile_bound(0.5), Some(16));
+        assert_eq!(h.percentile_bound(0.99), Some(16));
+        assert_eq!(h.percentile_bound(1.0), Some(1024));
+        assert_eq!(h.percentile_bound(2.0), None);
+        assert_eq!(LatencyHistogram::new().percentile_bound(0.5), None);
+    }
+
+    #[test]
+    fn histogram_display() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(format!("{h}"), "(empty)");
+        h.record(5);
+        h.record(6);
+        h.record(100);
+        assert_eq!(format!("{h}"), "[4+]:2 [64+]:1");
+    }
+}

@@ -1,0 +1,187 @@
+//! System address maps: which subordinate serves which address range.
+
+use std::error::Error;
+use std::fmt;
+
+use axi4::{Addr, SubordinateId};
+
+/// A non-overlapping set of address windows, each routed to one subordinate
+/// port.
+///
+/// ```
+/// use axi_xbar::AddressMap;
+/// use axi4::{Addr, SubordinateId};
+///
+/// # fn main() -> Result<(), axi_xbar::MapError> {
+/// let mut map = AddressMap::new();
+/// map.add(Addr::new(0x8000_0000), 0x1000_0000, SubordinateId::new(0))?;
+/// map.add(Addr::new(0x1000_0000), 0x10_0000, SubordinateId::new(1))?;
+/// assert_eq!(map.decode(Addr::new(0x8000_0010)), Some(SubordinateId::new(0)));
+/// assert_eq!(map.decode(Addr::new(0x0)), None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AddressMap {
+    entries: Vec<MapEntry>,
+}
+
+/// One window of an [`AddressMap`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MapEntry {
+    /// First address of the window.
+    pub base: Addr,
+    /// Window size in bytes.
+    pub size: u64,
+    /// Subordinate port serving the window.
+    pub target: SubordinateId,
+}
+
+impl MapEntry {
+    /// Returns `true` if `addr` falls inside this window.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr.raw() - self.base.raw() < self.size
+    }
+
+    fn overlaps(&self, other: &MapEntry) -> bool {
+        self.base.raw() < other.base.raw() + other.size
+            && other.base.raw() < self.base.raw() + self.size
+    }
+}
+
+/// Address-map construction error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MapError {
+    /// A window with zero size was added.
+    EmptyWindow {
+        /// The offending base address.
+        base: Addr,
+    },
+    /// Two windows overlap.
+    Overlap {
+        /// Base of the window being added.
+        base: Addr,
+        /// Base of the existing window it collides with.
+        existing: Addr,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::EmptyWindow { base } => write!(f, "address window at {base} is empty"),
+            MapError::Overlap { base, existing } => {
+                write!(f, "address window at {base} overlaps window at {existing}")
+            }
+        }
+    }
+}
+
+impl Error for MapError {}
+
+impl AddressMap {
+    /// Creates an empty map (everything decodes to `None` → `DECERR`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a window.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::EmptyWindow`] for `size == 0`, [`MapError::Overlap`] if
+    /// the window intersects an existing one.
+    pub fn add(&mut self, base: Addr, size: u64, target: SubordinateId) -> Result<(), MapError> {
+        if size == 0 {
+            return Err(MapError::EmptyWindow { base });
+        }
+        let entry = MapEntry { base, size, target };
+        if let Some(hit) = self.entries.iter().find(|e| e.overlaps(&entry)) {
+            return Err(MapError::Overlap {
+                base,
+                existing: hit.base,
+            });
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Routes an address to its subordinate, or `None` for a decode error.
+    pub fn decode(&self, addr: Addr) -> Option<SubordinateId> {
+        self.entries
+            .iter()
+            .find(|e| e.contains(addr))
+            .map(|e| e.target)
+    }
+
+    /// The windows in insertion order.
+    pub fn entries(&self) -> &[MapEntry] {
+        &self.entries
+    }
+
+    /// Highest subordinate index referenced, plus one (0 when empty).
+    pub fn subordinate_count(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| e.target.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_routes_and_misses() {
+        let mut m = AddressMap::new();
+        m.add(Addr::new(0x1000), 0x1000, SubordinateId::new(0)).unwrap();
+        m.add(Addr::new(0x4000), 0x100, SubordinateId::new(2)).unwrap();
+        assert_eq!(m.decode(Addr::new(0x1000)), Some(SubordinateId::new(0)));
+        assert_eq!(m.decode(Addr::new(0x1fff)), Some(SubordinateId::new(0)));
+        assert_eq!(m.decode(Addr::new(0x2000)), None);
+        assert_eq!(m.decode(Addr::new(0x40ff)), Some(SubordinateId::new(2)));
+        assert_eq!(m.subordinate_count(), 3);
+        assert_eq!(m.entries().len(), 2);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut m = AddressMap::new();
+        m.add(Addr::new(0x1000), 0x1000, SubordinateId::new(0)).unwrap();
+        let err = m
+            .add(Addr::new(0x1800), 0x1000, SubordinateId::new(1))
+            .unwrap_err();
+        assert!(matches!(err, MapError::Overlap { .. }));
+        // Adjacent is fine.
+        m.add(Addr::new(0x2000), 0x1000, SubordinateId::new(1)).unwrap();
+        // Containment is an overlap.
+        assert!(m.add(Addr::new(0x1100), 0x10, SubordinateId::new(3)).is_err());
+    }
+
+    #[test]
+    fn empty_window_rejected() {
+        let mut m = AddressMap::new();
+        assert!(matches!(
+            m.add(Addr::new(0x0), 0, SubordinateId::new(0)),
+            Err(MapError::EmptyWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MapError::Overlap {
+            base: Addr::new(0x10),
+            existing: Addr::new(0x0),
+        };
+        assert!(e.to_string().contains("overlaps"));
+    }
+
+    #[test]
+    fn empty_map_decodes_nothing() {
+        let m = AddressMap::new();
+        assert_eq!(m.decode(Addr::new(0)), None);
+        assert_eq!(m.subordinate_count(), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Traffic observability: reading the M&R unit's statistics.
+//!
+//! Runs the contended system with monitoring-only REALM units (no budgets)
+//! and prints each manager's bandwidth, transaction count, and latency
+//! statistics — the observability the paper adds for budget/period tuning.
+//!
+//! ```text
+//! cargo run --release -p cheshire-soc --example bandwidth_monitoring
+//! ```
+
+use axi_realm::RealmUnit;
+use cheshire_soc::experiments::llc_regulation;
+use cheshire_soc::{Regulation, Testbench, TestbenchConfig};
+
+fn print_unit(name: &str, unit: &RealmUnit, cycles: u64) {
+    println!("{name}:");
+    let stats = unit.stats();
+    println!("  transactions accepted : {}", stats.txns_accepted);
+    println!("  fragments emitted     : {}", stats.fragments_emitted);
+    println!("  downstream stalls     : {} cycles", stats.downstream_stall_cycles);
+    for (i, region) in unit.monitor().regions().iter().enumerate() {
+        let s = region.stats;
+        if s.txn_count == 0 {
+            continue;
+        }
+        let bw = s.bytes_total as f64 / cycles as f64;
+        println!(
+            "  region {i} ({}): {} B total ({bw:.2} B/cycle), {} txns, latency {}",
+            region.config.base, s.bytes_total, s.txn_count, s.latency
+        );
+    }
+}
+
+fn main() {
+    println!("AXI-REALM monitoring: per-manager traffic statistics\n");
+
+    let mut cfg = TestbenchConfig::single_source(1_000);
+    cfg.dma = Some(TestbenchConfig::worst_case_dma());
+    // Monitoring-only: fragmentation off (256), budgets unregulated.
+    cfg.core_regulation = Regulation::Realm(llc_regulation(256, 0, 0));
+    cfg.dma_regulation = Regulation::Realm(llc_regulation(256, 0, 0));
+
+    let mut tb = Testbench::new(cfg);
+    // A time-resolved view first: per-window core latency and DMA volume.
+    println!("timeline (5k-cycle windows):");
+    println!(
+        "{:>10}  {:>14}  {:>14}  {:>14}",
+        "cycle", "core accesses", "core mean lat", "DMA bytes"
+    );
+    for s in tb.run_timeline(6, 5_000).samples {
+        println!(
+            "{:>10}  {:>14}  {:>14.1}  {:>14}",
+            s.cycle,
+            s.core_accesses,
+            s.core_mean_latency.unwrap_or(0.0),
+            s.dma_bytes
+        );
+    }
+    println!();
+    assert!(tb.run_until_core_done(50_000_000));
+    let cycles = tb.sim().cycle();
+
+    println!("run length: {cycles} cycles\n");
+    print_unit("CVA6 core", tb.core_realm().expect("configured"), cycles);
+    println!();
+    print_unit("DSA DMA", tb.dma_realm().expect("configured"), cycles);
+
+    // Interference attribution: who stole whose cycles.
+    println!("\ninterference matrix (cycles victim waited behind aggressor):");
+    let names = ["core", "dma"];
+    print!("{:>12}", "");
+    for a in names {
+        print!("{a:>12}");
+    }
+    println!();
+    for (v, vname) in names.iter().enumerate() {
+        print!("{vname:>12}");
+        for a in 0..names.len() {
+            print!("{:>12}", tb.xbar().interference(v, a));
+        }
+        println!();
+    }
+
+    let core_lat = tb
+        .core_realm()
+        .expect("configured")
+        .monitor()
+        .regions()[0]
+        .stats
+        .latency;
+    println!(
+        "\nThe core's average latency ({:.1} cycles here) rising far above its",
+        core_lat.mean().unwrap_or(0.0)
+    );
+    println!("single-source value (~8) tells the integrator the interconnect is");
+    println!("congested — the signal used to pick budgets and periods.");
+}

@@ -1,0 +1,74 @@
+//! MPAM-style hypervisor control: bandwidth partitions applied to REALM
+//! units across a virtual-machine context switch.
+//!
+//! A hypervisor defines two MPAM-like partitions — a real-time VM with a
+//! hard bandwidth cap for the accelerator it owns, and a best-effort VM
+//! with a smaller one — and rebinds the DMA's REALM unit as the VMs swap,
+//! exactly the integration path the paper sketches for MPAM discovery
+//! mechanisms.
+//!
+//! ```text
+//! cargo run --release -p cheshire-soc --example mpam_hypervisor
+//! ```
+
+use axi_realm::mpam::{BandwidthPartition, PartId, PartitionTable};
+use cheshire_soc::experiments::llc_regulation;
+use cheshire_soc::{Regulation, Testbench, TestbenchConfig, LLC_BASE, LLC_SIZE};
+
+fn main() {
+    println!("MPAM-style partitions driving AXI-REALM budgets\n");
+
+    let mut cfg = TestbenchConfig::single_source(u64::MAX); // run until stopped
+    cfg.core.accesses = 100_000_000; // effectively endless
+    cfg.dma = Some(TestbenchConfig::worst_case_dma());
+    cfg.core_regulation = Regulation::Realm(llc_regulation(256, 0, 0));
+    cfg.dma_regulation = Regulation::Realm(llc_regulation(1, 0, 0));
+    let mut tb = Testbench::new(cfg);
+
+    // The hypervisor's partition table manages the DMA's unit.
+    let dma_regs = tb.dma_realm().expect("dma regulated").regs();
+    let mut table = PartitionTable::new(vec![dma_regs], LLC_BASE, LLC_SIZE);
+    table.define(
+        PartId(1),
+        BandwidthPartition {
+            max_bytes: 8 * 1024,
+            period: 1000,
+            frag_len: 1,
+        },
+    );
+    table.define(
+        PartId(2),
+        BandwidthPartition {
+            max_bytes: 1024,
+            period: 1000,
+            frag_len: 1,
+        },
+    );
+
+    const WINDOW: u64 = 50_000;
+    let mut prev_dma = 0;
+    let mut prev_core = 0;
+    println!(
+        "{:>12}  {:>14}  {:>16}",
+        "partition", "DMA B/cycle", "core accesses/kcyc"
+    );
+    for (label, part) in [("PARTID1", PartId(1)), ("PARTID2", PartId(2)), ("PARTID1", PartId(1))] {
+        table.bind(0, part).expect("partition defined");
+        table.apply().expect("bindings valid");
+        tb.run(WINDOW);
+        let dma_bytes = tb.dma().expect("dma present").bytes_read()
+            + tb.dma().expect("dma present").bytes_written();
+        let core_acc = tb.core().completed_accesses();
+        println!(
+            "{label:>12}  {:>14.2}  {:>16.1}",
+            (dma_bytes - prev_dma) as f64 / WINDOW as f64,
+            (core_acc - prev_core) as f64 / (WINDOW as f64 / 1000.0),
+        );
+        prev_dma = dma_bytes;
+        prev_core = core_acc;
+    }
+
+    println!("\nRebinding the unit between partitions retunes the accelerator's");
+    println!("bandwidth share on the fly — no reset, outstanding traffic drains");
+    println!("through the unit's isolate-and-drain reconfiguration path.");
+}

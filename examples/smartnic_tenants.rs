@@ -1,0 +1,116 @@
+//! Multi-tenant SmartNIC scenario (paper conclusion): four tenant DMA
+//! engines share one memory system; per-tenant REALM units enforce the
+//! bandwidth each tenant paid for.
+//!
+//! ```text
+//! cargo run --release -p cheshire-soc --example smartnic_tenants
+//! ```
+
+use axi4::{Addr, SubordinateId, TxnId};
+use axi_mem::{MemoryConfig, MemoryModel};
+use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
+use axi_sim::{AxiBundle, BundleCapacity, ComponentId, Sim};
+use axi_traffic::{DmaConfig, DmaModel};
+use axi_xbar::{AddressMap, Crossbar};
+
+const MEM_BASE: Addr = Addr::new(0x8000_0000);
+const MEM_SIZE: u64 = 64 << 20;
+const SPM_BASE: Addr = Addr::new(0x1000_0000);
+const SPM_SIZE: u64 = 4 << 20;
+const PERIOD: u64 = 2_000;
+
+struct Tenant {
+    name: &'static str,
+    /// Bytes per period the tenant's SLA grants (0 = best effort).
+    budget: u64,
+    dma: ComponentId,
+    realm: ComponentId,
+}
+
+fn main() {
+    println!("Multi-tenant SmartNIC: per-tenant bandwidth SLAs via AXI-REALM\n");
+    let mut sim = Sim::new();
+    let cap = BundleCapacity::uniform(4);
+
+    let tenant_plan: [(&str, u64); 4] = [
+        ("tenant-A (gold)", 12 * 1024),
+        ("tenant-B (silver)", 6 * 1024),
+        ("tenant-C (bronze)", 3 * 1024),
+        ("tenant-D (best effort)", 1024),
+    ];
+
+    let mut mgr_ports = Vec::new();
+    let mut tenants = Vec::new();
+    for (i, (name, budget)) in tenant_plan.into_iter().enumerate() {
+        let upstream = AxiBundle::new(sim.pool_mut(), cap);
+        let downstream = AxiBundle::new(sim.pool_mut(), cap);
+        let mut dma_cfg = DmaConfig::worst_case(
+            (MEM_BASE + i as u64 * 0x40_0000, 0x20_0000),
+            (SPM_BASE + i as u64 * 0x10_0000, 0x10_0000),
+        );
+        dma_cfg.id = TxnId::new(i as u32);
+        let dma = sim.add(DmaModel::new(dma_cfg, upstream));
+
+        let mut rt = RuntimeConfig::open(2);
+        rt.frag_len = 16;
+        rt.regions[0] = RegionConfig {
+            base: MEM_BASE,
+            size: MEM_SIZE,
+            budget_max: budget,
+            period: PERIOD,
+        };
+        let realm = sim.add(RealmUnit::new(
+            DesignConfig::cheshire(),
+            rt,
+            upstream,
+            downstream,
+        ));
+        mgr_ports.push(downstream);
+        tenants.push(Tenant {
+            name,
+            budget,
+            dma,
+            realm,
+        });
+    }
+
+    let mem_port = AxiBundle::new(sim.pool_mut(), cap);
+    let spm_port = AxiBundle::new(sim.pool_mut(), cap);
+    let mut map = AddressMap::new();
+    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0)).expect("map");
+    map.add(SPM_BASE, SPM_SIZE, SubordinateId::new(1)).expect("map");
+    sim.add(Crossbar::new(map, mgr_ports, vec![mem_port, spm_port]).expect("ports"));
+    sim.add(MemoryModel::new(MemoryConfig::llc(MEM_BASE, MEM_SIZE), mem_port));
+    sim.add(MemoryModel::new(MemoryConfig::spm(SPM_BASE, SPM_SIZE), spm_port));
+
+    const CYCLES: u64 = 200_000;
+    sim.run(CYCLES);
+
+    println!(
+        "{:>24}  {:>14}  {:>14}  {:>10}  {:>10}",
+        "tenant", "SLA (B/period)", "used (B/period)", "within", "isolated%"
+    );
+    for t in &tenants {
+        let dma = sim.component::<DmaModel>(t.dma).expect("dma");
+        let realm = sim.component::<RealmUnit>(t.realm).expect("realm");
+        let regulated_bytes = realm.monitor().regions()[0].stats.bytes_total;
+        let per_period = regulated_bytes as f64 / (CYCLES as f64 / PERIOD as f64);
+        let isolated_pct = realm.stats().isolated_cycles as f64 / CYCLES as f64 * 100.0;
+        // A fragment may be in flight when the budget runs dry, so the SLA
+        // holds up to one fragment of slack per period.
+        let slack = 16.0 * 8.0;
+        let within = per_period <= t.budget as f64 + slack;
+        println!(
+            "{:>24}  {:>14}  {:>14.0}  {:>10}  {:>9.1}%",
+            t.name,
+            t.budget,
+            per_period,
+            if within { "yes" } else { "NO" },
+            isolated_pct,
+        );
+        assert!(within, "{} exceeded its SLA", t.name);
+        let _ = dma.transfers_completed();
+    }
+    println!("\nEach tenant's regulated traffic stays within its budgeted rate;");
+    println!("unused headroom is not stolen by noisy neighbours.");
+}

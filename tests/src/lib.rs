@@ -1,0 +1,15 @@
+//! Cross-crate integration tests for the AXI-REALM reproduction workspace.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library crate exists so
+//! the workspace-level `tests/` directory is a Cargo package and hosts shared
+//! helpers for those tests.
+
+/// Builds a deterministic label for a test scenario, used in assertion
+/// messages so failures identify the exact configuration under test.
+///
+/// ```
+/// assert_eq!(integration::scenario_label("fig6a", 8), "fig6a[frag=8]");
+/// ```
+pub fn scenario_label(experiment: &str, frag: usize) -> String {
+    format!("{experiment}[frag={frag}]")
+}

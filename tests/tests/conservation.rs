@@ -1,0 +1,113 @@
+//! Cross-component conservation and determinism: counters kept by
+//! independent components must agree exactly once a run drains, and the
+//! kernel must be bit-identical across repeated runs.
+
+use axi4::TxnId;
+use axi_traffic::DmaConfig;
+use cheshire_soc::experiments::llc_regulation;
+use cheshire_soc::{
+    Regulation, Testbench, TestbenchConfig, DMA_LLC_BUFFER, DMA_LLC_BUFFER_SIZE, SPM_BASE,
+    SPM_SIZE,
+};
+
+/// A finite DMA job so the system fully drains.
+fn finite_dma(transfers: u64) -> DmaConfig {
+    DmaConfig {
+        region_a: (DMA_LLC_BUFFER, DMA_LLC_BUFFER_SIZE),
+        region_b: (SPM_BASE, SPM_SIZE),
+        burst_beats: 64,
+        outstanding: 4,
+        total_transfers: Some(transfers),
+        id: TxnId::new(1),
+        start_cycle: 0,
+    }
+}
+
+fn drained_testbench() -> Testbench {
+    let mut cfg = TestbenchConfig::single_source(500);
+    cfg.dma = Some(finite_dma(40));
+    cfg.core_regulation = Regulation::Realm(llc_regulation(256, 0, 0));
+    cfg.dma_regulation = Regulation::Realm(llc_regulation(4, 0, 0));
+    let mut tb = Testbench::new(cfg);
+    assert!(tb.run_until_core_done(10_000_000));
+    // Let the DMA finish too, then drain every queue.
+    for _ in 0..200 {
+        tb.run(100);
+        if tb.dma().expect("dma present").is_done()
+            && tb.core_realm().expect("core regulated").is_drained()
+            && tb.dma_realm().expect("dma regulated").is_drained()
+        {
+            break;
+        }
+    }
+    assert!(tb.dma().expect("dma present").is_done(), "DMA drained");
+    tb
+}
+
+/// The LLC's served beats equal the sum of every manager's beats that
+/// decode to it — three independent counters (managers, REALM monitors,
+/// memory) telling one story.
+#[test]
+fn llc_beats_are_conserved() {
+    let tb = drained_testbench();
+
+    // Core side: 500 single-beat accesses, all in the LLC window.
+    let core_beats = 500;
+    // DMA side: each transfer touches the LLC exactly once (read from it
+    // or write to it), 64 beats each.
+    let dma_llc_beats = 40 * 64;
+    assert_eq!(tb.llc().beats_served(), core_beats + dma_llc_beats);
+
+    // The REALM monitors agree byte-for-byte.
+    let core_bytes = tb.core_realm().expect("core regulated").monitor().regions()[0]
+        .stats
+        .bytes_total;
+    assert_eq!(core_bytes, core_beats * 8);
+    let dma_bytes = tb.dma_realm().expect("dma regulated").monitor().regions()[0]
+        .stats
+        .bytes_total;
+    assert_eq!(dma_bytes, dma_llc_beats * 8);
+
+    // And the SPM saw exactly the other half of the DMA's traffic.
+    assert_eq!(tb.spm().beats_served(), dma_llc_beats);
+}
+
+/// Transaction counters agree across layers: manager completions, monitor
+/// transaction counts, and memory burst counts.
+#[test]
+fn transaction_counts_are_conserved() {
+    let tb = drained_testbench();
+    let core_monitor = tb.core_realm().expect("core regulated").monitor().regions()[0].stats;
+    assert_eq!(core_monitor.txn_count, 500);
+    assert_eq!(core_monitor.latency.count(), 500);
+
+    // The DMA's 40 transfers at fragmentation 4 = 16 fragments each.
+    let dma_unit = tb.dma_realm().expect("dma regulated");
+    assert_eq!(dma_unit.stats().txns_accepted, 80, "40 reads + 40 writes");
+    assert_eq!(dma_unit.stats().fragments_emitted, 80 * 16);
+
+    // Memory-side bursts: core reads + write fragments; exact split of the
+    // core's 500 between reads and writes is workload-defined (1 in 4).
+    let llc_bursts = tb.llc().reads_served() + tb.llc().writes_served();
+    let dma_llc_fragments = 40 * 16;
+    assert_eq!(llc_bursts, 500 + dma_llc_fragments);
+}
+
+/// The simulation is deterministic: two identical runs agree to the cycle
+/// and to the byte.
+#[test]
+fn runs_are_bit_identical() {
+    let a = drained_testbench();
+    let b = drained_testbench();
+    assert_eq!(a.result().cycles, b.result().cycles);
+    assert_eq!(a.result().core_latency, b.result().core_latency);
+    assert_eq!(a.llc().beats_served(), b.llc().beats_served());
+    assert_eq!(
+        a.xbar().interference_matrix(),
+        b.xbar().interference_matrix()
+    );
+    assert_eq!(
+        a.dma_realm().expect("dma regulated").stats(),
+        b.dma_realm().expect("dma regulated").stats()
+    );
+}
