@@ -284,9 +284,10 @@ impl Iterator for BeatAddresses {
         self.next = match self.kind {
             BurstKind::Fixed => self.next,
             BurstKind::Incr => self.next + self.size.bytes(),
-            BurstKind::Wrap => self
-                .next
-                .wrap_within(self.wrap_base, self.window, self.size.bytes()),
+            BurstKind::Wrap => {
+                self.next
+                    .wrap_within(self.wrap_base, self.window, self.size.bytes())
+            }
         };
         Some(current)
     }

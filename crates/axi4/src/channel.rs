@@ -482,8 +482,8 @@ mod tests {
         for bits in 0..16u8 {
             assert_eq!(Cache::from_wire(bits).to_wire(), bits);
         }
-        assert!(Cache::NORMAL.modifiable);
-        assert!(!Cache::DEVICE.modifiable);
+        const { assert!(Cache::NORMAL.modifiable) };
+        const { assert!(!Cache::DEVICE.modifiable) };
         assert_eq!(Cache::default(), Cache::NORMAL);
     }
 
@@ -511,7 +511,9 @@ mod tests {
         let beat = aw(0x1000, 256);
         assert_eq!(beat.total_bytes(), 2048);
         assert!(beat.validate().is_ok());
-        let dev = beat.with_cache(Cache::DEVICE).with_prot(Prot::from_wire(0b1));
+        let dev = beat
+            .with_cache(Cache::DEVICE)
+            .with_prot(Prot::from_wire(0b1));
         assert!(!dev.cache.modifiable);
         assert!(dev.prot.privileged);
         assert_eq!(dev.with_id(TxnId::new(9)).id, TxnId::new(9));

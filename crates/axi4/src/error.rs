@@ -87,7 +87,10 @@ impl fmt::Display for ProtocolError {
                 write!(f, "burst size encoding {encoding} exceeds 8-byte beats")
             }
             ProtocolError::InvalidSizeBytes { bytes } => {
-                write!(f, "beat size of {bytes} bytes is not a power of two in 1..=8")
+                write!(
+                    f,
+                    "beat size of {bytes} bytes is not a power of two in 1..=8"
+                )
             }
             ProtocolError::InvalidLen { beats } => {
                 write!(f, "burst length {beats} is outside 1..=256 beats")
@@ -102,19 +105,32 @@ impl fmt::Display for ProtocolError {
                 write!(f, "WRAP burst at {addr} is not aligned to {size}")
             }
             ProtocolError::Crosses4K { addr, len, size } => {
-                write!(f, "INCR burst at {addr} ({len}, {size}) crosses a 4 KiB boundary")
+                write!(
+                    f,
+                    "INCR burst at {addr} ({len}, {size}) crosses a 4 KiB boundary"
+                )
             }
             ProtocolError::ExclusiveTooLarge { len, size } => {
-                write!(f, "exclusive access of {len} at {size} exceeds the 128-byte limit")
+                write!(
+                    f,
+                    "exclusive access of {len} at {size} exceeds the 128-byte limit"
+                )
             }
-            ProtocolError::NotFragmentable { lock, modifiable, len } => {
+            ProtocolError::NotFragmentable {
+                lock,
+                modifiable,
+                len,
+            } => {
                 write!(
                     f,
                     "burst of {len} cannot be fragmented (lock={lock}, modifiable={modifiable})"
                 )
             }
             ProtocolError::InvalidGranularity { beats } => {
-                write!(f, "fragmentation granularity {beats} is outside 1..=256 beats")
+                write!(
+                    f,
+                    "fragmentation granularity {beats} is outside 1..=256 beats"
+                )
             }
         }
     }

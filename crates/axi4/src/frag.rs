@@ -235,7 +235,7 @@ fn fragment_wrap(addr: Addr, len: BurstLen, size: BurstSize, granularity: u16) -
         });
         first_beat += beats;
         remaining -= beats;
-        next_addr = next_addr + u64::from(beats) * size.bytes();
+        next_addr += u64::from(beats) * size.bytes();
     }
 
     fragments

@@ -165,7 +165,11 @@ mod tests {
 
     #[test]
     fn misplaced_last_rejected() {
-        let beats = vec![WBeat::full(1, true), WBeat::full(2, false), WBeat::full(3, true)];
+        let beats = vec![
+            WBeat::full(1, true),
+            WBeat::full(2, false),
+            WBeat::full(3, true),
+        ];
         assert!(WriteTxn::new(aw(3), beats).is_err());
         let no_last = vec![WBeat::full(1, false), WBeat::full(2, false)];
         assert!(WriteTxn::new(aw(2), no_last).is_err());

@@ -26,12 +26,15 @@ fn arb_incr() -> impl Strategy<Value = (Addr, BurstLen, BurstSize)> {
 }
 
 fn arb_wrap() -> impl Strategy<Value = (Addr, BurstLen, BurstSize)> {
-    (arb_size(), prop::sample::select(vec![2u16, 4, 8, 16]), 0u64..1 << 16).prop_map(
-        |(size, beats, n)| {
+    (
+        arb_size(),
+        prop::sample::select(vec![2u16, 4, 8, 16]),
+        0u64..1 << 16,
+    )
+        .prop_map(|(size, beats, n)| {
             let addr = Addr::new(n * size.bytes());
             (addr, BurstLen::new(beats).expect("beats in range"), size)
-        },
-    )
+        })
 }
 
 proptest! {
@@ -79,7 +82,7 @@ proptest! {
         for f in &plan {
             prop_assert!(f.len.beats() <= granularity.max(1));
         }
-        let expected = (len.beats() + granularity - 1) / granularity;
+        let expected = len.beats().div_ceil(granularity);
         prop_assert_eq!(plan.len(), expected as usize);
     }
 

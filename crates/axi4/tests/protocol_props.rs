@@ -109,3 +109,20 @@ proptest! {
         prop_assert_eq!(extracted, expected);
     }
 }
+
+/// Pinned regression seed for `fixed_bursts_hold_address`: a 2-beat FIXED
+/// burst of 2-byte transfers at an unaligned odd address. Kept as a plain
+/// unit test so the exact failing case from the proptest run is always
+/// exercised, independent of RNG seeding.
+#[test]
+fn fixed_burst_holds_address_pinned_case() {
+    let addr = Addr::new(1_035_005_035);
+    let len = BurstLen::new(2).expect("in range");
+    let size = BurstSize::new(1).expect("in range");
+    let addrs: Vec<Addr> = beat_addresses(BurstKind::Fixed, addr, len, size).collect();
+    assert_eq!(addrs.len(), 2);
+    assert!(
+        addrs.iter().all(|&a| a == addr),
+        "FIXED beats must repeat {addr:?}, got {addrs:?}"
+    );
+}

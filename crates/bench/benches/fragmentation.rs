@@ -19,9 +19,11 @@ fn bench_fragmentation(c: &mut Criterion) {
         b.iter(|| black_box(without_reservation(black_box(accesses))))
     });
     for frag in [1u16, 16, 256] {
-        group.bench_with_input(BenchmarkId::new("with_fragmentation", frag), &frag, |b, &f| {
-            b.iter(|| black_box(with_fragmentation(f, black_box(accesses))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("with_fragmentation", frag),
+            &frag,
+            |b, &f| b.iter(|| black_box(with_fragmentation(f, black_box(accesses)))),
+        );
     }
     group.finish();
 }

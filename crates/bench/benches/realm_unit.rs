@@ -62,5 +62,10 @@ fn bench_area_model(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fragment_planning, bench_idle_tick, bench_area_model);
+criterion_group!(
+    benches,
+    bench_fragment_planning,
+    bench_idle_tick,
+    bench_area_model
+);
 criterion_main!(benches);

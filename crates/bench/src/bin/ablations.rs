@@ -1,6 +1,7 @@
 //! Ablations of the design choices §III calls out: the write buffer under
 //! a stalling writer, the throttling unit, and splitter bypass for
-//! single-word managers.
+//! single-word managers. Each ablation's two variants run as one parallel
+//! sweep.
 //!
 //! ```text
 //! cargo run --release -p realm-bench --bin ablations
@@ -9,7 +10,7 @@
 use axi_traffic::StallPlan;
 use cheshire_soc::experiments::llc_regulation;
 use cheshire_soc::{Regulation, Testbench, TestbenchConfig, LLC_BASE};
-use realm_bench::{ExperimentReport, Row};
+use realm_bench::{run_sweep, ExperimentReport, Row};
 
 /// Write-buffer ablation: core progress with a stalling writer present,
 /// with and without a REALM unit in front of the attacker.
@@ -18,7 +19,11 @@ fn dos_ablation() -> ExperimentReport {
         "Ablation A",
         "write buffer vs. stalling-writer DoS (400 core accesses, 2M-cycle cap)",
     );
-    for (label, protected) in [("unprotected", false), ("write-buffer", true)] {
+    let points = vec![
+        ("unprotected".to_owned(), false),
+        ("write-buffer".to_owned(), true),
+    ];
+    let outcome = run_sweep(points, |&protected| {
         let mut cfg = TestbenchConfig::single_source(400);
         cfg.staller = Some(StallPlan::forever(LLC_BASE + 0x10_0000));
         if protected {
@@ -26,17 +31,25 @@ fn dos_ablation() -> ExperimentReport {
         }
         let mut tb = Testbench::new(cfg);
         let finished = tb.run_until_core_done(2_000_000);
+        let accesses = tb.core().completed_accesses();
+        let w_stalls = tb.xbar().w_stall_cycles(0);
+        ((finished, accesses, w_stalls), tb.sim().kernel_stats())
+    });
+    for (&(finished, accesses, w_stalls), rt) in outcome.results.iter().zip(&outcome.runtime) {
         report.push(Row::new(
-            label,
+            rt.label.clone(),
             vec![
                 ("core_done", f64::from(u8::from(finished))),
-                ("accesses", tb.core().completed_accesses() as f64),
-                ("w_stall_cycles", tb.xbar().w_stall_cycles(0) as f64),
+                ("accesses", accesses as f64),
+                ("w_stall_cycles", w_stalls as f64),
             ],
         ));
     }
+    report.runtime = outcome.runtime_rows();
     report.note("paper §III-A: the buffer forwards AW and W only once the data is fully contained");
-    report.note("shape to check: unprotected run never finishes; protected run completes with ~0 W stalls");
+    report.note(
+        "shape to check: unprotected run never finishes; protected run completes with ~0 W stalls",
+    );
     report
 }
 
@@ -46,7 +59,11 @@ fn throttle_ablation() -> ExperimentReport {
         "Ablation B",
         "throttling unit: worst-case core latency with and without budget-aware backpressure",
     );
-    for (label, throttle) in [("no-throttle", false), ("throttle", true)] {
+    let points = vec![
+        ("no-throttle".to_owned(), false),
+        ("throttle".to_owned(), true),
+    ];
+    let outcome = run_sweep(points, |&throttle| {
         let mut cfg = TestbenchConfig::single_source(1_000);
         cfg.dma = Some(TestbenchConfig::worst_case_dma());
         let mut core_rt = llc_regulation(256, 0, 0);
@@ -58,8 +75,12 @@ fn throttle_ablation() -> ExperimentReport {
         let mut tb = Testbench::new(cfg);
         assert!(tb.run_until_core_done(50_000_000));
         let r = tb.result();
+        let kernel = r.kernel;
+        (r, kernel)
+    });
+    for (r, rt) in outcome.results.iter().zip(&outcome.runtime) {
         report.push(Row::new(
-            label,
+            rt.label.clone(),
             vec![
                 ("exec_cycles", r.cycles as f64),
                 ("lat_mean", r.core_latency.mean().unwrap_or(0.0)),
@@ -68,6 +89,7 @@ fn throttle_ablation() -> ExperimentReport {
             ],
         ));
     }
+    report.runtime = outcome.runtime_rows();
     report.note("throttling modulates backpressure before the budget expires (paper Fig. 4)");
     report
 }
@@ -80,7 +102,11 @@ fn splitter_ablation() -> ExperimentReport {
         "Ablation C",
         "splitter omitted for single-word managers: identical timing, smaller unit",
     );
-    for (label, present) in [("with-splitter", true), ("no-splitter", false)] {
+    let points = vec![
+        ("with-splitter".to_owned(), true),
+        ("no-splitter".to_owned(), false),
+    ];
+    let outcome = run_sweep(points, |&present| {
         let mut cfg = TestbenchConfig::single_source(1_000);
         let mut design = axi_realm::DesignConfig::cheshire();
         design.splitter_present = present;
@@ -89,12 +115,21 @@ fn splitter_ablation() -> ExperimentReport {
         let mut tb = Testbench::new(cfg);
         assert!(tb.run_until_core_done(10_000_000));
         let r = tb.result();
+        let kernel = r.kernel;
+        (r, kernel)
+    });
+    for ((r, rt), present) in outcome
+        .results
+        .iter()
+        .zip(&outcome.runtime)
+        .zip([true, false])
+    {
         let mut params = AreaParams::cheshire();
         params.num_units = 1;
         params.splitter_present = present;
         let area = AreaBreakdown::evaluate(params);
         report.push(Row::new(
-            label,
+            rt.label.clone(),
             vec![
                 ("exec_cycles", r.cycles as f64),
                 ("lat_max", r.core_latency.max().unwrap_or(0) as f64),
@@ -102,7 +137,10 @@ fn splitter_ablation() -> ExperimentReport {
             ],
         ));
     }
-    report.note("paper §III-A: the splitter can be disabled at design time to reduce the area footprint");
+    report.runtime = outcome.runtime_rows();
+    report.note(
+        "paper §III-A: the splitter can be disabled at design time to reduce the area footprint",
+    );
     report.note("shape to check: identical cycles/latency, smaller unit area");
     report
 }

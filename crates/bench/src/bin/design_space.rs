@@ -5,7 +5,8 @@
 //! burst splitter, 729.4 GE per element in Table II) against fragmentation
 //! granularity, reporting regulated core performance next to the unit's
 //! modelled area — the trade an integrator actually navigates when sizing
-//! the unit for a new SoC.
+//! the unit for a new SoC. The baseline and all eight grid points fan out
+//! through the parallel sweep harness.
 //!
 //! ```text
 //! cargo run --release -p realm-bench --bin design_space
@@ -15,47 +16,78 @@ use axi_realm::area::{AreaBreakdown, AreaParams};
 use axi_realm::DesignConfig;
 use cheshire_soc::experiments::llc_regulation;
 use cheshire_soc::{Regulation, Testbench, TestbenchConfig};
-use realm_bench::{ExperimentReport, Row};
+use realm_bench::{run_sweep, ExperimentReport, Row};
 
-fn run_point(num_pending: usize, frag_len: u16, accesses: u64) -> (u64, u64) {
-    let mut cfg = TestbenchConfig::single_source(accesses);
-    cfg.dma = Some(TestbenchConfig::worst_case_dma());
-    let mut design = DesignConfig::cheshire();
-    design.num_pending = num_pending;
-    cfg.realm_design = design;
-    cfg.core_regulation = Regulation::Realm(llc_regulation(256, 0, 0));
-    cfg.dma_regulation = Regulation::Realm(llc_regulation(frag_len, 0, 0));
-    let mut tb = Testbench::new(cfg);
+const ACCESSES: u64 = 1_000;
+const PENDING: [usize; 4] = [2, 4, 8, 16];
+const FRAGS: [u16; 2] = [1, 16];
+
+/// The uncontended baseline or one (pending, frag) grid point.
+enum Point {
+    Baseline,
+    Sized { num_pending: usize, frag_len: u16 },
+}
+
+fn run_point(point: &Point) -> (u64, u64, axi_sim::KernelStats) {
+    let mut tb = match point {
+        Point::Baseline => {
+            let mut cfg = TestbenchConfig::single_source(ACCESSES);
+            cfg.core_regulation = Regulation::Realm(llc_regulation(256, 0, 0));
+            Testbench::new(cfg)
+        }
+        Point::Sized {
+            num_pending,
+            frag_len,
+        } => {
+            let mut cfg = TestbenchConfig::single_source(ACCESSES);
+            cfg.dma = Some(TestbenchConfig::worst_case_dma());
+            let mut design = DesignConfig::cheshire();
+            design.num_pending = *num_pending;
+            cfg.realm_design = design;
+            cfg.core_regulation = Regulation::Realm(llc_regulation(256, 0, 0));
+            cfg.dma_regulation = Regulation::Realm(llc_regulation(*frag_len, 0, 0));
+            Testbench::new(cfg)
+        }
+    };
     assert!(tb.run_until_core_done(100_000_000), "run exceeded cap");
     let r = tb.result();
-    (r.cycles, r.core_latency.max().unwrap_or(0))
+    (r.cycles, r.core_latency.max().unwrap_or(0), r.kernel)
 }
 
 fn main() {
-    const ACCESSES: u64 = 1_000;
+    let mut points = vec![("baseline".to_owned(), Point::Baseline)];
+    for num_pending in PENDING {
+        for frag_len in FRAGS {
+            points.push((
+                format!("pending={num_pending} frag={frag_len}"),
+                Point::Sized {
+                    num_pending,
+                    frag_len,
+                },
+            ));
+        }
+    }
+
+    let outcome = run_sweep(points, |point| {
+        let (cycles, lat_max, kernel) = run_point(point);
+        ((cycles, lat_max), kernel)
+    });
+
     let mut report = ExperimentReport::new(
         "Design space",
         "pending-transaction count vs. fragmentation: core performance and unit area",
     );
-
-    // Baseline for the performance percentage.
-    let base = {
-        let mut cfg = TestbenchConfig::single_source(ACCESSES);
-        cfg.core_regulation = Regulation::Realm(llc_regulation(256, 0, 0));
-        let mut tb = Testbench::new(cfg);
-        assert!(tb.run_until_core_done(10_000_000));
-        tb.result().cycles
-    };
-
-    for num_pending in [2usize, 4, 8, 16] {
+    let (base, _) = outcome.results[0];
+    let mut rest = outcome.results[1..].iter().zip(&outcome.runtime[1..]);
+    for num_pending in PENDING {
         let mut params = AreaParams::cheshire();
         params.num_pending = num_pending as u32;
         params.num_units = 1;
         let unit_kge = AreaBreakdown::evaluate(params).units_ge() / 1000.0;
-        for frag_len in [1u16, 16] {
-            let (cycles, lat_max) = run_point(num_pending, frag_len, ACCESSES);
+        for _ in FRAGS {
+            let (&(cycles, lat_max), rt) = rest.next().expect("grid point ran");
             report.push(Row::new(
-                format!("pending={num_pending} frag={frag_len}"),
+                rt.label.clone(),
                 vec![
                     ("perf_pct", base as f64 / cycles as f64 * 100.0),
                     ("lat_max", lat_max as f64),
@@ -64,10 +96,13 @@ fn main() {
             ));
         }
     }
+    report.runtime = outcome.runtime_rows();
 
     report.note("pending transactions cost 729.4 GE each in the splitter (Table II)");
-    report.note("fewer pending slots also bound how many DMA fragments can queue ahead of the core");
+    report
+        .note("fewer pending slots also bound how many DMA fragments can queue ahead of the core");
     print!("{}", report.render());
+    println!("{}", outcome.summary("design_space"));
     if let Err(e) = report.write_json("results/design_space.json") {
         eprintln!("could not write results/design_space.json: {e}");
     }

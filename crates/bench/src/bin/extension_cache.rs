@@ -15,10 +15,10 @@
 use axi4::{Addr, SubordinateId, TxnId};
 use axi_mem::{CacheConfig, CacheModel, DramConfig, DramModel, MemoryConfig, MemoryModel};
 use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
-use axi_sim::{AxiBundle, BundleCapacity, Sim};
+use axi_sim::{AxiBundle, BundleCapacity, KernelStats, Sim};
 use axi_traffic::{CoreModel, CoreWorkload, DmaConfig, DmaModel};
 use axi_xbar::{AddressMap, Crossbar};
-use realm_bench::{ExperimentReport, Row};
+use realm_bench::{run_sweep, ExperimentReport, Row};
 
 const MEM_BASE: Addr = Addr::new(0x8000_0000);
 const MEM_SIZE: u64 = 16 << 20;
@@ -32,7 +32,7 @@ struct Outcome {
     writebacks: u64,
 }
 
-fn run(frag_len: Option<u16>, with_dma: bool) -> Outcome {
+fn run(frag_len: Option<u16>, with_dma: bool) -> (Outcome, KernelStats) {
     let mut sim = Sim::new();
     let cap = BundleCapacity::uniform(4);
 
@@ -69,7 +69,10 @@ fn run(frag_len: Option<u16>, with_dma: bool) -> Outcome {
     ));
 
     // Core working set (64 KiB) fits the 128 KiB LLC.
-    let core = sim.add(CoreModel::new(CoreWorkload::susan(MEM_BASE, 2_000), core_up));
+    let core = sim.add(CoreModel::new(
+        CoreWorkload::susan(MEM_BASE, 2_000),
+        core_up,
+    ));
     if with_dma {
         let mut dma = DmaConfig::worst_case((MEM_BASE + 0x80_0000, 0x8_0000), (SPM_BASE, SPM_SIZE));
         dma.id = TxnId::new(1);
@@ -77,29 +80,40 @@ fn run(frag_len: Option<u16>, with_dma: bool) -> Outcome {
     }
 
     let mut map = AddressMap::new();
-    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0)).expect("map");
-    map.add(SPM_BASE, SPM_SIZE, SubordinateId::new(1)).expect("map");
+    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0))
+        .expect("map");
+    map.add(SPM_BASE, SPM_SIZE, SubordinateId::new(1))
+        .expect("map");
     sim.add(
-        Crossbar::new(map, vec![core_down, dma_down], vec![cache_front, spm_port])
-            .expect("ports"),
+        Crossbar::new(map, vec![core_down, dma_down], vec![cache_front, spm_port]).expect("ports"),
     );
     let cache = sim.add(CacheModel::new(
         CacheConfig::llc(MEM_BASE, MEM_SIZE),
         cache_front,
         cache_back,
     ));
-    sim.add(DramModel::new(DramConfig::ddr3(MEM_BASE, MEM_SIZE), cache_back));
-    sim.add(MemoryModel::new(MemoryConfig::spm(SPM_BASE, SPM_SIZE), spm_port));
+    sim.add(DramModel::new(
+        DramConfig::ddr3(MEM_BASE, MEM_SIZE),
+        cache_back,
+    ));
+    sim.add(MemoryModel::new(
+        MemoryConfig::spm(SPM_BASE, SPM_SIZE),
+        spm_port,
+    ));
 
-    assert!(sim.run_until(200_000_000, |s| s.component::<CoreModel>(core).unwrap().is_done()));
+    assert!(sim.run_until(200_000_000, |s| s
+        .component::<CoreModel>(core)
+        .unwrap()
+        .is_done()));
     let c = sim.component::<CoreModel>(core).unwrap();
     let k = sim.component::<CacheModel>(cache).unwrap();
-    Outcome {
+    let outcome = Outcome {
         cycles: c.finished_at().expect("core done"),
         lat_mean: c.latency().mean().unwrap_or(0.0),
         hit_rate: k.stats().hit_rate().unwrap_or(0.0),
         writebacks: k.stats().writebacks,
-    }
+    };
+    (outcome, sim.kernel_stats())
 }
 
 fn main() {
@@ -107,30 +121,30 @@ fn main() {
         "Extension: cache",
         "fragmentation sweep with a real write-back LLC over DRAM (no hot-cache assumption)",
     );
-    let base = run(None, false);
-    let mut push = |label: &str, o: &Outcome| {
+    let mut points: Vec<(String, (Option<u16>, bool))> = vec![
+        ("single-source".to_owned(), (None, false)),
+        ("no-reservation".to_owned(), (None, true)),
+    ];
+    points.extend([16u16, 4, 1].map(|frag| (format!("frag={frag}"), (Some(frag), true))));
+    let outcome = run_sweep(points, |&(frag, with_dma)| run(frag, with_dma));
+    let base_cycles = outcome.results[0].cycles;
+    for (o, rt) in outcome.results.iter().zip(&outcome.runtime) {
         report.push(Row::new(
-            label,
+            rt.label.clone(),
             vec![
-                ("perf_pct", base.cycles as f64 / o.cycles as f64 * 100.0),
+                ("perf_pct", base_cycles as f64 / o.cycles as f64 * 100.0),
                 ("lat_mean", o.lat_mean),
                 ("llc_hit_pct", o.hit_rate * 100.0),
                 ("writebacks", o.writebacks as f64),
             ],
         ));
-    };
-    let base_copy = Outcome { ..run(None, false) };
-    push("single-source", &base_copy);
-    let worst = run(None, true);
-    push("no-reservation", &worst);
-    for frag in [16u16, 4, 1] {
-        let o = run(Some(frag), true);
-        push(&format!("frag={frag}"), &o);
     }
+    report.runtime = outcome.runtime_rows();
     report.note("the core's 64 KiB working set fits the 128 KiB LLC: hits dominate once warm");
     report.note("the DMA streams 512 KiB through the same cache, evicting the core's lines");
     report.note("REALM recovers the core even though contention now includes capacity misses");
     print!("{}", report.render());
+    println!("{}", outcome.summary("extension_cache"));
     if let Err(e) = report.write_json("results/extension_cache.json") {
         eprintln!("could not write results/extension_cache.json: {e}");
     }

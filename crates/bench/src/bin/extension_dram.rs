@@ -13,10 +13,10 @@
 use axi4::{Addr, SubordinateId, TxnId};
 use axi_mem::{DramConfig, DramModel, MemoryConfig, MemoryModel};
 use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
-use axi_sim::{AxiBundle, BundleCapacity, Sim};
+use axi_sim::{AxiBundle, BundleCapacity, KernelStats, Sim};
 use axi_traffic::{CoreModel, CoreWorkload, DmaConfig, DmaModel};
 use axi_xbar::{AddressMap, Crossbar};
-use realm_bench::{ExperimentReport, Row};
+use realm_bench::{run_sweep, ExperimentReport, Row};
 
 const DRAM_BASE: Addr = Addr::new(0x8000_0000);
 const DRAM_SIZE: u64 = 16 << 20;
@@ -30,7 +30,7 @@ struct Outcome {
     row_hit_rate: f64,
 }
 
-fn run(frag_len: Option<u16>, with_dma: bool) -> Outcome {
+fn run(frag_len: Option<u16>, with_dma: bool) -> (Outcome, KernelStats) {
     let mut sim = Sim::new();
     let cap = BundleCapacity::uniform(4);
 
@@ -66,31 +66,47 @@ fn run(frag_len: Option<u16>, with_dma: bool) -> Outcome {
         dma_down,
     ));
 
-    let core = sim.add(CoreModel::new(CoreWorkload::susan(DRAM_BASE, 1_000), core_up));
+    let core = sim.add(CoreModel::new(
+        CoreWorkload::susan(DRAM_BASE, 1_000),
+        core_up,
+    ));
     if with_dma {
-        let mut dma = DmaConfig::worst_case((DRAM_BASE + 0x80_0000, 0x8_0000), (SPM_BASE, SPM_SIZE));
+        let mut dma =
+            DmaConfig::worst_case((DRAM_BASE + 0x80_0000, 0x8_0000), (SPM_BASE, SPM_SIZE));
         dma.id = TxnId::new(1);
         sim.add(DmaModel::new(dma, dma_up));
     }
 
     let mut map = AddressMap::new();
-    map.add(DRAM_BASE, DRAM_SIZE, SubordinateId::new(0)).expect("map");
-    map.add(SPM_BASE, SPM_SIZE, SubordinateId::new(1)).expect("map");
+    map.add(DRAM_BASE, DRAM_SIZE, SubordinateId::new(0))
+        .expect("map");
+    map.add(SPM_BASE, SPM_SIZE, SubordinateId::new(1))
+        .expect("map");
     sim.add(
         Crossbar::new(map, vec![core_down, dma_down], vec![dram_port, spm_port]).expect("ports"),
     );
-    let dram = sim.add(DramModel::new(DramConfig::ddr3(DRAM_BASE, DRAM_SIZE), dram_port));
-    sim.add(MemoryModel::new(MemoryConfig::spm(SPM_BASE, SPM_SIZE), spm_port));
+    let dram = sim.add(DramModel::new(
+        DramConfig::ddr3(DRAM_BASE, DRAM_SIZE),
+        dram_port,
+    ));
+    sim.add(MemoryModel::new(
+        MemoryConfig::spm(SPM_BASE, SPM_SIZE),
+        spm_port,
+    ));
 
-    assert!(sim.run_until(100_000_000, |s| s.component::<CoreModel>(core).unwrap().is_done()));
+    assert!(sim.run_until(100_000_000, |s| s
+        .component::<CoreModel>(core)
+        .unwrap()
+        .is_done()));
     let c = sim.component::<CoreModel>(core).unwrap();
     let d = sim.component::<DramModel>(dram).unwrap();
-    Outcome {
+    let outcome = Outcome {
         cycles: c.finished_at().expect("core done"),
         lat_mean: c.latency().mean().unwrap_or(0.0),
         lat_max: c.latency().max().unwrap_or(0),
         row_hit_rate: d.stats().hit_rate().unwrap_or(0.0),
-    }
+    };
+    (outcome, sim.kernel_stats())
 }
 
 fn main() {
@@ -98,10 +114,16 @@ fn main() {
         "Extension: DRAM",
         "fragmentation sweep over a row-buffer DRAM main memory (no LLC)",
     );
-    let base = run(None, false);
-    let mut push = |label: &str, o: &Outcome, base_cycles: u64| {
+    let mut points: Vec<(String, (Option<u16>, bool))> = vec![
+        ("single-source".to_owned(), (None, false)),
+        ("no-reservation".to_owned(), (None, true)),
+    ];
+    points.extend([64u16, 16, 4, 1].map(|frag| (format!("frag={frag}"), (Some(frag), true))));
+    let outcome = run_sweep(points, |&(frag, with_dma)| run(frag, with_dma));
+    let base_cycles = outcome.results[0].cycles;
+    for (o, rt) in outcome.results.iter().zip(&outcome.runtime) {
         report.push(Row::new(
-            label,
+            rt.label.clone(),
             vec![
                 ("perf_pct", base_cycles as f64 / o.cycles as f64 * 100.0),
                 ("lat_mean", o.lat_mean),
@@ -109,14 +131,8 @@ fn main() {
                 ("row_hit_pct", o.row_hit_rate * 100.0),
             ],
         ));
-    };
-    push("single-source", &base, base.cycles);
-    let worst = run(None, true);
-    push("no-reservation", &worst, base.cycles);
-    for frag in [64u16, 16, 4, 1] {
-        let o = run(Some(frag), true);
-        push(&format!("frag={frag}"), &o, base.cycles);
     }
+    report.runtime = outcome.runtime_rows();
     report.note("same qualitative shape as Fig. 6a despite address-dependent DRAM timing");
     report.note("REALM itself is untouched: only the downstream memory model changed");
     report.note(
@@ -124,6 +140,7 @@ fn main() {
          thrashes the row buffer, so frag=4 beats frag=1",
     );
     print!("{}", report.render());
+    println!("{}", outcome.summary("extension_dram"));
     if let Err(e) = report.write_json("results/extension_dram.json") {
         eprintln!("could not write results/extension_dram.json: {e}");
     }

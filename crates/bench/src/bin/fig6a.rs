@@ -3,6 +3,12 @@
 //! and *without reservation* baselines, and the worst-case memory access
 //! latency the section reports (264 → below ten cycles).
 //!
+//! All eleven points run through the parallel sweep harness; results are
+//! bit-identical to the old serial loop (set `REALM_SWEEP_THREADS=1` to
+//! check). Wall-clock and kernel throughput land in `BENCH_kernel.json` at
+//! the repo root; the deterministic kernel counters go into the report's
+//! `runtime` section.
+//!
 //! ```text
 //! cargo run --release -p realm-bench --bin fig6a
 //! ```
@@ -12,7 +18,14 @@ use cheshire_soc::experiments::{
     DEFAULT_ACCESSES,
 };
 use cheshire_soc::RunResult;
-use realm_bench::{ExperimentReport, Row};
+use realm_bench::{run_sweep, ExperimentReport, Row};
+
+/// One sweep point of Fig. 6a.
+enum Point {
+    Single,
+    NoReservation,
+    Frag(u16),
+}
 
 fn row(label: &str, r: &RunResult, base: &RunResult) -> Row {
     Row::new(
@@ -23,36 +36,58 @@ fn row(label: &str, r: &RunResult, base: &RunResult) -> Row {
             ("lat_min", r.core_latency.min().unwrap_or(0) as f64),
             ("lat_mean", r.core_latency.mean().unwrap_or(0.0)),
             ("lat_max", r.core_latency.max().unwrap_or(0) as f64),
-            ("lat_p99_bound", r.core_histogram.percentile_bound(0.99).unwrap_or(0) as f64),
+            (
+                "lat_p99_bound",
+                r.core_histogram.percentile_bound(0.99).unwrap_or(0) as f64,
+            ),
         ],
     )
 }
 
 fn main() {
     let accesses = DEFAULT_ACCESSES;
+    let mut points = vec![
+        ("single-source".to_owned(), Point::Single),
+        ("no-reservation".to_owned(), Point::NoReservation),
+    ];
+    points.extend(
+        fragmentation_sweep_points()
+            .into_iter()
+            .map(|frag| (format!("frag={frag}"), Point::Frag(frag))),
+    );
+
+    let outcome = run_sweep(points, |point| {
+        let r = match point {
+            Point::Single => single_source(accesses),
+            Point::NoReservation => without_reservation(accesses),
+            Point::Frag(frag) => with_fragmentation(*frag, accesses),
+        };
+        let kernel = r.kernel;
+        (r, kernel)
+    });
+
     let mut report = ExperimentReport::new(
         "Fig. 6a",
         "core performance vs. DMA burst fragmentation (equal budgets, very large period)",
     );
-
-    let base = single_source(accesses);
-    report.push(row("single-source", &base, &base));
-
-    let worst = without_reservation(accesses);
-    report.push(row("no-reservation", &worst, &base));
-
-    for frag in fragmentation_sweep_points() {
-        let r = with_fragmentation(frag, accesses);
-        report.push(row(&format!("frag={frag}"), &r, &base));
+    let base = &outcome.results[0];
+    for (r, rt) in outcome.results.iter().zip(&outcome.runtime) {
+        report.push(row(&rt.label, r, base));
     }
+    report.runtime = outcome.runtime_rows();
 
-    report.note("paper: without reservation <0.7 % of single-source, min access latency 264 cycles");
+    report
+        .note("paper: without reservation <0.7 % of single-source, min access latency 264 cycles");
     report.note("paper: frag=1 restores 68.2 % of single-source, latency <10 cycles (2 above single-source)");
     report.note("shape to check: perf rises monotonically as fragmentation shrinks 256 -> 1");
 
     print!("{}", report.render());
     print!("{}", report.render_chart("perf_pct", 50));
+    println!("{}", outcome.summary("fig6a"));
     if let Err(e) = report.write_json("results/fig6a.json") {
         eprintln!("could not write results/fig6a.json: {e}");
+    }
+    if let Err(e) = outcome.write_kernel_baseline("BENCH_kernel.json", "fig6a") {
+        eprintln!("could not write BENCH_kernel.json: {e}");
     }
 }

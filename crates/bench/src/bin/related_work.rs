@@ -12,10 +12,10 @@ use axi_mem::{MemoryConfig, MemoryModel};
 use axi_realm::area::{AreaBreakdown, AreaParams};
 use axi_realm::baseline::{BurstEqualizer, EqualizerConfig};
 use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
-use axi_sim::{AxiBundle, BundleCapacity, ComponentId, Sim};
+use axi_sim::{AxiBundle, BundleCapacity, ComponentId, KernelStats, Sim};
 use axi_traffic::{CoreModel, CoreWorkload, DmaConfig, DmaModel, StallPlan, StallingManager};
 use axi_xbar::{AddressMap, Crossbar};
-use realm_bench::{ExperimentReport, Row};
+use realm_bench::{run_sweep, ExperimentReport, Row};
 
 const LLC_BASE: Addr = Addr::new(0x8000_0000);
 const LLC_SIZE: u64 = 16 << 20;
@@ -37,7 +37,11 @@ fn attach(sim: &mut Sim, regulator: Regulator, up: AxiBundle) -> AxiBundle {
         Regulator::None => up,
         Regulator::Abe { nominal } => {
             let down = AxiBundle::new(sim.pool_mut(), cap);
-            sim.add(BurstEqualizer::new(EqualizerConfig::nominal(nominal), up, down));
+            sim.add(BurstEqualizer::new(
+                EqualizerConfig::nominal(nominal),
+                up,
+                down,
+            ));
             down
         }
         Regulator::Realm { frag } => {
@@ -70,7 +74,10 @@ fn build(regulator: Regulator, dma: bool, staller: bool, accesses: u64) -> Scena
     // Core behind a pass-through REALM unit (present in all variants).
     let core_up = AxiBundle::new(sim.pool_mut(), cap);
     let core_down = attach(&mut sim, Regulator::Realm { frag: 256 }, core_up);
-    let core = sim.add(CoreModel::new(CoreWorkload::susan(LLC_BASE, accesses), core_up));
+    let core = sim.add(CoreModel::new(
+        CoreWorkload::susan(LLC_BASE, accesses),
+        core_up,
+    ));
 
     let mut mgr_ports = vec![core_down];
     if dma {
@@ -92,11 +99,19 @@ fn build(regulator: Regulator, dma: bool, staller: bool, accesses: u64) -> Scena
     let llc_port = AxiBundle::new(sim.pool_mut(), cap);
     let spm_port = AxiBundle::new(sim.pool_mut(), cap);
     let mut map = AddressMap::new();
-    map.add(LLC_BASE, LLC_SIZE, SubordinateId::new(0)).expect("map");
-    map.add(SPM_BASE, SPM_SIZE, SubordinateId::new(1)).expect("map");
+    map.add(LLC_BASE, LLC_SIZE, SubordinateId::new(0))
+        .expect("map");
+    map.add(SPM_BASE, SPM_SIZE, SubordinateId::new(1))
+        .expect("map");
     sim.add(Crossbar::new(map, mgr_ports, vec![llc_port, spm_port]).expect("ports"));
-    sim.add(MemoryModel::new(MemoryConfig::llc(LLC_BASE, LLC_SIZE), llc_port));
-    sim.add(MemoryModel::new(MemoryConfig::spm(SPM_BASE, SPM_SIZE), spm_port));
+    sim.add(MemoryModel::new(
+        MemoryConfig::llc(LLC_BASE, LLC_SIZE),
+        llc_port,
+    ));
+    sim.add(MemoryModel::new(
+        MemoryConfig::spm(SPM_BASE, SPM_SIZE),
+        spm_port,
+    ));
 
     Scenario { core, sim }
 }
@@ -115,7 +130,11 @@ fn main() {
             .component::<CoreModel>(s.core)
             .unwrap()
             .is_done()));
-        s.sim.component::<CoreModel>(s.core).unwrap().finished_at().unwrap()
+        s.sim
+            .component::<CoreModel>(s.core)
+            .unwrap()
+            .finished_at()
+            .unwrap()
     };
 
     let area_of = |variant: &str| -> f64 {
@@ -143,11 +162,14 @@ fn main() {
         }
     };
 
-    for (label, regulator) in [
-        ("none", Regulator::None),
-        ("abe", Regulator::Abe { nominal: 1 }),
-        ("realm", Regulator::Realm { frag: 1 }),
-    ] {
+    // Both legs of each variant run inside one sweep point; the point's
+    // kernel counters are the sum over its two simulators.
+    let points = vec![
+        ("none".to_owned(), Regulator::None),
+        ("abe".to_owned(), Regulator::Abe { nominal: 1 }),
+        ("realm".to_owned(), Regulator::Realm { frag: 1 }),
+    ];
+    let outcome = run_sweep(points, |&regulator| {
         // Leg 1: contention recovery.
         let mut s = build(regulator, true, false, ACCESSES);
         assert!(s.sim.run_until(100_000_000, |sim| sim
@@ -155,7 +177,7 @@ fn main() {
             .unwrap()
             .is_done()));
         let contended = s.sim.component::<CoreModel>(s.core).unwrap();
-        let perf = base as f64 / contended.finished_at().unwrap() as f64 * 100.0;
+        let contended_cycles = contended.finished_at().unwrap();
         let lat_max = contended.latency().max().unwrap_or(0);
 
         // Leg 2: DoS survival (stalling writer instead of the DMA).
@@ -164,21 +186,34 @@ fn main() {
             sim.component::<CoreModel>(d.core).unwrap().is_done()
         });
 
+        let (k1, k2) = (s.sim.kernel_stats(), d.sim.kernel_stats());
+        let kernel = KernelStats {
+            ticks_executed: k1.ticks_executed + k2.ticks_executed,
+            cycles_skipped: k1.cycles_skipped + k2.cycles_skipped,
+            fast_forwards: k1.fast_forwards + k2.fast_forwards,
+        };
+        ((contended_cycles, lat_max, survived), kernel)
+    });
+    for (&(contended_cycles, lat_max, survived), rt) in outcome.results.iter().zip(&outcome.runtime)
+    {
         report.push(Row::new(
-            label,
+            rt.label.clone(),
             vec![
-                ("perf_pct", perf),
+                ("perf_pct", base as f64 / contended_cycles as f64 * 100.0),
                 ("lat_max", lat_max as f64),
                 ("dos_survived", f64::from(u8::from(survived))),
-                ("area_kGE", area_of(label)),
+                ("area_kGE", area_of(&rt.label)),
             ],
         ));
     }
+    report.runtime = outcome.runtime_rows();
 
-    report.note("ABE (Restuccia et al. [12]): nominal burst size + outstanding cap, no write buffer");
+    report
+        .note("ABE (Restuccia et al. [12]): nominal burst size + outstanding cap, no write buffer");
     report.note("expected shape: ABE matches REALM on contended performance but fails the DoS leg");
     report.note("REALM's extra area buys the write buffer, budgets, and monitoring");
     print!("{}", report.render());
+    println!("{}", outcome.summary("related_work"));
     if let Err(e) = report.write_json("results/related_work.json") {
         eprintln!("could not write results/related_work.json: {e}");
     }

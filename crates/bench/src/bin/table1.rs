@@ -4,14 +4,17 @@
 //! The non-REALM block areas are the paper's published synthesis results
 //! (we have no 12 nm flow); the REALM contributions are *recomputed* from
 //! the Table II area model at the Cheshire parameter point and printed next
-//! to the published values.
+//! to the published values. The per-block rows go through the sweep harness
+//! like every other binary; being analytic, each point reports
+//! `KernelStats::default()` (no simulator runs here).
 //!
 //! ```text
 //! cargo run --release -p realm-bench --bin table1
 //! ```
 
 use axi_realm::area::{AreaBreakdown, AreaParams};
-use realm_bench::{ExperimentReport, Row};
+use axi_sim::KernelStats;
+use realm_bench::{run_sweep, ExperimentReport, Row};
 
 /// Published Table I block areas in kGE (SoC blocks other than AXI-REALM).
 const PUBLISHED_BLOCKS: &[(&str, f64)] = &[
@@ -36,15 +39,20 @@ fn main() {
     let model_cfg = breakdown.config_ge() / 1000.0;
 
     let base_soc: f64 = PUBLISHED_BLOCKS.iter().map(|(_, kge)| kge).sum();
+    let soc_total = base_soc + model_units + model_cfg;
 
     let mut report = ExperimentReport::new(
         "Table I",
         "area decomposition of the Cheshire SoC (kGE; published vs. area-model estimate)",
     );
-    let soc_total = base_soc + model_units + model_cfg;
-    for &(name, kge) in PUBLISHED_BLOCKS {
+    let points = PUBLISHED_BLOCKS
+        .iter()
+        .map(|&(name, kge)| (name.to_owned(), kge))
+        .collect();
+    let outcome = run_sweep(points, |&kge| (kge, KernelStats::default()));
+    for (&kge, rt) in outcome.results.iter().zip(&outcome.runtime) {
         report.push(Row::new(
-            name,
+            rt.label.clone(),
             vec![
                 ("published_kGE", kge),
                 ("modelled_kGE", kge), // non-REALM blocks are taken as published
@@ -76,12 +84,15 @@ fn main() {
             ("pct_of_soc", 100.0),
         ],
     ));
+    report.runtime = outcome.runtime_rows();
 
     let overhead = (model_units + model_cfg) / soc_total * 100.0;
     report.note(format!(
         "AXI-REALM overhead: modelled {overhead:.2} % of the SoC (paper: 2.45 %, 83.6 kGE units + 9.8 kGE cfg)"
     ));
-    report.note("RT unit parameterisation: 64 b addr/data, write buffer depth 16, 8 outstanding, 2 regions");
+    report.note(
+        "RT unit parameterisation: 64 b addr/data, write buffer depth 16, 8 outstanding, 2 regions",
+    );
 
     print!("{}", report.render());
     if let Err(e) = report.write_json("results/table1.json") {

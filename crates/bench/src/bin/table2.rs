@@ -1,12 +1,15 @@
 //! Reproduces **Table II**: the per-sub-block area coefficients of
 //! AXI-REALM, and evaluates the model across the paper's parameter ranges.
+//! The parameter-range evaluation fans out through the sweep harness; the
+//! model is analytic, so every point reports `KernelStats::default()`.
 //!
 //! ```text
 //! cargo run --release -p realm-bench --bin table2
 //! ```
 
 use axi_realm::area::{block_area_ge, AreaBreakdown, AreaParams, SUB_BLOCKS};
-use realm_bench::{ExperimentReport, Row};
+use axi_sim::KernelStats;
+use realm_bench::{run_sweep, ExperimentReport, Row};
 
 fn main() {
     // Part 1: the coefficient matrix exactly as published.
@@ -48,19 +51,29 @@ fn main() {
         ("64b/8pend/d16*", 64, 64, 8, 16), // the Cheshire point
         ("64b/16pend/d16", 64, 64, 16, 16),
     ];
-    for (label, aw, dw, pending, depth) in points {
-        let params = AreaParams {
-            addr_width: aw,
-            data_width: dw,
-            num_pending: pending,
-            buffer_depth: depth,
-            num_regions: 2,
-            num_units: 1,
-            splitter_present: true,
-        };
-        let b = AreaBreakdown::evaluate(params);
+    let labelled = points
+        .iter()
+        .map(|&(label, aw, dw, pending, depth)| {
+            (
+                label.to_owned(),
+                AreaParams {
+                    addr_width: aw,
+                    data_width: dw,
+                    num_pending: pending,
+                    buffer_depth: depth,
+                    num_regions: 2,
+                    num_units: 1,
+                    splitter_present: true,
+                },
+            )
+        })
+        .collect();
+    let outcome = run_sweep(labelled, |&params| {
+        (AreaBreakdown::evaluate(params), KernelStats::default())
+    });
+    for (b, rt) in outcome.results.iter().zip(&outcome.runtime) {
         sweep.push(Row::new(
-            label,
+            rt.label.clone(),
             vec![
                 ("unit_kGE", b.units_ge() / 1000.0),
                 ("cfg_kGE", b.config_ge() / 1000.0),
@@ -80,7 +93,10 @@ fn main() {
             ],
         ));
     }
-    sweep.note("* Cheshire evaluation point (per-block rows: per-instance kGE, instance count, total kGE)");
+    sweep.runtime = outcome.runtime_rows();
+    sweep.note(
+        "* Cheshire evaluation point (per-block rows: per-instance kGE, instance count, total kGE)",
+    );
     sweep.note(format!(
         "Burst Splitter per-instance check: {:.1} GE at the Cheshire point",
         block_area_ge(&SUB_BLOCKS[6], &AreaParams::cheshire())

@@ -3,7 +3,10 @@
 //!
 //! This is the observability story of §III-A as a time series: the budget's
 //! duty cycle is directly visible, as is the core's latency dropping the
-//! instant the DMA's budget runs dry each period.
+//! instant the DMA's budget runs dry each period. The run is inherently
+//! sequential (each window continues the same simulator), so it enters the
+//! sweep harness as a single point — for uniform kernel-counter reporting,
+//! not parallelism.
 //!
 //! ```text
 //! cargo run --release -p realm-bench --bin timeline
@@ -11,25 +14,28 @@
 
 use cheshire_soc::experiments::llc_regulation;
 use cheshire_soc::{Regulation, Testbench, TestbenchConfig};
-use realm_bench::{ExperimentReport, Row};
+use realm_bench::{run_sweep, ExperimentReport, Row};
 
 fn main() {
     const PERIOD: u64 = 1_000;
     const DMA_BUDGET: u64 = 2 * 1024; // ~25 % duty cycle
 
-    let mut cfg = TestbenchConfig::single_source(u64::MAX / 2);
-    cfg.dma = Some(TestbenchConfig::worst_case_dma());
-    cfg.core_regulation = Regulation::Realm(llc_regulation(256, 0, 0));
-    cfg.dma_regulation = Regulation::Realm(llc_regulation(1, DMA_BUDGET, PERIOD));
-    let mut tb = Testbench::new(cfg);
-    tb.run(2 * PERIOD); // warm up past the first periods
+    let outcome = run_sweep(vec![("timeline".to_owned(), ())], |()| {
+        let mut cfg = TestbenchConfig::single_source(u64::MAX / 2);
+        cfg.dma = Some(TestbenchConfig::worst_case_dma());
+        cfg.core_regulation = Regulation::Realm(llc_regulation(256, 0, 0));
+        cfg.dma_regulation = Regulation::Realm(llc_regulation(1, DMA_BUDGET, PERIOD));
+        let mut tb = Testbench::new(cfg);
+        tb.run(2 * PERIOD); // warm up past the first periods
 
-    let timeline = tb.run_timeline(16, PERIOD / 4); // 4 samples per period
+        let timeline = tb.run_timeline(16, PERIOD / 4); // 4 samples per period
+        (timeline, tb.sim().kernel_stats())
+    });
+    let timeline = &outcome.results[0];
+
     let mut report = ExperimentReport::new(
         "Timeline",
-        format!(
-            "quarter-period samples (DMA budget {DMA_BUDGET} B / {PERIOD} cycles)"
-        ),
+        format!("quarter-period samples (DMA budget {DMA_BUDGET} B / {PERIOD} cycles)"),
     );
     for s in &timeline.samples {
         report.push(Row::new(
@@ -42,6 +48,7 @@ fn main() {
             ],
         ));
     }
+    report.runtime = outcome.runtime_rows();
     report.note("dma_reg_B concentrates in the first quarter of each period (budget duty cycle)");
     report.note("core_lat falls once the DMA budget is spent; isolation fills the remainder");
     print!("{}", report.render());

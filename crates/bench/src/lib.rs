@@ -5,6 +5,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod report;
+pub mod sweep;
 
 pub use report::{ExperimentReport, Row};
+pub use sweep::{run_sweep, PointRuntime, SweepOutcome};

@@ -4,10 +4,10 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Json};
 
 /// One row of an experiment table: a label plus named numeric columns.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Row {
     /// Row label (e.g. the fragmentation size or budget ratio).
     pub label: String,
@@ -20,16 +20,51 @@ impl Row {
     pub fn new<L: Into<String>>(label: L, values: Vec<(&str, f64)>) -> Self {
         Self {
             label: label.into(),
-            values: values
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
+            values: values.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
         }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".to_owned(), Json::Str(self.label.clone())),
+            (
+                "values".to_owned(),
+                Json::Arr(
+                    self.values
+                        .iter()
+                        .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Num(*v)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let label = v
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("row missing `label`")?
+            .to_owned();
+        let values = v
+            .get("values")
+            .and_then(Json::as_arr)
+            .ok_or("row missing `values`")?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_arr().ok_or("value entry is not a pair")?;
+                match pair {
+                    [Json::Str(k), Json::Num(n)] => Ok((k.clone(), *n)),
+                    _ => Err("value entry is not [name, number]".to_owned()),
+                }
+            })
+            .collect::<Result<_, String>>()?;
+        Ok(Self { label, values })
     }
 }
 
-/// An experiment's rendered result: title, column set, rows, and notes.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// An experiment's rendered result: title, column set, rows, and notes,
+/// plus deterministic kernel `runtime` counters from the sweep harness.
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentReport {
     /// Experiment identifier (e.g. "Fig. 6a").
     pub id: String,
@@ -39,6 +74,10 @@ pub struct ExperimentReport {
     pub rows: Vec<Row>,
     /// Free-form notes (paper reference values, caveats).
     pub notes: Vec<String>,
+    /// Per-point kernel counters (ticks executed, cycles skipped) from the
+    /// sweep harness. Deterministic, unlike wall-clock, so they live in the
+    /// report; wall-clock goes to `BENCH_kernel.json` instead.
+    pub runtime: Vec<Row>,
 }
 
 impl ExperimentReport {
@@ -49,6 +88,7 @@ impl ExperimentReport {
             title: title.into(),
             rows: Vec::new(),
             notes: Vec::new(),
+            runtime: Vec::new(),
         }
     }
 
@@ -171,14 +211,89 @@ impl ExperimentReport {
         out
     }
 
+    /// The report as a JSON value (field order matches the files the seed's
+    /// serde derive produced, with `runtime` appended).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".to_owned(), Json::Str(self.id.clone())),
+            ("title".to_owned(), Json::Str(self.title.clone())),
+            (
+                "rows".to_owned(),
+                Json::Arr(self.rows.iter().map(Row::to_json).collect()),
+            ),
+            (
+                "notes".to_owned(),
+                Json::Arr(self.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+            ),
+            (
+                "runtime".to_owned(),
+                Json::Arr(self.runtime.iter().map(Row::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds a report from a parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let field_str = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or(format!("report missing `{key}`"))
+        };
+        let rows = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .map(Row::from_json)
+                .collect::<Result<Vec<Row>, String>>()
+        };
+        Ok(Self {
+            id: field_str("id")?,
+            title: field_str("title")?,
+            rows: v
+                .get("rows")
+                .and_then(Json::as_arr)
+                .ok_or("report missing `rows`")?
+                .iter()
+                .map(Row::from_json)
+                .collect::<Result<_, String>>()?,
+            notes: v
+                .get("notes")
+                .and_then(Json::as_arr)
+                .ok_or("report missing `notes`")?
+                .iter()
+                .map(|n| {
+                    n.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| "note is not a string".to_owned())
+                })
+                .collect::<Result<_, String>>()?,
+            // Absent in files written before the sweep harness existed.
+            runtime: rows("runtime")?,
+        })
+    }
+
+    /// Parses a report from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Reports JSON syntax errors or missing fields.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        Self::from_json(&json::parse(text)?)
+    }
+
     /// Writes the report as JSON next to the printed table.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_json<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
-        let json = serde_json::to_string_pretty(self).expect("report serializes");
-        fs::write(path, json)
+        fs::write(path, self.to_json().pretty())
     }
 }
 
@@ -236,17 +351,38 @@ mod tests {
         let mut rep = ExperimentReport::new("C", "chart");
         rep.push(Row::new("a", vec![("x", 1.0)]));
         assert!(rep.render_chart("nope", 10).contains("(no data)"));
-        assert!(ExperimentReport::new("E", "e").render_chart("x", 10).contains("(no data)"));
+        assert!(ExperimentReport::new("E", "e")
+            .render_chart("x", 10)
+            .contains("(no data)"));
     }
 
     #[test]
     fn json_roundtrip() {
         let mut rep = ExperimentReport::new("X", "x");
         rep.push(Row::new("a", vec![("v", 1.5)]));
+        rep.note("n");
+        rep.runtime
+            .push(Row::new("a", vec![("ticks_executed", 10.0)]));
         let dir = std::env::temp_dir().join("realm_report_test.json");
         rep.write_json(&dir).unwrap();
         let text = std::fs::read_to_string(&dir).unwrap();
         assert!(text.contains("\"id\": \"X\""));
+        assert_eq!(ExperimentReport::from_json_str(&text).unwrap(), rep);
         let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn json_without_runtime_section_still_parses() {
+        // Files written before the sweep harness existed lack `runtime`.
+        let text = r#"{
+  "id": "Fig. 6a",
+  "title": "t",
+  "rows": [{ "label": "256", "values": [["perf_pct", 0.7]] }],
+  "notes": ["legacy"]
+}"#;
+        let rep = ExperimentReport::from_json_str(text).unwrap();
+        assert_eq!(rep.id, "Fig. 6a");
+        assert_eq!(rep.rows[0].values[0], ("perf_pct".to_owned(), 0.7));
+        assert!(rep.runtime.is_empty());
     }
 }

@@ -321,7 +321,10 @@ mod tests {
         assert_eq!(find("Burst Splitter").coefficients.addr_width, 49.3);
         assert_eq!(find("Write Buffer").coefficients.storage_kibit, 264.4);
         assert_eq!(find("Tracking counters").coefficients.constant, 1928.5);
-        assert_eq!(find("Region Boundary Register").coefficients.addr_width, 20.6);
+        assert_eq!(
+            find("Region Boundary Register").coefficients.addr_width,
+            20.6
+        );
         assert_eq!(SUB_BLOCKS.len(), 11);
     }
 

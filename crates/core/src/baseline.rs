@@ -78,7 +78,10 @@ impl BurstEqualizer {
             (1..=256).contains(&cfg.nominal_beats),
             "nominal burst size must be 1..=256 beats"
         );
-        assert!(cfg.max_outstanding > 0, "need at least one outstanding slot");
+        assert!(
+            cfg.max_outstanding > 0,
+            "need at least one outstanding slot"
+        );
         Self {
             cfg,
             upstream,
@@ -140,7 +143,8 @@ impl Component for BurstEqualizer {
                 if states.is_empty() {
                     self.wtxns.remove(&b.id.raw());
                 }
-                ctx.pool.push(self.upstream.b, ctx.cycle, BBeat::new(b.id, resp));
+                ctx.pool
+                    .push(self.upstream.b, ctx.cycle, BBeat::new(b.id, resp));
             }
         }
 
@@ -175,11 +179,14 @@ impl Component for BurstEqualizer {
                     self.aw_queue.push_back(header);
                     self.w_templates.push_back(frag.len.beats());
                 }
-                self.wtxns.entry(aw.id.raw()).or_default().push_back(WriteTxnState {
-                    frags_total: plan.len(),
-                    frags_acked: 0,
-                    resp: Resp::Okay,
-                });
+                self.wtxns
+                    .entry(aw.id.raw())
+                    .or_default()
+                    .push_back(WriteTxnState {
+                        frags_total: plan.len(),
+                        frags_acked: 0,
+                        resp: Resp::Okay,
+                    });
             }
         }
         // Emit write fragment headers eagerly — the ABE behaviour that
@@ -215,6 +222,15 @@ impl Component for BurstEqualizer {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn next_event(&self, cycle: axi_sim::Cycle) -> Option<axi_sim::Cycle> {
+        // Queued fragments want to emit every cycle; everything else is a
+        // reaction to beats arriving on the wires. A full outstanding window
+        // reopens only when a response arrives, which is likewise reactive.
+        let emit_read = self.read.peek_fragment(self.cfg.max_outstanding).is_some();
+        let emit_aw = self.aw_outstanding < self.cfg.max_outstanding && !self.aw_queue.is_empty();
+        (emit_read || emit_aw).then_some(cycle)
+    }
 }
 
 #[cfg(test)]
@@ -230,7 +246,12 @@ mod tests {
     fn rig(
         nominal: u16,
         script: Vec<Op>,
-    ) -> (Sim, axi_sim::ComponentId, axi_sim::ComponentId, axi_sim::ComponentId) {
+    ) -> (
+        Sim,
+        axi_sim::ComponentId,
+        axi_sim::ComponentId,
+        axi_sim::ComponentId,
+    ) {
         let mut sim = Sim::new();
         let cap = BundleCapacity::uniform(4);
         let up = AxiBundle::new(sim.pool_mut(), cap);
@@ -273,13 +294,18 @@ mod tests {
             4,
             vec![write_op(1, MEM.raw(), &words), read_op(2, MEM.raw(), 32)],
         );
-        assert!(sim.run_until(20_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+        assert!(sim.run_until(20_000, |s| s
+            .component::<ScriptedManager>(mgr)
+            .unwrap()
+            .is_done()));
         let m = sim.component::<ScriptedManager>(mgr).unwrap();
         assert!(m.completions().iter().all(|c| c.resp == Resp::Okay));
         assert_eq!(m.completions()[1].data, words);
         // 32 beats at nominal 4 = 8 write + 8 read fragments.
         assert_eq!(
-            sim.component::<BurstEqualizer>(abe).unwrap().fragments_emitted(),
+            sim.component::<BurstEqualizer>(abe)
+                .unwrap()
+                .fragments_emitted(),
             16
         );
     }
@@ -287,9 +313,15 @@ mod tests {
     #[test]
     fn equalizes_to_nominal_size() {
         let (mut sim, mgr, _, mem) = rig(1, vec![read_op(1, MEM.raw(), 16)]);
-        assert!(sim.run_until(20_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+        assert!(sim.run_until(20_000, |s| s
+            .component::<ScriptedManager>(mgr)
+            .unwrap()
+            .is_done()));
         // The memory saw 16 one-beat bursts.
-        assert_eq!(sim.component::<MemoryModel>(mem).unwrap().reads_served(), 16);
+        assert_eq!(
+            sim.component::<MemoryModel>(mem).unwrap().reads_served(),
+            16
+        );
     }
 
     #[test]
@@ -298,7 +330,10 @@ mod tests {
         // the manager sees exactly one SLVERR response.
         let words: Vec<u64> = (0..8).collect();
         let (mut sim, mgr, _, _) = rig(2, vec![write_op(1, 0x100, &words)]);
-        assert!(sim.run_until(20_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+        assert!(sim.run_until(20_000, |s| s
+            .component::<ScriptedManager>(mgr)
+            .unwrap()
+            .is_done()));
         let m = sim.component::<ScriptedManager>(mgr).unwrap();
         assert_eq!(m.completions().len(), 1);
         assert_eq!(m.completions()[0].resp, Resp::SlvErr);

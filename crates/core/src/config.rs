@@ -231,7 +231,10 @@ mod tests {
         let mut r = RuntimeConfig::open(2);
         assert!(r.validate(&d).is_ok());
         r.frag_len = 0;
-        assert!(matches!(r.validate(&d), Err(ConfigError::BadFragLen { .. })));
+        assert!(matches!(
+            r.validate(&d),
+            Err(ConfigError::BadFragLen { .. })
+        ));
         r.frag_len = 257;
         assert!(r.validate(&d).is_err());
         r.frag_len = 1;

@@ -129,8 +129,10 @@ mod tests {
 
     #[test]
     fn region_bandwidth() {
-        let mut s = RegionStats::default();
-        s.bytes_this_period = 800;
+        let s = RegionStats {
+            bytes_this_period: 800,
+            ..Default::default()
+        };
         assert_eq!(s.bandwidth(100), Some(8.0));
         assert_eq!(s.bandwidth(0), None);
     }

@@ -79,10 +79,17 @@ impl BudgetMonitor {
     }
 
     /// Advances period counters: replenishes budgets whose period elapsed.
+    ///
+    /// Replenishment stays on the period grid: `period_start` advances by
+    /// whole multiples of the period, never to the observing cycle itself.
+    /// A late or gapped tick (the kernel fast-forwards over idle stretches)
+    /// therefore lands on the same grid a tick-per-cycle run would, instead
+    /// of silently stretching every subsequent period.
     pub fn tick(&mut self, cycle: u64) {
         for r in &mut self.regions {
             if r.config.period > 0 && cycle >= r.period_start + r.config.period {
-                r.period_start = cycle;
+                let elapsed = (cycle - r.period_start) / r.config.period;
+                r.period_start += elapsed * r.config.period;
                 r.budget_left = r.config.budget_max;
                 r.stats.bytes_this_period = 0;
             }
@@ -124,14 +131,24 @@ impl BudgetMonitor {
     /// `num_pending` by the lowest remaining budget fraction across
     /// regulated regions, never below one (backpressure is modulated
     /// *before* the budget fully expires).
+    ///
+    /// Pure integer arithmetic — `ceil(num_pending * budget_left /
+    /// budget_max)` in `u128` — because an `f64` division loses precision
+    /// once budgets exceed 2^53 bytes, where a one-byte budget drain could
+    /// round the fraction back up to 1.0.
     pub fn throttle_limit(&self, num_pending: usize) -> usize {
-        let min_fraction = self
-            .regions
+        let scaled = |r: &RegionState| -> usize {
+            let num = num_pending as u128 * u128::from(r.budget_left);
+            let den = u128::from(r.config.budget_max);
+            (num.div_ceil(den)).min(num_pending as u128) as usize
+        };
+        self.regions
             .iter()
             .filter(|r| r.is_regulated())
-            .map(|r| r.budget_left as f64 / r.config.budget_max as f64)
-            .fold(1.0_f64, f64::min);
-        ((num_pending as f64 * min_fraction).ceil() as usize).max(1)
+            .map(scaled)
+            .min()
+            .unwrap_or(num_pending)
+            .max(1)
     }
 }
 
@@ -226,6 +243,62 @@ mod tests {
         assert_eq!(m.regions()[0].budget_left, 500);
         assert_eq!(m.regions()[0].period_start, 42);
         assert!(!m.any_depleted());
+    }
+
+    #[test]
+    fn tick_past_several_periods_stays_on_grid() {
+        // Regression: a tick observing several elapsed periods at once (or
+        // one cycle late) must advance `period_start` by whole multiples of
+        // the period, not to the observing cycle — otherwise every late
+        // tick would stretch all later periods.
+        let mut m = monitor(100, 50);
+        m.charge(0, 100);
+        // One tick lands 3 periods + 7 cycles after the epoch.
+        m.tick(157);
+        assert_eq!(m.regions()[0].period_start, 150, "grid point, not 157");
+        assert_eq!(m.regions()[0].budget_left, 100);
+        // The next boundary is 200, exactly as a tick-per-cycle run sees.
+        m.charge(0, 100);
+        m.tick(199);
+        assert!(m.any_depleted());
+        m.tick(200);
+        assert!(!m.any_depleted());
+        assert_eq!(m.regions()[0].period_start, 200);
+    }
+
+    #[test]
+    fn throttle_limit_is_exact_at_u64_extremes() {
+        // Regression: with budgets near u64::MAX the old f64 formulation
+        // rounded `budget_left / budget_max` back to 1.0 after small
+        // charges, so throttling never engaged.
+        let mut m = monitor(u64::MAX, 1_000_000);
+        m.charge(0, 1);
+        assert_eq!(
+            m.throttle_limit(8),
+            8,
+            "one byte off a 2^64 budget still ceils to the full limit"
+        );
+        m.charge(0, u64::MAX / 2);
+        assert_eq!(m.throttle_limit(8), 4, "half budget halves the limit");
+        // Fully drained: clamps to one, never zero.
+        let left = m.regions()[0].budget_left;
+        m.charge(0, left);
+        assert_eq!(m.throttle_limit(8), 1);
+        // A tiny sliver of budget must not round down to zero either.
+        let mut m = monitor(u64::MAX, 0);
+        m.charge(0, u64::MAX - 1);
+        assert_eq!(m.throttle_limit(8), 1, "ceil keeps the last fraction");
+        // One byte above an exact eighth of a 2^60 budget: the remainder is
+        // below f64's 53-bit mantissa, so the old float formulation rounded
+        // the fraction to exactly 1/8 and lost the ceil to 2.
+        let mut m = monitor(1 << 60, 0);
+        m.charge(0, (1 << 60) - ((1 << 57) + 1));
+        assert_eq!(m.regions()[0].budget_left, (1 << 57) + 1);
+        assert_eq!(
+            m.throttle_limit(8),
+            2,
+            "sub-f64-precision remainder still ceils up"
+        );
     }
 
     #[test]

@@ -294,8 +294,11 @@ mod tests {
         assert!(PartitionError::UnknownPartition { part: PartId(3) }
             .to_string()
             .contains("PARTID3"));
-        assert!(PartitionError::UnknownUnit { unit: 7, managed: 2 }
-            .to_string()
-            .contains("7"));
+        assert!(PartitionError::UnknownUnit {
+            unit: 7,
+            managed: 2
+        }
+        .to_string()
+        .contains("7"));
     }
 }

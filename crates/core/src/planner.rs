@@ -92,7 +92,10 @@ pub fn split_by_weight(weights: &[u32], period: u64) -> Vec<BudgetAdvice> {
     assert!(!weights.is_empty(), "need at least one manager");
     assert!(period > 0, "period must be nonzero");
     let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
-    assert!(total > 0 && weights.iter().all(|&w| w > 0), "weights must be positive");
+    assert!(
+        total > 0 && weights.iter().all(|&w| w > 0),
+        "weights must be positive"
+    );
     weights
         .iter()
         .map(|&w| {

@@ -93,16 +93,19 @@ impl ReadPath {
             f.burst = frag.kind;
             self.frag_queue.push_back(f);
         }
-        self.txns.entry(ar.id.raw()).or_default().push_back(ReadTxnState {
-            total_beats: u32::from(ar.len.beats()),
-            beats_done: 0,
-            frags_total: plan.len(),
-            frags_emitted: 0,
-            region,
-            accepted_at: cycle,
-            beat_bytes: ar.size.bytes(),
-            resp: Resp::Okay,
-        });
+        self.txns
+            .entry(ar.id.raw())
+            .or_default()
+            .push_back(ReadTxnState {
+                total_beats: u32::from(ar.len.beats()),
+                beats_done: 0,
+                frags_total: plan.len(),
+                frags_emitted: 0,
+                region,
+                accepted_at: cycle,
+                beat_bytes: ar.size.bytes(),
+                resp: Resp::Okay,
+            });
         self.pending_txns += 1;
     }
 
@@ -199,7 +202,13 @@ mod tests {
         )
     }
 
-    fn respond_all(path: &mut ReadPath, id: u32, frag_len: u16, total: u16, cycle: u64) -> Vec<RoutedRead> {
+    fn respond_all(
+        path: &mut ReadPath,
+        id: u32,
+        frag_len: u16,
+        total: u16,
+        cycle: u64,
+    ) -> Vec<RoutedRead> {
         // Downstream answers each fragment with `last` on its final beat.
         let mut out = Vec::new();
         let mut into_frag = 0;

@@ -66,7 +66,9 @@ impl RealmUnit {
         runtime
             .regions
             .resize_with(design.num_regions, Default::default);
-        runtime.validate(&design).expect("valid runtime configuration");
+        runtime
+            .validate(&design)
+            .expect("valid runtime configuration");
         let monitor = BudgetMonitor::new(&runtime);
         let regs = shared_regs(design, runtime.clone());
         Self {
@@ -348,5 +350,62 @@ impl Component for RealmUnit {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn next_event(&self, cycle: u64) -> Option<u64> {
+        // Register writes not yet applied (or a pending intrusive drain)
+        // need a tick to take effect.
+        {
+            let shared = self.regs.borrow();
+            if shared.clear_stats || shared.runtime != self.active {
+                return Some(cycle);
+            }
+        }
+        if self.reconfiguring {
+            return Some(cycle);
+        }
+        if self.active.enabled {
+            // Queued fragments and buffered write beats want to move now —
+            // unless depletion pins them until the next replenishment,
+            // which the period wake below covers.
+            let limit = self.throttle_limit();
+            let depleted = self.monitor.any_depleted();
+            if !depleted
+                && (self.read.peek_fragment(limit).is_some()
+                    || self.write.peek_forward_aw(limit).is_some())
+            {
+                return Some(cycle);
+            }
+            if self.write.peek_forward_beat().is_some() {
+                return Some(cycle);
+            }
+        }
+        // A region mid-period (spent budget or recorded bytes) changes
+        // state when its period replenishes; fresh regions only advance
+        // their period grid, reconciled in `on_fast_forward`.
+        let mut wake: Option<u64> = None;
+        for r in self.monitor.regions() {
+            if r.config.period > 0
+                && (r.budget_left != r.config.budget_max || r.stats.bytes_this_period != 0)
+            {
+                let boundary = (r.period_start + r.config.period).max(cycle);
+                wake = Some(wake.map_or(boundary, |w| w.min(boundary)));
+            }
+        }
+        wake
+    }
+
+    fn on_fast_forward(&mut self, from: u64, to: u64) {
+        // Re-run the elided period bookkeeping: the last elided tick was at
+        // `to - 1`, and the grid arithmetic in `BudgetMonitor::tick` lands
+        // on the same period start a tick-per-cycle run would.
+        self.monitor.tick(to - 1);
+        // Isolation is constant across a skip (depletion can only end at a
+        // period boundary, which bounds the jump), so each elided tick
+        // would have counted one isolated cycle.
+        if self.active.enabled && self.is_isolated() {
+            self.stats.isolated_cycles += to - from;
+        }
+        self.mirror_status();
     }
 }

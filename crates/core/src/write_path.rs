@@ -139,13 +139,16 @@ impl WritePath {
                 region,
             });
         }
-        self.txns.entry(aw.id.raw()).or_default().push_back(WriteTxnState {
-            frags_total: plan.len(),
-            frags_acked: 0,
-            resp: Resp::Okay,
-            region,
-            accepted_at: cycle,
-        });
+        self.txns
+            .entry(aw.id.raw())
+            .or_default()
+            .push_back(WriteTxnState {
+                frags_total: plan.len(),
+                frags_acked: 0,
+                resp: Resp::Okay,
+                region,
+                accepted_at: cycle,
+            });
         self.pending_txns += 1;
     }
 
@@ -295,7 +298,9 @@ impl WritePath {
             .txns
             .get_mut(&b.id.raw())
             .expect("response for an unknown write ID");
-        let state = states.front_mut().expect("response with no write in flight");
+        let state = states
+            .front_mut()
+            .expect("response with no write in flight");
         state.frags_acked += 1;
         state.resp = state.resp.merge(b.resp);
         let region = state.region;
@@ -381,7 +386,7 @@ mod tests {
         let mut lasts = Vec::new();
         for _ in 0..2 {
             p.forward_aw();
-            while let Some(_) = p.peek_forward_beat() {
+            while p.peek_forward_beat().is_some() {
                 let (b, _) = p.forward_beat();
                 lasts.push(b.last);
             }

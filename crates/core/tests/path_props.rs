@@ -210,3 +210,61 @@ proptest! {
         prop_assert!(path.is_drained());
     }
 }
+
+/// Pinned regression seed for `write_path_conserves_beats`: 9 beats at
+/// granularity 1 through a depth-1 buffer — the tightest interleave, where
+/// every beat must round-trip through a full buffer before the next fits.
+#[test]
+fn write_path_conserves_beats_pinned_case() {
+    let (beats, granularity, buffer_depth) = (9u16, 1u16, 1usize);
+    let header = aw(1, 0x1000, beats);
+    let plan = fragment_write_header(&header, granularity).expect("valid granularity");
+    let mut path = WritePath::new(8, buffer_depth);
+    path.accept(header, &plan, Some(0), 0);
+
+    let mut fed = 0u16;
+    let mut forwarded: Vec<WBeat> = Vec::new();
+    let mut aw_count = 0usize;
+    let mut charged = 0u64;
+    let mut guard = 0u32;
+    while forwarded.len() < beats as usize {
+        guard += 1;
+        assert!(
+            guard < 10_000,
+            "deadlock: {} of {} forwarded",
+            forwarded.len(),
+            beats
+        );
+        if fed < beats && path.can_take_beat() {
+            path.take_beat(WBeat::full(u64::from(fed), fed + 1 == beats));
+            fed += 1;
+        }
+        if path.peek_forward_aw(usize::MAX >> 1).is_some() {
+            let (_, charge) = path.forward_aw();
+            charged += charge.bytes;
+            aw_count += 1;
+        }
+        if path.peek_forward_beat().is_some() {
+            forwarded.push(path.forward_beat().0);
+        }
+    }
+
+    assert_eq!(aw_count, plan.len(), "one AW per fragment");
+    assert_eq!(charged, u64::from(beats) * 8, "charges cover the burst");
+    for (i, b) in forwarded.iter().enumerate() {
+        assert_eq!(b.data, i as u64);
+        assert!(b.last, "granularity 1 makes every beat a fragment end");
+    }
+    let mut upstream_bs = 0;
+    for _ in 0..plan.len() {
+        if path
+            .on_response(BBeat::okay(TxnId::new(1)), 100)
+            .beat
+            .is_some()
+        {
+            upstream_bs += 1;
+        }
+    }
+    assert_eq!(upstream_bs, 1);
+    assert!(path.is_drained());
+}

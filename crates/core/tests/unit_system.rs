@@ -1,9 +1,13 @@
 //! System tests of the REALM unit: functional transparency, regulation,
 //! reconfiguration, and DoS mitigation.
 
-use axi4::{Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, Resp, SubordinateId, TxnId, WriteTxn};
+use axi4::{
+    Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, Resp, SubordinateId, TxnId, WriteTxn,
+};
 use axi_mem::{MemoryConfig, MemoryModel, MmioSubordinate};
-use axi_realm::{offsets, BusGuard, DesignConfig, RealmRegFile, RealmUnit, RegionConfig, RuntimeConfig};
+use axi_realm::{
+    offsets, BusGuard, DesignConfig, RealmRegFile, RealmUnit, RegionConfig, RuntimeConfig,
+};
 use axi_sim::{AxiBundle, BundleCapacity, ComponentId, Sim};
 use axi_traffic::{Op, ScriptedManager, StallPlan, StallingManager};
 use axi_xbar::{AddressMap, Crossbar};
@@ -66,8 +70,10 @@ fn direct_rig(runtime: RuntimeConfig, script: Vec<Op>) -> DirectRig {
 fn run_to_done(rig: &mut DirectRig, max: u64) {
     let mgr = rig.mgr;
     assert!(
-        rig.sim
-            .run_until(max, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()),
+        rig.sim.run_until(max, |s| s
+            .component::<ScriptedManager>(mgr)
+            .unwrap()
+            .is_done()),
         "script did not finish in {max} cycles"
     );
 }
@@ -127,7 +133,10 @@ fn budget_depletion_isolates_until_period() {
     run_to_done(&mut rig, 10_000);
     let mgr = rig.sim.component::<ScriptedManager>(rig.mgr).unwrap();
     let finish: Vec<u64> = mgr.completions().iter().map(|c| c.finished).collect();
-    assert!(finish[0] < 400, "first read inside first period: {finish:?}");
+    assert!(
+        finish[0] < 400,
+        "first read inside first period: {finish:?}"
+    );
     assert!(
         finish[1] >= 400 && finish[1] < 800,
         "second read must wait for period 2: {finish:?}"
@@ -166,7 +175,10 @@ fn bandwidth_bounded_by_budget_over_periods() {
         bw <= 0.85,
         "sustained bandwidth {bw:.2} B/cycle exceeds the 0.8 budget rate"
     );
-    assert!(bw > 0.6, "regulation should not collapse throughput: {bw:.2}");
+    assert!(
+        bw > 0.6,
+        "regulation should not collapse throughput: {bw:.2}"
+    );
 }
 
 #[test]
@@ -207,7 +219,10 @@ fn bypass_mode_is_transparent() {
 
 #[test]
 fn intrusive_reconfig_waits_for_drain() {
-    let script = vec![read_op(1, MEM_BASE.raw(), 32), read_op(2, MEM_BASE.raw(), 32)];
+    let script = vec![
+        read_op(1, MEM_BASE.raw(), 32),
+        read_op(2, MEM_BASE.raw(), 32),
+    ];
     let mut rig = direct_rig(regulated(256, 0, 0), script);
     // Change frag_len through the shared registers mid-flight.
     rig.sim.run(3);
@@ -219,8 +234,11 @@ fn intrusive_reconfig_waits_for_drain() {
     let mem = rig.sim.component::<MemoryModel>(rig.mem).unwrap();
     // First read unfragmented (1 burst), second fragmented (8 bursts) —
     // unless the first had already drained before the write landed.
-    assert!(mem.reads_served() == 9 || mem.reads_served() == 16,
-        "reads_served = {}", mem.reads_served());
+    assert!(
+        mem.reads_served() == 9 || mem.reads_served() == 16,
+        "reads_served = {}",
+        mem.reads_served()
+    );
 }
 
 #[test]
@@ -232,7 +250,10 @@ fn user_isolation_blocks_and_releases() {
     regs.borrow_mut().runtime.isolate_request = true;
     rig.sim.run(200);
     let mgr = rig.sim.component::<ScriptedManager>(rig.mgr).unwrap();
-    assert!(mgr.completions().is_empty(), "isolated unit accepts nothing");
+    assert!(
+        mgr.completions().is_empty(),
+        "isolated unit accepts nothing"
+    );
     let realm = rig.sim.component::<RealmUnit>(rig.realm).unwrap();
     assert!(realm.is_isolated());
     assert!(realm.is_drained());
@@ -254,7 +275,10 @@ fn write_buffer_defuses_stalling_dos() {
     let victim_port = AxiBundle::new(sim.pool_mut(), BundleCapacity::uniform(4));
     let mem_port = AxiBundle::new(sim.pool_mut(), BundleCapacity::uniform(4));
 
-    sim.add(StallingManager::new(StallPlan::forever(MEM_BASE), staller_up));
+    sim.add(StallingManager::new(
+        StallPlan::forever(MEM_BASE),
+        staller_up,
+    ));
     sim.add(RealmUnit::new(
         DesignConfig::cheshire(),
         regulated(16, 0, 0),
@@ -267,13 +291,18 @@ fn write_buffer_defuses_stalling_dos() {
     ));
     let mut map = AddressMap::new();
     map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0)).unwrap();
-    let xbar = sim.add(
-        Crossbar::new(map, vec![staller_down, victim_port], vec![mem_port]).unwrap(),
-    );
-    sim.add(MemoryModel::new(MemoryConfig::spm(MEM_BASE, MEM_SIZE), mem_port));
+    let xbar =
+        sim.add(Crossbar::new(map, vec![staller_down, victim_port], vec![mem_port]).unwrap());
+    sim.add(MemoryModel::new(
+        MemoryConfig::spm(MEM_BASE, MEM_SIZE),
+        mem_port,
+    ));
 
     assert!(
-        sim.run_until(5_000, |s| s.component::<ScriptedManager>(victim).unwrap().is_done()),
+        sim.run_until(5_000, |s| s
+            .component::<ScriptedManager>(victim)
+            .unwrap()
+            .is_done()),
         "victim must complete despite the stalling writer"
     );
     let v = sim.component::<ScriptedManager>(victim).unwrap();
@@ -306,18 +335,26 @@ fn mmio_configuration_path_end_to_end() {
     ));
     let guard = BusGuard::new(RealmRegFile::new(vec![regs]));
     const CFG_BASE: u64 = 0x0200_0000;
-    sim.add(MmioSubordinate::new(guard, Addr::new(CFG_BASE), 0x1_0000, cfg_port));
+    sim.add(MmioSubordinate::new(
+        guard,
+        Addr::new(CFG_BASE),
+        0x1_0000,
+        cfg_port,
+    ));
 
     // The configuring manager claims the guard, sets frag_len=2, reads the
     // status register back.
     let frag_off = CFG_BASE + offsets::unit(0) + offsets::FRAG_LEN;
     let script = vec![
-        write_op(5, CFG_BASE, &[0]),        // claim guard (offset 0)
-        write_op(5, frag_off, &[2]),        // frag_len = 2
-        read_op(5, frag_off, 1),            // read back
+        write_op(5, CFG_BASE, &[0]), // claim guard (offset 0)
+        write_op(5, frag_off, &[2]), // frag_len = 2
+        read_op(5, frag_off, 1),     // read back
     ];
     let cfg_mgr = sim.add(ScriptedManager::new(cfg_port, script));
-    assert!(sim.run_until(5_000, |s| s.component::<ScriptedManager>(cfg_mgr).unwrap().is_done()));
+    assert!(sim.run_until(5_000, |s| s
+        .component::<ScriptedManager>(cfg_mgr)
+        .unwrap()
+        .is_done()));
     let m = sim.component::<ScriptedManager>(cfg_mgr).unwrap();
     assert!(m.completions().iter().all(|c| c.resp == Resp::Okay));
     assert_eq!(m.completions()[2].data, [2]);
@@ -325,7 +362,10 @@ fn mmio_configuration_path_end_to_end() {
     // The unit adopted the new fragmentation after drain.
     sim.run(5);
     assert_eq!(
-        sim.component::<RealmUnit>(realm_id).unwrap().active_config().frag_len,
+        sim.component::<RealmUnit>(realm_id)
+            .unwrap()
+            .active_config()
+            .frag_len,
         2
     );
 }
@@ -341,13 +381,21 @@ fn unclaimed_guard_rejects_configuration() {
     let guard = BusGuard::new(RealmRegFile::new(vec![realm.regs()]));
     sim.add(realm);
     const CFG_BASE: u64 = 0x0200_0000;
-    sim.add(MmioSubordinate::new(guard, Addr::new(CFG_BASE), 0x1_0000, cfg_port));
+    sim.add(MmioSubordinate::new(
+        guard,
+        Addr::new(CFG_BASE),
+        0x1_0000,
+        cfg_port,
+    ));
     let frag_off = CFG_BASE + offsets::unit(0) + offsets::FRAG_LEN;
     let mgr = sim.add(ScriptedManager::new(
         cfg_port,
         vec![write_op(5, frag_off, &[2])],
     ));
-    assert!(sim.run_until(2_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+    assert!(sim.run_until(2_000, |s| s
+        .component::<ScriptedManager>(mgr)
+        .unwrap()
+        .is_done()));
     assert_eq!(
         sim.component::<ScriptedManager>(mgr).unwrap().completions()[0].resp,
         Resp::SlvErr
@@ -410,9 +458,18 @@ fn unit_adds_exactly_two_cycles_round_trip() {
         } else {
             up
         };
-        let mgr = sim.add(ScriptedManager::new(up, vec![read_op(1, MEM_BASE.raw(), 1)]));
-        sim.add(MemoryModel::new(MemoryConfig::spm(MEM_BASE, MEM_SIZE), mem_port));
-        assert!(sim.run_until(1_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+        let mgr = sim.add(ScriptedManager::new(
+            up,
+            vec![read_op(1, MEM_BASE.raw(), 1)],
+        ));
+        sim.add(MemoryModel::new(
+            MemoryConfig::spm(MEM_BASE, MEM_SIZE),
+            mem_port,
+        ));
+        assert!(sim.run_until(1_000, |s| s
+            .component::<ScriptedManager>(mgr)
+            .unwrap()
+            .is_done()));
         sim.component::<ScriptedManager>(mgr).unwrap().completions()[0].latency()
     };
     let direct = read_latency(false);

@@ -159,7 +159,10 @@ impl CacheModel {
             cfg.line_bytes.is_power_of_two() && cfg.line_bytes >= 8,
             "line size must be a power of two of at least one beat"
         );
-        assert!(cfg.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            cfg.sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         assert!(cfg.ways > 0, "cache needs at least one way");
         Self {
             cfg,
@@ -314,7 +317,8 @@ impl CacheModel {
                     let addr = Addr::new(victim + beat * 8);
                     let last = beat + 1 == u64::from(line_beats);
                     let data = self.data.read_word(addr);
-                    ctx.pool.push(self.back.w, ctx.cycle, WBeat::full(data, last));
+                    ctx.pool
+                        .push(self.back.w, ctx.cycle, WBeat::full(data, last));
                     if last {
                         self.stats.writebacks += 1;
                         active.phase = Phase::RefillIssue { line };
@@ -395,8 +399,11 @@ impl Component for CacheModel {
                             } else {
                                 0
                             };
-                            ctx.pool
-                                .push(self.front.r, ctx.cycle, RBeat::new(id, data, resp, last));
+                            ctx.pool.push(
+                                self.front.r,
+                                ctx.cycle,
+                                RBeat::new(id, data, resp, last),
+                            );
                             self.stats.beats_served += 1;
                             let a = self.active.as_mut().expect("active");
                             a.next_beat += 1;
@@ -484,6 +491,38 @@ impl Component for CacheModel {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+        let mut wake: Option<Cycle> = None;
+        let mut note = |c: Cycle| wake = Some(wake.map_or(c, |w: Cycle| w.min(c)));
+        match &self.active {
+            Some(active) => match active.phase {
+                // A read serves (or discovers a miss) once its latency
+                // elapses; a write additionally needs a W beat, so it only
+                // reacts to input.
+                Phase::Serve => {
+                    if active.is_read {
+                        note(active.ready_at.max(cycle));
+                    }
+                }
+                // Wants to push on the back port right now.
+                Phase::RefillIssue { .. }
+                | Phase::WritebackIssue { .. }
+                | Phase::WritebackData { .. } => note(cycle),
+                // Waiting for refill beats: reactive.
+                Phase::RefillWait { .. } => {}
+            },
+            None => {
+                if !self.pending.is_empty() {
+                    note(cycle);
+                }
+            }
+        }
+        if let Some((ready, _)) = self.b_pending.front() {
+            note((*ready).max(cycle));
+        }
+        wake
     }
 }
 
@@ -581,7 +620,10 @@ mod tests {
         // DRAM now holds A's data.
         sim.run(50); // let the write-back B drain
         assert_eq!(
-            sim.component::<DramModel>(dram).unwrap().storage().read_word(BASE),
+            sim.component::<DramModel>(dram)
+                .unwrap()
+                .storage()
+                .read_word(BASE),
             0xaaaa
         );
         // Reading A again refills from DRAM with the written data.

@@ -60,7 +60,10 @@ impl DramConfig {
     /// `(bank, row)` owning `addr`: rows interleave across banks.
     pub fn locate(&self, addr: Addr) -> (usize, u64) {
         let chunk = addr.raw() / self.row_bytes;
-        ((chunk % self.banks as u64) as usize, chunk / self.banks as u64)
+        (
+            (chunk % self.banks as u64) as usize,
+            chunk / self.banks as u64,
+        )
     }
 }
 
@@ -280,8 +283,7 @@ impl Component for DramModel {
                     let idx = active.next_beat.min(active.addrs.len() - 1);
                     let addr = active.addrs[idx];
                     let mut ready = active.ready_at;
-                    if active.next_beat > 0 && self.row_switch_stall(addr, &mut ready, ctx.cycle)
-                    {
+                    if active.next_beat > 0 && self.row_switch_stall(addr, &mut ready, ctx.cycle) {
                         // The beat was already popped; apply it after the
                         // stall window by writing now but charging time.
                         active.ready_at = ready;
@@ -325,6 +327,26 @@ impl Component for DramModel {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+        let mut wake: Option<Cycle> = None;
+        let mut note = |c: Cycle| wake = Some(wake.map_or(c, |w: Cycle| w.min(c)));
+        match &self.active {
+            // A read streams beats once its CAS/row latency elapses.
+            Some(active) if active.is_read => note(active.ready_at.max(cycle)),
+            // A write waits for W beats: reactive.
+            Some(_) => {}
+            None => {
+                if !self.pending.is_empty() {
+                    note(cycle);
+                }
+            }
+        }
+        if let Some((ready, _)) = self.b_pending.front() {
+            note((*ready).max(cycle));
+        }
+        wake
     }
 }
 

@@ -28,7 +28,7 @@ impl MissModel {
         match self {
             MissModel::Never => false,
             MissModel::Always => true,
-            MissModel::EveryN(n) => n != 0 && accepted % n == 0,
+            MissModel::EveryN(n) => n != 0 && accepted.is_multiple_of(n),
         }
     }
 }
@@ -230,7 +230,7 @@ impl MemoryModel {
 
     fn resp_for(&mut self, addr: Addr) -> Resp {
         self.bursts_accepted += 1;
-        if self.cfg.error_every > 0 && self.bursts_accepted % self.cfg.error_every == 0 {
+        if self.cfg.error_every > 0 && self.bursts_accepted.is_multiple_of(self.cfg.error_every) {
             return Resp::SlvErr;
         }
         if self.cfg.contains(addr) {
@@ -269,9 +269,7 @@ impl MemoryModel {
         // first beat immediately; only a cold pipeline pays the full
         // access latency. This gives back-to-back single-beat bursts the
         // one-per-cycle throughput of real pipelined SRAM.
-        let warm = self
-            .last_service_end
-            .is_some_and(|end| cycle <= end + 1);
+        let warm = self.last_service_end.is_some_and(|end| cycle <= end + 1);
         let latency = if warm { 1 } else { self.cfg.read_latency };
         self.active_read = Some(ActiveRead {
             id: ar.id,
@@ -349,8 +347,11 @@ impl MemoryModel {
                     0
                 };
                 let last = active.next_beat + 1 == active.addrs.len();
-                ctx.pool
-                    .push(self.port.r, ctx.cycle, RBeat::new(active.id, data, active.resp, last));
+                ctx.pool.push(
+                    self.port.r,
+                    ctx.cycle,
+                    RBeat::new(active.id, data, active.resp, last),
+                );
                 active.next_beat += 1;
                 self.beats_served += 1;
                 if last {
@@ -409,6 +410,34 @@ impl Component for MemoryModel {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+        let mut wake: Option<Cycle> = None;
+        let mut note = |c: Cycle| wake = Some(wake.map_or(c, |w: Cycle| w.min(c)));
+        // The active read streams beats once its latency elapses.
+        if let Some(active) = &self.active_read {
+            note(active.ready_at.max(cycle));
+        }
+        // The earliest write response due (pushed in completion order, so
+        // the front is the earliest).
+        if let Some((ready, _)) = self.b_pending.front() {
+            note((*ready).max(cycle));
+        }
+        // A queued burst that can promote into a free engine this tick.
+        let promote_now = if self.cfg.shared_port {
+            self.active_read.is_none() && self.active_write.is_none() && !self.pending.is_empty()
+        } else {
+            (self.active_read.is_none()
+                && self.pending.iter().any(|p| matches!(p, Pending::Read(_))))
+                || (self.active_write.is_none()
+                    && self.pending.iter().any(|p| matches!(p, Pending::Write(_))))
+        };
+        if promote_now {
+            note(cycle);
+        }
+        // Intake and the active write only react to arriving beats.
+        wake
     }
 }
 
@@ -586,14 +615,22 @@ mod tests {
         let mut resps = Vec::new();
         for i in 0..6u32 {
             let c = sim.cycle();
-            sim.pool_mut().push(port.ar, c, ar(i, u64::from(i) * 0x40, 1));
+            sim.pool_mut()
+                .push(port.ar, c, ar(i, u64::from(i) * 0x40, 1));
             assert!(sim.run_until(100, |s| s.pool().peek(port.r, s.cycle()).is_some()));
             let c = sim.cycle();
             resps.push(sim.pool_mut().pop(port.r, c).unwrap().resp);
         }
         assert_eq!(
             resps,
-            [Resp::Okay, Resp::Okay, Resp::SlvErr, Resp::Okay, Resp::Okay, Resp::SlvErr]
+            [
+                Resp::Okay,
+                Resp::Okay,
+                Resp::SlvErr,
+                Resp::Okay,
+                Resp::Okay,
+                Resp::SlvErr
+            ]
         );
     }
 

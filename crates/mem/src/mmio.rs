@@ -110,8 +110,11 @@ impl<D: MmioDevice + 'static> Component for MmioSubordinate<D> {
                     self.device.read(offset, active.id)
                 };
                 let last = active.next + 1 == active.offsets.len();
-                ctx.pool
-                    .push(self.port.r, ctx.cycle, RBeat::new(active.id, data, resp, last));
+                ctx.pool.push(
+                    self.port.r,
+                    ctx.cycle,
+                    RBeat::new(active.id, data, resp, last),
+                );
                 active.next += 1;
                 self.accesses += 1;
                 if last {
@@ -164,6 +167,20 @@ impl<D: MmioDevice + 'static> Component for MmioSubordinate<D> {
 
     fn name(&self) -> &str {
         "mmio"
+    }
+
+    fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+        let mut wake: Option<Cycle> = None;
+        let mut note = |c: Cycle| wake = Some(wake.map_or(c, |w: Cycle| w.min(c)));
+        // An accepted read streams a beat per cycle; a write waits for W
+        // beats (reactive).
+        if self.active_read.is_some() {
+            note(cycle);
+        }
+        if let Some((ready, _)) = self.b_pending.front() {
+            note((*ready).max(cycle));
+        }
+        wake
     }
 }
 
@@ -260,9 +277,7 @@ mod tests {
         let (mut sim, port, dev) = setup();
         assert_eq!(single_write(&mut sim, port, 7, 0x4008, 0xcafe), Resp::Okay);
         assert_eq!(single_read(&mut sim, port, 7, 0x4008), (0xcafe, Resp::Okay));
-        let adapter = sim
-            .component::<MmioSubordinate<Scratch>>(dev)
-            .unwrap();
+        let adapter = sim.component::<MmioSubordinate<Scratch>>(dev).unwrap();
         assert_eq!(adapter.device().last_writer, Some(TxnId::new(7)));
         assert_eq!(adapter.accesses(), 2);
     }

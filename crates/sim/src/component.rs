@@ -32,13 +32,53 @@ pub trait Component: Any {
     fn name(&self) -> &str {
         "component"
     }
+
+    /// The earliest cycle `>= cycle` at which ticking this component could
+    /// change any state, assuming no new beat becomes visible on its input
+    /// wires before then.
+    ///
+    /// This is the idle-skip hint behind [`Sim::run`](crate::Sim::run)'s
+    /// fast-forward: when every wire is empty and every component reports a
+    /// wake cycle beyond the present, the kernel jumps the clock to the
+    /// earliest wake instead of ticking through dead cycles.
+    ///
+    /// Return values:
+    ///
+    /// - `Some(cycle)` — must be ticked right now (the conservative
+    ///   default, which keeps legacy components exact and simply disables
+    ///   skipping while they are registered).
+    /// - `Some(later)` — ticks strictly before `later` are no-ops; the
+    ///   kernel may jump straight to `later`.
+    /// - `None` — quiescent: only a new input beat can wake this
+    ///   component.
+    ///
+    /// The contract is only consulted while **all** wires are empty, so a
+    /// purely reactive component (crossbar, memory with no pending work)
+    /// can return `None` without watching its inputs. Components whose
+    /// per-cycle tick mutates time-proportional counters must reconcile
+    /// them in [`Component::on_fast_forward`].
+    fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+        Some(cycle)
+    }
+
+    /// Notification that the kernel is jumping the clock from `from` to
+    /// `to`, skipping the ticks at cycles `from..to`.
+    ///
+    /// Components whose tick accumulates per-cycle state (e.g. an
+    /// isolated-cycles counter) must apply the `to - from` elided ticks
+    /// here so a fast-forwarded run ends in exactly the state a stepped
+    /// run would. Components with purely event-driven state need nothing —
+    /// the default is a no-op.
+    fn on_fast_forward(&mut self, from: Cycle, to: Cycle) {
+        let _ = (from, to);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use axi4::WBeat;
     use crate::pool::WireId;
+    use axi4::WBeat;
 
     struct Counter {
         out: WireId<WBeat>,
@@ -48,7 +88,8 @@ mod tests {
     impl Component for Counter {
         fn tick(&mut self, ctx: &mut TickCtx<'_>) {
             if ctx.pool.can_push(self.out, ctx.cycle) {
-                ctx.pool.push(self.out, ctx.cycle, WBeat::full(self.sent, false));
+                ctx.pool
+                    .push(self.out, ctx.cycle, WBeat::full(self.sent, false));
                 self.sent += 1;
             }
         }

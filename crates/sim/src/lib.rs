@@ -53,7 +53,7 @@ pub use arb::RoundRobin;
 pub use bundle::{AxiBundle, BundleCapacity};
 pub use component::{Component, TickCtx};
 pub use pool::{Channel, ChannelPool, WireId};
-pub use sim::{ComponentId, Sim};
+pub use sim::{ComponentId, KernelStats, Sim};
 pub use trace::{TraceChannel, TraceEvent, TracePayload, TraceProbe};
 pub use vcd::vcd_dump;
 pub use watchdog::Watchdog;

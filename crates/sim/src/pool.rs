@@ -104,6 +104,9 @@ pub struct ChannelPool {
     b: Vec<Wire<BBeat>>,
     ar: Vec<Wire<ArBeat>>,
     r: Vec<Wire<RBeat>>,
+    // Beats currently on any wire, maintained push/pop-incrementally so the
+    // kernel's idle check is O(1) instead of a walk over every wire.
+    in_flight: u64,
 }
 
 impl ChannelPool {
@@ -144,7 +147,7 @@ impl ChannelPool {
     /// [`ChannelPool::can_push`] first. Use [`ChannelPool::try_push`] to
     /// handle refusal as data.
     pub fn push<T: Channel>(&mut self, id: WireId<T>, cycle: Cycle, beat: T) {
-        if let Err(e) = self.wire_mut(id).try_push(cycle, beat) {
+        if let Err(e) = self.try_push(id, cycle, beat) {
             panic!("push on {id:?} at cycle {cycle} refused: {e}");
         }
     }
@@ -161,7 +164,11 @@ impl ChannelPool {
         cycle: Cycle,
         beat: T,
     ) -> Result<(), PushError> {
-        self.wire_mut(id).try_push(cycle, beat)
+        let result = self.wire_mut(id).try_push(cycle, beat);
+        if result.is_ok() {
+            self.in_flight += 1;
+        }
+        result
     }
 
     /// Returns the front beat if one is visible at `cycle`.
@@ -172,7 +179,11 @@ impl ChannelPool {
     /// Pops the front beat if one is visible at `cycle` (at most once per
     /// wire per cycle).
     pub fn pop<T: Channel>(&mut self, id: WireId<T>, cycle: Cycle) -> Option<T> {
-        self.wire_mut(id).pop(cycle)
+        let beat = self.wire_mut(id).pop(cycle);
+        if beat.is_some() {
+            self.in_flight -= 1;
+        }
+        beat
     }
 
     /// Number of in-flight beats on the wire.
@@ -193,6 +204,29 @@ impl ChannelPool {
     /// Total number of wires across all five channels (diagnostics).
     pub fn wire_count(&self) -> usize {
         self.aw.len() + self.w.len() + self.b.len() + self.ar.len() + self.r.len()
+    }
+
+    /// Beats currently in flight across all wires (O(1)).
+    ///
+    /// Zero means no beat is buffered anywhere — the precondition for the
+    /// kernel's idle-skip: with empty wires, component wake hints alone
+    /// bound when anything can next happen.
+    pub fn total_in_flight(&self) -> u64 {
+        debug_assert_eq!(
+            self.in_flight,
+            {
+                fn occupancy<T>(wires: &[Wire<T>]) -> u64 {
+                    wires.iter().map(|w| w.len() as u64).sum()
+                }
+                occupancy(&self.aw)
+                    + occupancy(&self.w)
+                    + occupancy(&self.b)
+                    + occupancy(&self.ar)
+                    + occupancy(&self.r)
+            },
+            "in-flight counter out of sync with wire occupancy"
+        );
+        self.in_flight
     }
 
     /// Total beats ever pushed onto any wire — a monotone activity counter;

@@ -18,8 +18,37 @@ impl ComponentId {
     }
 }
 
+/// Counters describing how the kernel advanced time: real component ticks
+/// versus cycles fast-forwarded over while the system was quiescent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct KernelStats {
+    /// Cycles advanced by actually ticking every component.
+    pub ticks_executed: u64,
+    /// Cycles jumped over because all wires were empty and every component
+    /// reported no pending event.
+    pub cycles_skipped: u64,
+    /// Number of fast-forward jumps taken.
+    pub fast_forwards: u64,
+}
+
+impl KernelStats {
+    /// Total simulated cycles this kernel advanced (executed + skipped).
+    pub fn cycles_total(&self) -> u64 {
+        self.ticks_executed + self.cycles_skipped
+    }
+}
+
 /// A cycle-stepped simulator: a [`ChannelPool`] plus an ordered list of
 /// components ticked once per cycle.
+///
+/// [`Sim::run`] and [`Sim::run_until`] fast-forward over quiescent
+/// stretches: when no beat is in flight on any wire and every component's
+/// [`Component::next_event`] hint lies in the future, the clock jumps to
+/// the earliest pending event instead of ticking through dead cycles. The
+/// jump is exact — components reconcile time-proportional counters in
+/// [`Component::on_fast_forward`] — so a fast-forwarded run finishes in
+/// the same state, at the same cycle, as an explicitly stepped one; only
+/// wall-clock changes. [`Sim::kernel_stats`] reports the split.
 ///
 /// # Example
 ///
@@ -40,6 +69,7 @@ pub struct Sim {
     pool: ChannelPool,
     components: Vec<Box<dyn Component>>,
     cycle: Cycle,
+    stats: KernelStats,
 }
 
 impl Sim {
@@ -49,6 +79,7 @@ impl Sim {
             pool: ChannelPool::new(),
             components: Vec::new(),
             cycle: 0,
+            stats: KernelStats::default(),
         }
     }
 
@@ -87,6 +118,11 @@ impl Sim {
         self.cycle
     }
 
+    /// Executed-tick vs. skipped-cycle counters since construction.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.stats
+    }
+
     /// Advances the simulation by one cycle, ticking every component once.
     pub fn step(&mut self) {
         for component in &mut self.components {
@@ -97,26 +133,74 @@ impl Sim {
             component.tick(&mut ctx);
         }
         self.cycle += 1;
+        self.stats.ticks_executed += 1;
     }
 
-    /// Runs `cycles` steps.
-    pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
+    /// The cycle the kernel may jump to without ticking, bounded by
+    /// `target`, or `None` if some beat is in flight or some component has
+    /// a current event.
+    ///
+    /// A returned cycle is strictly greater than the current one: the ticks
+    /// at `cycle..jump` are all provable no-ops under the
+    /// [`Component::next_event`] contract.
+    fn fast_forward_target(&self, target: Cycle) -> Option<Cycle> {
+        if self.pool.total_in_flight() != 0 {
+            return None;
+        }
+        let mut jump = target;
+        for component in &self.components {
+            match component.next_event(self.cycle) {
+                // Quiescent until new input; with all wires empty no input
+                // can appear before another component acts.
+                None => {}
+                Some(wake) if wake <= self.cycle => return None,
+                Some(wake) => jump = jump.min(wake),
+            }
+        }
+        (jump > self.cycle).then_some(jump)
+    }
+
+    /// Advances time by one step, or by one fast-forward jump of up to
+    /// `target - cycle` cycles.
+    fn advance(&mut self, target: Cycle) {
+        debug_assert!(self.cycle < target);
+        match self.fast_forward_target(target) {
+            Some(jump) => {
+                for component in &mut self.components {
+                    component.on_fast_forward(self.cycle, jump);
+                }
+                self.stats.cycles_skipped += jump - self.cycle;
+                self.stats.fast_forwards += 1;
+                self.cycle = jump;
+            }
+            None => self.step(),
         }
     }
 
-    /// Steps until `done` returns `true` or `max_cycles` elapse; returns
+    /// Runs for `cycles` cycles, fast-forwarding over quiescent stretches.
+    pub fn run(&mut self, cycles: u64) {
+        let target = self.cycle + cycles;
+        while self.cycle < target {
+            self.advance(target);
+        }
+    }
+
+    /// Advances until `done` returns `true` or `max_cycles` elapse; returns
     /// `true` if the predicate fired.
     ///
-    /// The predicate sees the simulator between steps, so it can inspect
-    /// components and wires.
+    /// The predicate sees the simulator between advances, so it can inspect
+    /// components and wires. Quiescent stretches are fast-forwarded, so the
+    /// predicate is evaluated per executed tick or jump, not per skipped
+    /// cycle — component state cannot change inside a skipped stretch, so
+    /// no predicate flank is missed, though a predicate watching
+    /// [`Sim::cycle`] itself may observe a jump past its threshold.
     pub fn run_until<F: FnMut(&Sim) -> bool>(&mut self, max_cycles: u64, mut done: F) -> bool {
-        for _ in 0..max_cycles {
+        let target = self.cycle + max_cycles;
+        while self.cycle < target {
             if done(self) {
                 return true;
             }
-            self.step();
+            self.advance(target);
         }
         done(self)
     }
@@ -153,7 +237,8 @@ mod tests {
     impl Component for Producer {
         fn tick(&mut self, ctx: &mut TickCtx<'_>) {
             if self.sent < self.limit && ctx.pool.can_push(self.out, ctx.cycle) {
-                ctx.pool.push(self.out, ctx.cycle, WBeat::full(self.sent, false));
+                ctx.pool
+                    .push(self.out, ctx.cycle, WBeat::full(self.sent, false));
                 self.sent += 1;
             }
         }
@@ -224,7 +309,8 @@ mod tests {
     fn run_until_predicate() {
         let (mut sim, _p, c) = build();
         let fired = sim.run_until(100, |s| {
-            s.component::<Consumer>(c).is_some_and(|x| x.received.len() == 3)
+            s.component::<Consumer>(c)
+                .is_some_and(|x| x.received.len() == 3)
         });
         assert!(fired);
         assert!(sim.cycle() < 100);

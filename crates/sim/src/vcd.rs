@@ -91,8 +91,8 @@ pub fn vcd_dump(probes: &[(&str, &TraceProbe)]) -> String {
     for (cycle, p, event) in events {
         if last_time != Some(cycle) {
             // Drop the previous cycle's valid pulses before advancing.
-            if last_time.is_some() {
-                let _ = writeln!(out, "#{}", last_time.expect("checked is_some") + 1);
+            if let Some(prev) = last_time {
+                let _ = writeln!(out, "#{}", prev + 1);
                 for (pp, cc) in pulsed.drain(..) {
                     let _ = writeln!(out, "0{}", ident(pp, cc, true));
                 }
@@ -121,8 +121,8 @@ pub fn vcd_dump(probes: &[(&str, &TraceProbe)]) -> String {
 mod tests {
     use super::*;
     use crate::bundle::AxiBundle;
-    use crate::pool::ChannelPool;
     use crate::component::Component as _;
+    use crate::pool::ChannelPool;
     use axi4::{BBeat, TxnId, WBeat};
 
     /// Drives a W beat then a B beat past an owned probe.
@@ -131,13 +131,22 @@ mod tests {
         let bundle = AxiBundle::with_defaults(&mut pool);
         let mut probe = TraceProbe::new(bundle, 64);
         pool.push(bundle.w, 0, WBeat::full(0xAB, false));
-        let mut ctx = crate::component::TickCtx { cycle: 1, pool: &mut pool };
+        let mut ctx = crate::component::TickCtx {
+            cycle: 1,
+            pool: &mut pool,
+        };
         probe.tick(&mut ctx);
-        let mut ctx = crate::component::TickCtx { cycle: 2, pool: &mut pool };
+        let mut ctx = crate::component::TickCtx {
+            cycle: 2,
+            pool: &mut pool,
+        };
         ctx.pool.pop(bundle.w, 2);
         ctx.pool.push(bundle.b, 2, BBeat::okay(TxnId::new(3)));
         probe.tick(&mut ctx);
-        let mut ctx = crate::component::TickCtx { cycle: 3, pool: &mut pool };
+        let mut ctx = crate::component::TickCtx {
+            cycle: 3,
+            pool: &mut pool,
+        };
         probe.tick(&mut ctx);
         assert!(probe.len() >= 2);
         probe

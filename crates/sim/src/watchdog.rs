@@ -73,6 +73,24 @@ impl Component for Watchdog {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+        // The only observable transition left while the system is silent is
+        // crossing the quiet threshold; past it, only new activity (which
+        // implies in-flight beats) changes anything.
+        if self.idle >= self.threshold {
+            None
+        } else {
+            Some((self.last_change + self.threshold).max(cycle))
+        }
+    }
+
+    fn on_fast_forward(&mut self, _from: Cycle, to: Cycle) {
+        // Reconcile the per-cycle idle counter to what the elided ticks
+        // (the last at cycle `to - 1`) would have left behind. No push can
+        // have happened during the skip, so `last_change` is current.
+        self.idle = (to - 1).saturating_sub(self.last_change);
+    }
 }
 
 #[cfg(test)]

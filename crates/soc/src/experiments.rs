@@ -96,9 +96,7 @@ pub fn with_budget(dma_budget: u64, accesses: u64) -> RunResult {
 /// The Fig. 6b x-axis: DMA budgets from 8 KiB (1/1) down to 1.6 KiB (1/5)
 /// in equal steps.
 pub fn budget_sweep_points() -> Vec<(String, u64)> {
-    (1..=5)
-        .map(|d| (format!("1/{d}"), 8 * 1024 / d))
-        .collect()
+    (1..=5).map(|d| (format!("1/{d}"), 8 * 1024 / d)).collect()
 }
 
 /// The Fig. 6a x-axis: fragmentation lengths from full bursts down to a
@@ -167,7 +165,10 @@ mod tests {
             skewed > equal,
             "reducing the DMA budget must help the core: {skewed:.1}% vs {equal:.1}%"
         );
-        assert!(skewed > 80.0, "1/5 budget should be near-ideal: {skewed:.1}%");
+        assert!(
+            skewed > 80.0,
+            "1/5 budget should be near-ideal: {skewed:.1}%"
+        );
     }
 
     #[test]

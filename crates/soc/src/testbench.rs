@@ -3,7 +3,7 @@
 use axi4::{Addr, SubordinateId, TxnId};
 use axi_mem::{MemoryConfig, MemoryModel, MmioSubordinate};
 use axi_realm::{BusGuard, DesignConfig, RealmRegFile, RealmUnit, RuntimeConfig};
-use axi_sim::{AxiBundle, BundleCapacity, ComponentId, Sim};
+use axi_sim::{AxiBundle, BundleCapacity, ComponentId, KernelStats, Sim};
 use axi_traffic::{
     CoreModel, CoreWorkload, DmaConfig, DmaModel, LatencyHistogram, LatencyStats, Op,
     ScriptedManager, StallPlan, StallingManager,
@@ -79,10 +79,8 @@ impl TestbenchConfig {
 
     /// The paper's worst-case DMA interference pattern.
     pub fn worst_case_dma() -> DmaConfig {
-        let mut dma = DmaConfig::worst_case(
-            (DMA_LLC_BUFFER, DMA_LLC_BUFFER_SIZE),
-            (SPM_BASE, SPM_SIZE),
-        );
+        let mut dma =
+            DmaConfig::worst_case((DMA_LLC_BUFFER, DMA_LLC_BUFFER_SIZE), (SPM_BASE, SPM_SIZE));
         dma.id = TxnId::new(1);
         dma
     }
@@ -119,6 +117,9 @@ pub struct RunResult {
     pub dma_bytes: u64,
     /// Beats served by the LLC port.
     pub llc_beats: u64,
+    /// How the kernel advanced time: executed ticks vs. fast-forwarded
+    /// cycles (deterministic — identical across serial and parallel runs).
+    pub kernel: KernelStats,
 }
 
 impl RunResult {
@@ -176,12 +177,8 @@ impl Testbench {
                 Regulation::None => (upstream, None),
                 Regulation::Realm(rt) => {
                     let downstream = AxiBundle::new(sim.pool_mut(), cap);
-                    let unit = RealmUnit::new(
-                        config.realm_design,
-                        rt.clone(),
-                        upstream,
-                        downstream,
-                    );
+                    let unit =
+                        RealmUnit::new(config.realm_design, rt.clone(), upstream, downstream);
                     let id = sim.add(unit);
                     (upstream, Some(id))
                 }
@@ -193,7 +190,10 @@ impl Testbench {
         let core = sim.add(CoreModel::new(config.core, core_up));
         realm_ids.push(core_realm);
         xbar_mgr_ports.push(match core_realm {
-            Some(id) => sim.component::<RealmUnit>(id).expect("just added").downstream(),
+            Some(id) => sim
+                .component::<RealmUnit>(id)
+                .expect("just added")
+                .downstream(),
             None => core_up,
         });
 
@@ -203,7 +203,10 @@ impl Testbench {
                 let (dma_up, dma_realm) = attach(&mut sim, &config.dma_regulation);
                 let id = sim.add(DmaModel::new(*dma_cfg, dma_up));
                 xbar_mgr_ports.push(match dma_realm {
-                    Some(r) => sim.component::<RealmUnit>(r).expect("just added").downstream(),
+                    Some(r) => sim
+                        .component::<RealmUnit>(r)
+                        .expect("just added")
+                        .downstream(),
                     None => dma_up,
                 });
                 (Some(id), dma_realm)
@@ -218,7 +221,10 @@ impl Testbench {
                 let (up, realm) = attach(&mut sim, &config.staller_regulation);
                 let id = sim.add(StallingManager::new(*plan, up));
                 xbar_mgr_ports.push(match realm {
-                    Some(r) => sim.component::<RealmUnit>(r).expect("just added").downstream(),
+                    Some(r) => sim
+                        .component::<RealmUnit>(r)
+                        .expect("just added")
+                        .downstream(),
                     None => up,
                 });
                 (Some(id), realm)
@@ -250,15 +256,17 @@ impl Testbench {
             .expect("non-overlapping static map");
 
         let xbar = sim.add(
-            Crossbar::new(
-                map,
-                xbar_mgr_ports,
-                vec![llc_port, spm_port, cfg_port],
-            )
-            .expect("static ports match the map"),
+            Crossbar::new(map, xbar_mgr_ports, vec![llc_port, spm_port, cfg_port])
+                .expect("static ports match the map"),
         );
-        let llc = sim.add(MemoryModel::new(MemoryConfig::llc(LLC_BASE, LLC_SIZE), llc_port));
-        let spm = sim.add(MemoryModel::new(MemoryConfig::spm(SPM_BASE, SPM_SIZE), spm_port));
+        let llc = sim.add(MemoryModel::new(
+            MemoryConfig::llc(LLC_BASE, LLC_SIZE),
+            llc_port,
+        ));
+        let spm = sim.add(MemoryModel::new(
+            MemoryConfig::spm(SPM_BASE, SPM_SIZE),
+            spm_port,
+        ));
 
         // Configuration register file behind the bus guard, serving every
         // instantiated REALM unit in manager order.
@@ -289,8 +297,9 @@ impl Testbench {
     /// returns `true` on completion.
     pub fn run_until_core_done(&mut self, max_cycles: u64) -> bool {
         let core = self.core;
-        self.sim
-            .run_until(max_cycles, |s| s.component::<CoreModel>(core).expect("core").is_done())
+        self.sim.run_until(max_cycles, |s| {
+            s.component::<CoreModel>(core).expect("core").is_done()
+        })
     }
 
     /// Advances the simulation by `cycles`.
@@ -315,7 +324,8 @@ impl Testbench {
 
     /// The DMA model, if configured.
     pub fn dma(&self) -> Option<&DmaModel> {
-        self.dma.map(|id| self.sim.component(id).expect("dma present"))
+        self.dma
+            .map(|id| self.sim.component(id).expect("dma present"))
     }
 
     /// The stalling manager, if configured.
@@ -373,9 +383,7 @@ impl Testbench {
         let mut prev_regulated = self
             .dma_realm()
             .map_or(0, |r| r.monitor().regions()[0].stats.bytes_total);
-        let mut prev_isolated = self
-            .dma_realm()
-            .map_or(0, |r| r.stats().isolated_cycles);
+        let mut prev_isolated = self.dma_realm().map_or(0, |r| r.stats().isolated_cycles);
         for _ in 0..windows {
             self.run(window);
             let accesses = self.core().completed_accesses();
@@ -384,9 +392,7 @@ impl Testbench {
             let regulated = self
                 .dma_realm()
                 .map_or(0, |r| r.monitor().regions()[0].stats.bytes_total);
-            let isolated = self
-                .dma_realm()
-                .map_or(0, |r| r.stats().isolated_cycles);
+            let isolated = self.dma_realm().map_or(0, |r| r.stats().isolated_cycles);
             let delta_accesses = accesses - prev_accesses;
             samples.push(TimelineSample {
                 cycle: self.sim.cycle(),
@@ -414,10 +420,9 @@ impl Testbench {
             core_latency: core.latency(),
             core_histogram: core.latency_histogram(),
             core_accesses: core.completed_accesses(),
-            dma_bytes: self
-                .dma()
-                .map_or(0, |d| d.bytes_read() + d.bytes_written()),
+            dma_bytes: self.dma().map_or(0, |d| d.bytes_read() + d.bytes_written()),
             llc_beats: self.llc().beats_served(),
+            kernel: self.sim.kernel_stats(),
         }
     }
 }

@@ -150,11 +150,23 @@ impl CoreModel {
         let len = BurstLen::new(self.workload.beats_per_access).expect("validated in new");
         if self.is_write() {
             State::IssueWrite {
-                aw: AwBeat::new(self.workload.id, addr, len, BurstSize::bus64(), BurstKind::Incr),
+                aw: AwBeat::new(
+                    self.workload.id,
+                    addr,
+                    len,
+                    BurstSize::bus64(),
+                    BurstKind::Incr,
+                ),
             }
         } else {
             State::IssueRead {
-                ar: ArBeat::new(self.workload.id, addr, len, BurstSize::bus64(), BurstKind::Incr),
+                ar: ArBeat::new(
+                    self.workload.id,
+                    addr,
+                    len,
+                    BurstSize::bus64(),
+                    BurstKind::Incr,
+                ),
             }
         }
     }
@@ -217,8 +229,11 @@ impl Component for CoreModel {
                     let last = beats_left == 1;
                     // The data value encodes the access index, making write
                     // contents checkable in functional tests.
-                    ctx.pool
-                        .push(self.port.w, ctx.cycle, WBeat::full(self.issued_accesses, last));
+                    ctx.pool.push(
+                        self.port.w,
+                        ctx.cycle,
+                        WBeat::full(self.issued_accesses, last),
+                    );
                     if last {
                         State::AwaitB { issued }
                     } else {
@@ -247,6 +262,22 @@ impl Component for CoreModel {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+        match &self.state {
+            // Nothing happens until the compute phase ends.
+            State::Compute { until } => Some((*until).max(cycle)),
+            // Wants to push a beat right now.
+            State::IssueRead { .. } | State::IssueWrite { .. } | State::StreamWrite { .. } => {
+                Some(cycle)
+            }
+            // Blocked on a response beat; with every wire empty none can
+            // arrive until another component acts.
+            State::AwaitRead { .. } | State::AwaitB { .. } => None,
+            // `finished_at` was set on entry to Done, so ticks are no-ops.
+            State::Done => None,
+        }
     }
 }
 
@@ -294,7 +325,9 @@ mod tests {
         w.write_every = 0;
         let (sim, core) = run_core(w);
         assert_eq!(
-            sim.component::<CoreModel>(core).unwrap().completed_accesses(),
+            sim.component::<CoreModel>(core)
+                .unwrap()
+                .completed_accesses(),
             10
         );
     }
@@ -327,13 +360,19 @@ mod tests {
             let mut w = CoreWorkload::susan(Addr::new(0x8000_0000), 100);
             w.compute_cycles = 0;
             let (sim, core) = run_core(w);
-            sim.component::<CoreModel>(core).unwrap().finished_at().unwrap()
+            sim.component::<CoreModel>(core)
+                .unwrap()
+                .finished_at()
+                .unwrap()
         };
         let slow = {
             let mut w = CoreWorkload::susan(Addr::new(0x8000_0000), 100);
             w.compute_cycles = 20;
             let (sim, core) = run_core(w);
-            sim.component::<CoreModel>(core).unwrap().finished_at().unwrap()
+            sim.component::<CoreModel>(core)
+                .unwrap()
+                .finished_at()
+                .unwrap()
         };
         assert!(slow > fast + 100 * 10, "fast={fast} slow={slow}");
     }

@@ -161,10 +161,16 @@ impl DmaModel {
             let slots = (region.1 / bb).max(1);
             region.0 + (k % slots) * bb
         };
-        if n % 2 == 0 {
-            (slot(self.cfg.region_a, n / 2), slot(self.cfg.region_b, n / 2))
+        if n.is_multiple_of(2) {
+            (
+                slot(self.cfg.region_a, n / 2),
+                slot(self.cfg.region_b, n / 2),
+            )
         } else {
-            (slot(self.cfg.region_b, n / 2), slot(self.cfg.region_a, n / 2))
+            (
+                slot(self.cfg.region_b, n / 2),
+                slot(self.cfg.region_a, n / 2),
+            )
         }
     }
 
@@ -271,6 +277,20 @@ impl Component for DmaModel {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+        // A write burst is queued or mid-stream: wants to push now.
+        if self.write_state.is_some() || !self.write_queue.is_empty() {
+            return Some(cycle);
+        }
+        // An issue slot is open and more reads are wanted; before the start
+        // window the engine sleeps until `start_cycle`.
+        if self.more_reads_allowed() && self.reads_in_flight.len() < self.cfg.outstanding {
+            return Some(self.cfg.start_cycle.max(cycle));
+        }
+        // Blocked on R/B beats (or fully drained): purely reactive.
+        None
     }
 }
 

@@ -35,5 +35,5 @@ pub use dma::{DmaConfig, DmaModel};
 pub use random::{RandomConfig, RandomManager};
 pub use replay::{ParseTraceError, Trace, TraceManager, TraceRecord};
 pub use script::{Completion, CompletionKind, Op, ScriptedManager};
-pub use stall::{StallingManager, StallPlan};
+pub use stall::{StallPlan, StallingManager};
 pub use stats::{LatencyHistogram, LatencyStats};

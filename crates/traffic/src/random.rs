@@ -43,10 +43,22 @@ impl RandomConfig {
 #[derive(Debug)]
 enum State {
     Idle,
-    IssueRead { ar: ArBeat, expect: Vec<Option<u64>> },
-    AwaitRead { expect: Vec<Option<u64>>, got: usize },
-    IssueWrite { aw: AwBeat, words: VecDeque<u64> },
-    StreamWrite { words: VecDeque<u64>, total: usize },
+    IssueRead {
+        ar: ArBeat,
+        expect: Vec<Option<u64>>,
+    },
+    AwaitRead {
+        expect: Vec<Option<u64>>,
+        got: usize,
+    },
+    IssueWrite {
+        aw: AwBeat,
+        words: VecDeque<u64>,
+    },
+    StreamWrite {
+        words: VecDeque<u64>,
+        total: usize,
+    },
     AwaitB,
     Done,
 }
@@ -219,7 +231,8 @@ impl Component for RandomManager {
                 if let Some(&word) = words.front() {
                     if ctx.pool.can_push(self.port.w, ctx.cycle) {
                         let last = words.len() == 1;
-                        ctx.pool.push(self.port.w, ctx.cycle, WBeat::full(word, last));
+                        ctx.pool
+                            .push(self.port.w, ctx.cycle, WBeat::full(word, last));
                         words.pop_front();
                     }
                 }
@@ -249,6 +262,19 @@ impl Component for RandomManager {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+        match &self.state {
+            State::Idle
+            | State::IssueRead { .. }
+            | State::IssueWrite { .. }
+            | State::StreamWrite { .. } => Some(cycle),
+            State::AwaitRead { .. } | State::AwaitB => None,
+            // `finished_at` is stamped lazily on the first `Done` tick; only
+            // after that is the manager truly quiescent.
+            State::Done => self.finished_at.is_none().then_some(cycle),
+        }
     }
 }
 
@@ -336,7 +362,8 @@ mod tests {
                 BurstSize::bus64(),
                 BurstKind::Incr,
             );
-            ar.validate().unwrap_or_else(|e| panic!("illegal burst: {e}"));
+            ar.validate()
+                .unwrap_or_else(|e| panic!("illegal burst: {e}"));
         }
     }
 }

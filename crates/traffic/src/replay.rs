@@ -147,9 +147,10 @@ impl FromStr for Trace {
             let [cycle, op, addr, beats] = fields.as_slice() else {
                 return Err(ParseTraceError::BadLine { line });
             };
-            let cycle: Cycle = cycle
-                .parse()
-                .map_err(|_| ParseTraceError::BadField { line, field: "cycle" })?;
+            let cycle: Cycle = cycle.parse().map_err(|_| ParseTraceError::BadField {
+                line,
+                field: "cycle",
+            })?;
             let is_write = match *op {
                 "R" | "r" => false,
                 "W" | "w" => true,
@@ -157,11 +158,18 @@ impl FromStr for Trace {
             };
             let addr_raw = addr
                 .strip_prefix("0x")
-                .map_or_else(|| addr.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
-                .ok_or(ParseTraceError::BadField { line, field: "addr" })?;
-            let beats: u16 = beats
-                .parse()
-                .map_err(|_| ParseTraceError::BadField { line, field: "beats" })?;
+                .map_or_else(
+                    || addr.parse().ok(),
+                    |hex| u64::from_str_radix(hex, 16).ok(),
+                )
+                .ok_or(ParseTraceError::BadField {
+                    line,
+                    field: "addr",
+                })?;
+            let beats: u16 = beats.parse().map_err(|_| ParseTraceError::BadField {
+                line,
+                field: "beats",
+            })?;
             records.push(TraceRecord {
                 cycle,
                 is_write,
@@ -323,6 +331,20 @@ impl Component for TraceManager {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+        match &self.state {
+            // An empty queue still owes the transition into `Done` (which
+            // stamps `finished_at`); a pending record wakes at its earliest
+            // recorded issue time.
+            State::Waiting => match self.queue.front() {
+                None => Some(cycle),
+                Some(r) => Some(r.cycle.max(cycle)),
+            },
+            State::IssueRead(_) | State::IssueWrite(_) | State::StreamWrite { .. } => Some(cycle),
+            State::AwaitRead | State::AwaitB | State::Done => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -353,7 +375,13 @@ mod tests {
         let e = "10,R,0x1000".parse::<Trace>().unwrap_err();
         assert!(matches!(e, ParseTraceError::BadLine { line: 1 }));
         let e = "10,X,0x1000,4".parse::<Trace>().unwrap_err();
-        assert!(matches!(e, ParseTraceError::BadField { line: 1, field: "op" }));
+        assert!(matches!(
+            e,
+            ParseTraceError::BadField {
+                line: 1,
+                field: "op"
+            }
+        ));
         let e = "10,R,zzz,4".parse::<Trace>().unwrap_err();
         assert!(matches!(e, ParseTraceError::BadField { field: "addr", .. }));
         let e = "20,R,0x0,4\n10,R,0x0,4".parse::<Trace>().unwrap_err();
@@ -369,8 +397,14 @@ mod tests {
         let mut sim = Sim::new();
         let port = AxiBundle::with_defaults(sim.pool_mut());
         let mgr = sim.add(TraceManager::new(trace, TxnId::new(0), port));
-        sim.add(MemoryModel::new(MemoryConfig::spm(Addr::new(0), 0x1000), port));
-        assert!(sim.run_until(2_000, |s| s.component::<TraceManager>(mgr).unwrap().is_done()));
+        sim.add(MemoryModel::new(
+            MemoryConfig::spm(Addr::new(0), 0x1000),
+            port,
+        ));
+        assert!(sim.run_until(2_000, |s| s
+            .component::<TraceManager>(mgr)
+            .unwrap()
+            .is_done()));
         let m = sim.component::<TraceManager>(mgr).unwrap();
         assert_eq!(m.completed(), 2);
         assert!(m.latency().max().unwrap() < 50);
@@ -386,8 +420,14 @@ mod tests {
         let mut sim = Sim::new();
         let port = AxiBundle::with_defaults(sim.pool_mut());
         let mgr = sim.add(TraceManager::new(trace, TxnId::new(0), port));
-        sim.add(MemoryModel::new(MemoryConfig::spm(Addr::new(0), 0x1000), port));
-        assert!(sim.run_until(2_000, |s| s.component::<TraceManager>(mgr).unwrap().is_done()));
+        sim.add(MemoryModel::new(
+            MemoryConfig::spm(Addr::new(0), 0x1000),
+            port,
+        ));
+        assert!(sim.run_until(2_000, |s| s
+            .component::<TraceManager>(mgr)
+            .unwrap()
+            .is_done()));
         assert_eq!(sim.component::<TraceManager>(mgr).unwrap().completed(), 2);
     }
 

@@ -52,12 +52,29 @@ impl Completion {
 #[derive(Debug)]
 enum State {
     Idle,
-    Waiting { until: Cycle },
+    Waiting {
+        until: Cycle,
+    },
     IssueRead(ArBeat),
-    AwaitRead { id: TxnId, issued: Cycle, data: Vec<u64>, resp: Resp },
-    IssueWrite { aw: AwBeat, beats: VecDeque<WBeat> },
-    StreamWrite { id: TxnId, issued: Cycle, beats: VecDeque<WBeat> },
-    AwaitB { id: TxnId, issued: Cycle },
+    AwaitRead {
+        id: TxnId,
+        issued: Cycle,
+        data: Vec<u64>,
+        resp: Resp,
+    },
+    IssueWrite {
+        aw: AwBeat,
+        beats: VecDeque<WBeat>,
+    },
+    StreamWrite {
+        id: TxnId,
+        issued: Cycle,
+        beats: VecDeque<WBeat>,
+    },
+    AwaitB {
+        id: TxnId,
+        issued: Cycle,
+    },
     Done,
 }
 
@@ -236,6 +253,19 @@ impl Component for ScriptedManager {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+        match &self.state {
+            // Idle still has a transition to make (pop the next op, or
+            // retire into `Done`), so it must be ticked now.
+            State::Idle => Some(cycle),
+            State::Waiting { until } => Some((*until).max(cycle)),
+            State::IssueRead(_) | State::IssueWrite { .. } | State::StreamWrite { .. } => {
+                Some(cycle)
+            }
+            State::AwaitRead { .. } | State::AwaitB { .. } | State::Done => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -322,7 +352,10 @@ mod tests {
             s.component::<ScriptedManager>(mgr).unwrap().is_done()
         }));
         assert_eq!(
-            sim.component::<ScriptedManager>(mgr).unwrap().completions().len(),
+            sim.component::<ScriptedManager>(mgr)
+                .unwrap()
+                .completions()
+                .len(),
             2
         );
     }

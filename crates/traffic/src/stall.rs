@@ -141,6 +141,19 @@ impl Component for StallingManager {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+        match &self.state {
+            State::IssueAw | State::Stream { .. } => Some(cycle),
+            // A permanent stall is genuinely quiescent; a timed one wakes
+            // exactly when the release delay elapses.
+            State::Stalling { since } => self
+                .plan
+                .release_after
+                .map(|delay| (since + delay).max(cycle)),
+            State::AwaitB | State::Done => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -191,7 +191,11 @@ impl fmt::Display for LatencyStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match (self.min(), self.mean(), self.max()) {
             (Some(min), Some(mean), Some(max)) => {
-                write!(f, "n={} min={} mean={:.1} max={}", self.count, min, mean, max)
+                write!(
+                    f,
+                    "n={} min={} mean={:.1} max={}",
+                    self.count, min, mean, max
+                )
             }
             _ => write!(f, "n=0"),
         }

@@ -136,8 +136,10 @@ mod tests {
     #[test]
     fn decode_routes_and_misses() {
         let mut m = AddressMap::new();
-        m.add(Addr::new(0x1000), 0x1000, SubordinateId::new(0)).unwrap();
-        m.add(Addr::new(0x4000), 0x100, SubordinateId::new(2)).unwrap();
+        m.add(Addr::new(0x1000), 0x1000, SubordinateId::new(0))
+            .unwrap();
+        m.add(Addr::new(0x4000), 0x100, SubordinateId::new(2))
+            .unwrap();
         assert_eq!(m.decode(Addr::new(0x1000)), Some(SubordinateId::new(0)));
         assert_eq!(m.decode(Addr::new(0x1fff)), Some(SubordinateId::new(0)));
         assert_eq!(m.decode(Addr::new(0x2000)), None);
@@ -149,15 +151,19 @@ mod tests {
     #[test]
     fn overlap_rejected() {
         let mut m = AddressMap::new();
-        m.add(Addr::new(0x1000), 0x1000, SubordinateId::new(0)).unwrap();
+        m.add(Addr::new(0x1000), 0x1000, SubordinateId::new(0))
+            .unwrap();
         let err = m
             .add(Addr::new(0x1800), 0x1000, SubordinateId::new(1))
             .unwrap_err();
         assert!(matches!(err, MapError::Overlap { .. }));
         // Adjacent is fine.
-        m.add(Addr::new(0x2000), 0x1000, SubordinateId::new(1)).unwrap();
+        m.add(Addr::new(0x2000), 0x1000, SubordinateId::new(1))
+            .unwrap();
         // Containment is an overlap.
-        assert!(m.add(Addr::new(0x1100), 0x10, SubordinateId::new(3)).is_err());
+        assert!(m
+            .add(Addr::new(0x1100), 0x10, SubordinateId::new(3))
+            .is_err());
     }
 
     #[test]

@@ -374,9 +374,8 @@ impl Crossbar {
                 let cycle = ctx.cycle;
                 (0..self.mgr_ports.len())
                     .filter(|&m| {
-                        pool.peek(self.mgr_ports[m].ar, cycle).is_some_and(|ar| {
-                            map.decode(ar.addr) == Some(SubordinateId::new(s))
-                        })
+                        pool.peek(self.mgr_ports[m].ar, cycle)
+                            .is_some_and(|ar| map.decode(ar.addr) == Some(SubordinateId::new(s)))
                     })
                     .collect()
             };
@@ -423,9 +422,8 @@ impl Crossbar {
                 let cycle = ctx.cycle;
                 (0..self.mgr_ports.len())
                     .filter(|&m| {
-                        pool.peek(self.mgr_ports[m].aw, cycle).is_some_and(|aw| {
-                            map.decode(aw.addr) == Some(SubordinateId::new(s))
-                        })
+                        pool.peek(self.mgr_ports[m].aw, cycle)
+                            .is_some_and(|aw| map.decode(aw.addr) == Some(SubordinateId::new(s)))
                     })
                     .collect()
             };
@@ -536,8 +534,7 @@ impl Crossbar {
                     }
                 }
                 if r.last {
-                    self.read_outstanding[s][m] =
-                        self.read_outstanding[s][m].saturating_sub(1);
+                    self.read_outstanding[s][m] = self.read_outstanding[s][m].saturating_sub(1);
                 }
                 ctx.pool.push(
                     self.mgr_ports[m].r,
@@ -608,6 +605,27 @@ impl Component for Crossbar {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn next_event(&self, cycle: axi_sim::Cycle) -> Option<axi_sim::Cycle> {
+        // Queued DECERR responses want to push now; everything else reacts
+        // to beats on the wires.
+        let errors_pending = self.err_reads.iter().any(|q| !q.is_empty())
+            || self.err_writes.iter().any(|q| !q.is_empty());
+        errors_pending.then_some(cycle)
+    }
+
+    fn on_fast_forward(&mut self, from: axi_sim::Cycle, to: axi_sim::Cycle) {
+        // Each elided tick would have charged one reserved-but-idle stall
+        // to every subordinate whose W channel is held by a writer with no
+        // beat to stream (all wires are empty during a skip).
+        for s in 0..self.sub_ports.len() {
+            if let Some(&m) = self.w_owner[s].front() {
+                if self.mgr_w_dst[m].front() == Some(&WriteDst::Sub(s)) {
+                    self.w_stalls[s] += to - from;
+                }
+            }
+        }
     }
 }
 

@@ -1,10 +1,15 @@
 //! System-level crossbar tests: routing, fairness, and the two pathologies
 //! AXI-REALM exists to fix — burst-granular unfairness and W-channel DoS.
 
-use axi4::{Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, Resp, SubordinateId, TxnId, WriteTxn};
+use axi4::{
+    Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, Resp, SubordinateId, TxnId, WriteTxn,
+};
 use axi_mem::{MemoryConfig, MemoryModel};
 use axi_sim::{AxiBundle, BundleCapacity, ComponentId, Sim};
-use axi_traffic::{CoreModel, CoreWorkload, CompletionKind, DmaConfig, DmaModel, Op, ScriptedManager, StallPlan, StallingManager};
+use axi_traffic::{
+    CompletionKind, CoreModel, CoreWorkload, DmaConfig, DmaModel, Op, ScriptedManager, StallPlan,
+    StallingManager,
+};
 use axi_xbar::{AddressMap, ArbitrationPolicy, Crossbar};
 
 const LLC_BASE: Addr = Addr::new(0x8000_0000);
@@ -68,7 +73,10 @@ fn routes_to_both_subordinates_with_data_integrity() {
         read_op(4, SPM_BASE.raw(), 1),
     ];
     let m = sim.add(ScriptedManager::new(mgrs[0], script));
-    assert!(sim.run_until(2000, |s| s.component::<ScriptedManager>(m).unwrap().is_done()));
+    assert!(sim.run_until(2000, |s| s
+        .component::<ScriptedManager>(m)
+        .unwrap()
+        .is_done()));
     let mgr = sim.component::<ScriptedManager>(m).unwrap();
     assert_eq!(mgr.completions().len(), 4);
     for c in mgr.completions() {
@@ -89,10 +97,17 @@ fn unmapped_addresses_get_decerr() {
         read_op(3, LLC_BASE.raw(), 1), // system still alive afterwards
     ];
     let m = sim.add(ScriptedManager::new(mgrs[0], script));
-    assert!(sim.run_until(2000, |s| s.component::<ScriptedManager>(m).unwrap().is_done()));
+    assert!(sim.run_until(2000, |s| s
+        .component::<ScriptedManager>(m)
+        .unwrap()
+        .is_done()));
     let mgr = sim.component::<ScriptedManager>(m).unwrap();
     assert_eq!(mgr.completions()[0].resp, Resp::DecErr);
-    assert_eq!(mgr.completions()[0].data.len(), 4, "full burst of DECERR beats");
+    assert_eq!(
+        mgr.completions()[0].data.len(),
+        4,
+        "full burst of DECERR beats"
+    );
     assert_eq!(mgr.completions()[1].resp, Resp::DecErr);
     assert_eq!(mgr.completions()[1].kind, CompletionKind::Write);
     assert_eq!(mgr.completions()[2].resp, Resp::Okay);
@@ -104,7 +119,9 @@ fn unmapped_addresses_get_decerr() {
 fn round_robin_is_fair_for_equal_bursts() {
     let (mut sim, mgrs, xbar, _mems) = build_system(2);
     let script = |id: u32| -> Vec<Op> {
-        (0..20).map(|i| read_op(id, LLC_BASE.raw() + i * 64, 1)).collect()
+        (0..20)
+            .map(|i| read_op(id, LLC_BASE.raw() + i * 64, 1))
+            .collect()
     };
     let a = sim.add(ScriptedManager::new(mgrs[0], script(1)));
     let b = sim.add(ScriptedManager::new(mgrs[1], script(2)));
@@ -119,7 +136,10 @@ fn round_robin_is_fair_for_equal_bursts() {
     let t_a = sim.component::<ScriptedManager>(a).unwrap().completions()[19].finished;
     let t_b = sim.component::<ScriptedManager>(b).unwrap().completions()[19].finished;
     let diff = t_a.abs_diff(t_b);
-    assert!(diff <= 20, "equal loads should finish together, diff={diff}");
+    assert!(
+        diff <= 20,
+        "equal loads should finish together, diff={diff}"
+    );
 }
 
 /// The paper's premise (§III): burst-granular round-robin lets a long-burst
@@ -128,10 +148,7 @@ fn round_robin_is_fair_for_equal_bursts() {
 #[test]
 fn long_bursts_starve_short_accesses() {
     let (mut sim, mgrs, _xbar, _mems) = build_system(2);
-    let core = sim.add(CoreModel::new(
-        CoreWorkload::susan(LLC_BASE, 50),
-        mgrs[0],
-    ));
+    let core = sim.add(CoreModel::new(CoreWorkload::susan(LLC_BASE, 50), mgrs[0]));
     let dma = DmaConfig {
         region_a: (LLC_BASE + 0x8_0000, 0x4_0000),
         region_b: (SPM_BASE, 0x4_0000),
@@ -142,7 +159,10 @@ fn long_bursts_starve_short_accesses() {
         start_cycle: 0,
     };
     sim.add(DmaModel::new(dma, mgrs[1]));
-    assert!(sim.run_until(2_000_000, |s| s.component::<CoreModel>(core).unwrap().is_done()));
+    assert!(sim.run_until(2_000_000, |s| s
+        .component::<CoreModel>(core)
+        .unwrap()
+        .is_done()));
     let lat = sim.component::<CoreModel>(core).unwrap().latency();
     assert!(
         lat.max().unwrap() >= 256,
@@ -161,11 +181,11 @@ fn long_bursts_starve_short_accesses() {
 #[test]
 fn single_source_latency_through_crossbar() {
     let (mut sim, mgrs, _xbar, _mems) = build_system(1);
-    let core = sim.add(CoreModel::new(
-        CoreWorkload::susan(LLC_BASE, 100),
-        mgrs[0],
-    ));
-    assert!(sim.run_until(100_000, |s| s.component::<CoreModel>(core).unwrap().is_done()));
+    let core = sim.add(CoreModel::new(CoreWorkload::susan(LLC_BASE, 100), mgrs[0]));
+    assert!(sim.run_until(100_000, |s| s
+        .component::<CoreModel>(core)
+        .unwrap()
+        .is_done()));
     let lat = sim.component::<CoreModel>(core).unwrap().latency();
     assert!(
         lat.max().unwrap() <= 10,
@@ -179,10 +199,7 @@ fn single_source_latency_through_crossbar() {
 #[test]
 fn stalling_writer_denies_w_channel() {
     let (mut sim, mgrs, xbar, _mems) = build_system(2);
-    sim.add(StallingManager::new(
-        StallPlan::forever(LLC_BASE),
-        mgrs[0],
-    ));
+    sim.add(StallingManager::new(StallPlan::forever(LLC_BASE), mgrs[0]));
     // The victim tries to write after the staller has claimed the channel.
     let victim = sim.add(ScriptedManager::new(
         mgrs[1],
@@ -195,7 +212,10 @@ fn stalling_writer_denies_w_channel() {
         "victim write must be blocked by the stalled W channel"
     );
     let stalls = sim.component::<Crossbar>(xbar).unwrap().w_stall_cycles(0);
-    assert!(stalls > 4000, "W channel reserved-but-idle, stalls={stalls}");
+    assert!(
+        stalls > 4000,
+        "W channel reserved-but-idle, stalls={stalls}"
+    );
 }
 
 /// Releasing the stalled data unblocks the victim — the stall, not the
@@ -210,7 +230,10 @@ fn released_staller_unblocks_victim() {
         mgrs[1],
         vec![Op::Wait(20), write_op(1, LLC_BASE.raw() + 0x100, &[42])],
     ));
-    assert!(sim.run_until(5000, |s| s.component::<ScriptedManager>(victim).unwrap().is_done()));
+    assert!(sim.run_until(5000, |s| s
+        .component::<ScriptedManager>(victim)
+        .unwrap()
+        .is_done()));
     let v = sim.component::<ScriptedManager>(victim).unwrap();
     assert_eq!(v.completions()[0].resp, Resp::Okay);
     assert!(
@@ -232,9 +255,15 @@ fn reads_flow_past_stalled_writes_on_split_port() {
         mgrs[1],
         vec![Op::Wait(20), read_op(1, SPM_BASE.raw(), 4)],
     ));
-    assert!(sim.run_until(5000, |s| s.component::<ScriptedManager>(reader).unwrap().is_done()));
+    assert!(sim.run_until(5000, |s| s
+        .component::<ScriptedManager>(reader)
+        .unwrap()
+        .is_done()));
     assert_eq!(
-        sim.component::<ScriptedManager>(reader).unwrap().completions()[0].resp,
+        sim.component::<ScriptedManager>(reader)
+            .unwrap()
+            .completions()[0]
+            .resp,
         Resp::Okay
     );
 }
@@ -270,7 +299,9 @@ fn interference_matrix_names_the_aggressor() {
     // up as the victim's aggressor.
     let victim = sim.add(ScriptedManager::new(
         mgrs[0],
-        (0..30).map(|i| read_op(1, LLC_BASE.raw() + i * 64, 1)).collect::<Vec<_>>(),
+        (0..30)
+            .map(|i| read_op(1, LLC_BASE.raw() + i * 64, 1))
+            .collect::<Vec<_>>(),
     ));
     let dma = DmaConfig {
         region_a: (LLC_BASE + 0x8_0000, 0x4_0000),
@@ -284,11 +315,15 @@ fn interference_matrix_names_the_aggressor() {
     sim.add(DmaModel::new(dma, mgrs[1]));
     let spm_reader = sim.add(ScriptedManager::new(
         mgrs[2],
-        (0..30).map(|i| read_op(3, SPM_BASE.raw() + i * 64, 1)).collect::<Vec<_>>(),
+        (0..30)
+            .map(|i| read_op(3, SPM_BASE.raw() + i * 64, 1))
+            .collect::<Vec<_>>(),
     ));
     assert!(sim.run_until(1_000_000, |s| {
         s.component::<ScriptedManager>(victim).unwrap().is_done()
-            && s.component::<ScriptedManager>(spm_reader).unwrap().is_done()
+            && s.component::<ScriptedManager>(spm_reader)
+                .unwrap()
+                .is_done()
     }));
     let x = sim.component::<Crossbar>(xbar).unwrap();
     assert!(
@@ -336,7 +371,9 @@ fn fixed_priority_starves_the_low_priority_manager() {
         // Low-priority victim: short reads to the LLC.
         let victim = sim.add(ScriptedManager::new(
             mgrs_low(&mgr_ports),
-            (0..40).map(|i| read_op(1, LLC_BASE.raw() + i * 64, 1)).collect::<Vec<_>>(),
+            (0..40)
+                .map(|i| read_op(1, LLC_BASE.raw() + i * 64, 1))
+                .collect::<Vec<_>>(),
         ));
         // High-priority aggressor: pipelined 16-beat bursts on the LLC.
         sim.add(DmaModel::new(
@@ -370,7 +407,10 @@ fn fixed_priority_starves_the_low_priority_manager() {
     assert!(rr_cycles < 50_000, "RR finishes promptly: {rr_cycles}");
 
     let (prio_done, prio_completions, _) = run(ArbitrationPolicy::FixedPriority(vec![0, 7]));
-    assert!(!prio_done, "fixed priority starves the low-priority manager");
+    assert!(
+        !prio_done,
+        "fixed priority starves the low-priority manager"
+    );
     assert!(
         prio_completions < 5,
         "starved manager made almost no progress: {prio_completions}"
@@ -392,7 +432,10 @@ fn blocked_cycles_attributed() {
     };
     sim.add(DmaModel::new(dma, mgrs[1]));
     let core = sim.add(CoreModel::new(CoreWorkload::susan(LLC_BASE, 30), mgrs[0]));
-    assert!(sim.run_until(1_000_000, |s| s.component::<CoreModel>(core).unwrap().is_done()));
+    assert!(sim.run_until(1_000_000, |s| s
+        .component::<CoreModel>(core)
+        .unwrap()
+        .is_done()));
     let stats = sim.component::<Crossbar>(xbar).unwrap().manager_stats(0);
     assert!(stats.ar_granted >= 20);
 }

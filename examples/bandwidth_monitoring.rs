@@ -17,7 +17,10 @@ fn print_unit(name: &str, unit: &RealmUnit, cycles: u64) {
     let stats = unit.stats();
     println!("  transactions accepted : {}", stats.txns_accepted);
     println!("  fragments emitted     : {}", stats.fragments_emitted);
-    println!("  downstream stalls     : {} cycles", stats.downstream_stall_cycles);
+    println!(
+        "  downstream stalls     : {} cycles",
+        stats.downstream_stall_cycles
+    );
     for (i, region) in unit.monitor().regions().iter().enumerate() {
         let s = region.stats;
         if s.txn_count == 0 {
@@ -81,11 +84,7 @@ fn main() {
         println!();
     }
 
-    let core_lat = tb
-        .core_realm()
-        .expect("configured")
-        .monitor()
-        .regions()[0]
+    let core_lat = tb.core_realm().expect("configured").monitor().regions()[0]
         .stats
         .latency;
     println!(

@@ -36,7 +36,11 @@ fn main() {
         advice.budget,
         advice.period,
         advice.granted_share * 100.0,
-        if advice.is_binding { "  [binding]" } else { "  [headroom]" },
+        if advice.is_binding {
+            "  [binding]"
+        } else {
+            "  [headroom]"
+        },
     );
 
     // Phase 2: apply through the registers.
@@ -51,13 +55,21 @@ fn main() {
 
     // Phase 3: verify.
     const MEASURE: u64 = 20_000;
-    let before = tb.dma_realm().expect("dma regulated").monitor().regions()[0].stats.bytes_total;
+    let before = tb.dma_realm().expect("dma regulated").monitor().regions()[0]
+        .stats
+        .bytes_total;
     let core_before = tb.core().completed_accesses();
     tb.run(MEASURE);
-    let after = tb.dma_realm().expect("dma regulated").monitor().regions()[0].stats.bytes_total;
+    let after = tb.dma_realm().expect("dma regulated").monitor().regions()[0]
+        .stats
+        .bytes_total;
     let core_after = tb.core().completed_accesses();
     let share = (after - before) as f64 / MEASURE as f64 / BUS_BYTES_PER_CYCLE;
-    println!("\nmeasured share  : {:.1} % (target {:.0} %)", share * 100.0, TARGET * 100.0);
+    println!(
+        "\nmeasured share  : {:.1} % (target {:.0} %)",
+        share * 100.0,
+        TARGET * 100.0
+    );
     println!(
         "core throughput : {:.1} accesses/kcycle under the plan",
         (core_after - core_before) as f64 / (MEASURE as f64 / 1000.0)

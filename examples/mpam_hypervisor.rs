@@ -52,7 +52,11 @@ fn main() {
         "{:>12}  {:>14}  {:>16}",
         "partition", "DMA B/cycle", "core accesses/kcyc"
     );
-    for (label, part) in [("PARTID1", PartId(1)), ("PARTID2", PartId(2)), ("PARTID1", PartId(1))] {
+    for (label, part) in [
+        ("PARTID1", PartId(1)),
+        ("PARTID2", PartId(2)),
+        ("PARTID1", PartId(1)),
+    ] {
         table.bind(0, part).expect("partition defined");
         table.apply().expect("bindings valid");
         tb.run(WINDOW);

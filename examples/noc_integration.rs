@@ -33,8 +33,12 @@ fn run(budget: u64, period: u64) -> (u64, f64) {
     let regulated = AxiBundle::new(sim.pool_mut(), cap);
 
     let mut cluster_map = AddressMap::new();
-    cluster_map.add(LLC_BASE, LLC_SIZE, SubordinateId::new(0)).expect("map");
-    cluster_map.add(SPM_BASE, SPM_SIZE, SubordinateId::new(0)).expect("map");
+    cluster_map
+        .add(LLC_BASE, LLC_SIZE, SubordinateId::new(0))
+        .expect("map");
+    cluster_map
+        .add(SPM_BASE, SPM_SIZE, SubordinateId::new(0))
+        .expect("map");
     sim.add(Crossbar::new(cluster_map, vec![dma0_port, dma1_port], vec![uplink]).expect("ports"));
 
     for (i, port) in [dma0_port, dma1_port].into_iter().enumerate() {
@@ -55,24 +59,49 @@ fn run(budget: u64, period: u64) -> (u64, f64) {
         budget_max: budget,
         period,
     };
-    sim.add(RealmUnit::new(DesignConfig::cheshire(), rt, uplink, regulated));
+    sim.add(RealmUnit::new(
+        DesignConfig::cheshire(),
+        rt,
+        uplink,
+        regulated,
+    ));
 
     // System level: regulated cluster + latency-critical core → LLC/SPM.
     let core_port = AxiBundle::new(sim.pool_mut(), cap);
     let llc_port = AxiBundle::new(sim.pool_mut(), cap);
     let spm_port = AxiBundle::new(sim.pool_mut(), cap);
     let mut system_map = AddressMap::new();
-    system_map.add(LLC_BASE, LLC_SIZE, SubordinateId::new(0)).expect("map");
-    system_map.add(SPM_BASE, SPM_SIZE, SubordinateId::new(1)).expect("map");
+    system_map
+        .add(LLC_BASE, LLC_SIZE, SubordinateId::new(0))
+        .expect("map");
+    system_map
+        .add(SPM_BASE, SPM_SIZE, SubordinateId::new(1))
+        .expect("map");
     sim.add(
-        Crossbar::new(system_map, vec![regulated, core_port], vec![llc_port, spm_port])
-            .expect("ports"),
+        Crossbar::new(
+            system_map,
+            vec![regulated, core_port],
+            vec![llc_port, spm_port],
+        )
+        .expect("ports"),
     );
-    sim.add(MemoryModel::new(MemoryConfig::llc(LLC_BASE, LLC_SIZE), llc_port));
-    sim.add(MemoryModel::new(MemoryConfig::spm(SPM_BASE, SPM_SIZE), spm_port));
+    sim.add(MemoryModel::new(
+        MemoryConfig::llc(LLC_BASE, LLC_SIZE),
+        llc_port,
+    ));
+    sim.add(MemoryModel::new(
+        MemoryConfig::spm(SPM_BASE, SPM_SIZE),
+        spm_port,
+    ));
 
-    let core = sim.add(CoreModel::new(CoreWorkload::susan(LLC_BASE, 1_000), core_port));
-    assert!(sim.run_until(50_000_000, |s| s.component::<CoreModel>(core).unwrap().is_done()));
+    let core = sim.add(CoreModel::new(
+        CoreWorkload::susan(LLC_BASE, 1_000),
+        core_port,
+    ));
+    assert!(sim.run_until(50_000_000, |s| s
+        .component::<CoreModel>(core)
+        .unwrap()
+        .is_done()));
     let c = sim.component::<CoreModel>(core).unwrap();
     (
         c.finished_at().expect("core done"),
@@ -82,7 +111,10 @@ fn run(budget: u64, period: u64) -> (u64, f64) {
 
 fn main() {
     println!("REALM at the NoC ingress: one unit regulating a two-DMA cluster\n");
-    println!("{:>24}  {:>12}  {:>12}", "cluster budget", "core cycles", "core lat");
+    println!(
+        "{:>24}  {:>12}  {:>12}",
+        "cluster budget", "core cycles", "core lat"
+    );
     for (label, budget, period) in [
         ("unregulated", 0u64, 0u64),
         ("8 KiB / 1000 cyc", 8 * 1024, 1000),

@@ -77,11 +77,19 @@ fn main() {
     let mem_port = AxiBundle::new(sim.pool_mut(), cap);
     let spm_port = AxiBundle::new(sim.pool_mut(), cap);
     let mut map = AddressMap::new();
-    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0)).expect("map");
-    map.add(SPM_BASE, SPM_SIZE, SubordinateId::new(1)).expect("map");
+    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0))
+        .expect("map");
+    map.add(SPM_BASE, SPM_SIZE, SubordinateId::new(1))
+        .expect("map");
     sim.add(Crossbar::new(map, mgr_ports, vec![mem_port, spm_port]).expect("ports"));
-    sim.add(MemoryModel::new(MemoryConfig::llc(MEM_BASE, MEM_SIZE), mem_port));
-    sim.add(MemoryModel::new(MemoryConfig::spm(SPM_BASE, SPM_SIZE), spm_port));
+    sim.add(MemoryModel::new(
+        MemoryConfig::llc(MEM_BASE, MEM_SIZE),
+        mem_port,
+    ));
+    sim.add(MemoryModel::new(
+        MemoryConfig::spm(SPM_BASE, SPM_SIZE),
+        spm_port,
+    ));
 
     const CYCLES: u64 = 200_000;
     sim.run(CYCLES);

@@ -24,10 +24,7 @@ fn runtime(frag: u16, budget: u64, period: u64) -> RuntimeConfig {
 }
 
 /// One manager behind a REALM unit, into cache + DRAM.
-fn build_single(
-    sim: &mut Sim,
-    rt: RuntimeConfig,
-) -> (AxiBundle, ComponentId) {
+fn build_single(sim: &mut Sim, rt: RuntimeConfig) -> (AxiBundle, ComponentId) {
     let cap = BundleCapacity::uniform(4);
     let up = AxiBundle::new(sim.pool_mut(), cap);
     let down = AxiBundle::new(sim.pool_mut(), cap);
@@ -35,9 +32,14 @@ fn build_single(
     let back = AxiBundle::new(sim.pool_mut(), cap);
     sim.add(RealmUnit::new(DesignConfig::cheshire(), rt, up, down));
     let mut map = AddressMap::new();
-    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0)).expect("map");
+    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0))
+        .expect("map");
     sim.add(Crossbar::new(map, vec![down], vec![front]).expect("ports"));
-    let cache = sim.add(CacheModel::new(CacheConfig::llc(MEM_BASE, MEM_SIZE), front, back));
+    let cache = sim.add(CacheModel::new(
+        CacheConfig::llc(MEM_BASE, MEM_SIZE),
+        front,
+        back,
+    ));
     sim.add(DramModel::new(DramConfig::ddr3(MEM_BASE, MEM_SIZE), back));
     (up, cache)
 }
@@ -58,7 +60,10 @@ fn fuzz_through_cache_hierarchy() {
             up,
         ));
         assert!(
-            sim.run_until(3_000_000, |s| s.component::<RandomManager>(mgr).unwrap().is_done()),
+            sim.run_until(3_000_000, |s| s
+                .component::<RandomManager>(mgr)
+                .unwrap()
+                .is_done()),
             "seed {seed} frag {frag} must drain"
         );
         let m = sim.component::<RandomManager>(mgr).unwrap();
@@ -87,7 +92,8 @@ fn fuzz_with_thrashing_cache() {
         down,
     ));
     let mut map = AddressMap::new();
-    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0)).expect("map");
+    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0))
+        .expect("map");
     sim.add(Crossbar::new(map, vec![down], vec![front]).expect("ports"));
     let mut tiny = CacheConfig::llc(MEM_BASE, MEM_SIZE);
     tiny.sets = 4;
@@ -102,12 +108,18 @@ fn fuzz_with_thrashing_cache() {
         },
         up,
     ));
-    assert!(sim.run_until(5_000_000, |s| s.component::<RandomManager>(mgr).unwrap().is_done()));
+    assert!(sim.run_until(5_000_000, |s| s
+        .component::<RandomManager>(mgr)
+        .unwrap()
+        .is_done()));
     let m = sim.component::<RandomManager>(mgr).unwrap();
     assert_eq!(m.mismatches(), 0, "thrashing must never corrupt data");
     assert_eq!(m.error_resps(), 0);
     let stats = sim.component::<CacheModel>(cache).unwrap().stats();
-    assert!(stats.writebacks > 10, "dirty evictions must occur: {stats:?}");
+    assert!(
+        stats.writebacks > 10,
+        "dirty evictions must occur: {stats:?}"
+    );
 }
 
 /// Two latency-critical cores behind independent REALM units: depleting
@@ -136,9 +148,14 @@ fn dual_core_budget_isolation() {
             b_down,
         ));
         let mut map = AddressMap::new();
-        map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0)).expect("map");
+        map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0))
+            .expect("map");
         sim.add(Crossbar::new(map, vec![a_down, b_down], vec![front]).expect("ports"));
-        sim.add(CacheModel::new(CacheConfig::llc(MEM_BASE, MEM_SIZE), front, back));
+        sim.add(CacheModel::new(
+            CacheConfig::llc(MEM_BASE, MEM_SIZE),
+            front,
+            back,
+        ));
         sim.add(DramModel::new(DramConfig::ddr3(MEM_BASE, MEM_SIZE), back));
 
         let mut wl_a = CoreWorkload::susan(MEM_BASE, 1_000);
@@ -147,12 +164,18 @@ fn dual_core_budget_isolation() {
         wl_b.id = TxnId::new(1);
         let _a = sim.add(CoreModel::new(wl_a, a_up));
         let b = sim.add(CoreModel::new(wl_b, b_up));
-        assert!(sim.run_until(50_000_000, |s| s.component::<CoreModel>(b).unwrap().is_done()));
-        sim.component::<CoreModel>(b).unwrap().finished_at().unwrap()
+        assert!(sim.run_until(50_000_000, |s| s
+            .component::<CoreModel>(b)
+            .unwrap()
+            .is_done()));
+        sim.component::<CoreModel>(b)
+            .unwrap()
+            .finished_at()
+            .unwrap()
     };
     let b_with_open_a = run_b_cycles(0);
     let b_with_starved_a = run_b_cycles(64); // A almost fully isolated
-    // B must not be slower when A is starved (it may even be faster).
+                                             // B must not be slower when A is starved (it may even be faster).
     assert!(
         b_with_starved_a <= b_with_open_a + b_with_open_a / 20,
         "B slowed by A's isolation: {b_with_starved_a} vs {b_with_open_a}"

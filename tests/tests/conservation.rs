@@ -6,8 +6,7 @@ use axi4::TxnId;
 use axi_traffic::DmaConfig;
 use cheshire_soc::experiments::llc_regulation;
 use cheshire_soc::{
-    Regulation, Testbench, TestbenchConfig, DMA_LLC_BUFFER, DMA_LLC_BUFFER_SIZE, SPM_BASE,
-    SPM_SIZE,
+    Regulation, Testbench, TestbenchConfig, DMA_LLC_BUFFER, DMA_LLC_BUFFER_SIZE, SPM_BASE, SPM_SIZE,
 };
 
 /// A finite DMA job so the system fully drains.

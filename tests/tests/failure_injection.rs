@@ -2,7 +2,9 @@
 //! through the REALM unit's coalescing without corrupting bookkeeping,
 //! deadlocking, or leaking into other transactions.
 
-use axi4::{Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, Resp, SubordinateId, TxnId, WriteTxn};
+use axi4::{
+    Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, Resp, SubordinateId, TxnId, WriteTxn,
+};
 use axi_mem::{MemoryConfig, MemoryModel};
 use axi_realm::{DesignConfig, RealmUnit, RuntimeConfig};
 use axi_sim::{vcd_dump, AxiBundle, BundleCapacity, Sim, TraceProbe};
@@ -48,7 +50,8 @@ fn rig(
     rt.frag_len = frag;
     let realm = sim.add(RealmUnit::new(DesignConfig::cheshire(), rt, up, down));
     let mut map = AddressMap::new();
-    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0)).expect("map");
+    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0))
+        .expect("map");
     sim.add(Crossbar::new(map, vec![down], vec![mem_port]).expect("ports"));
     let mut cfg = MemoryConfig::spm(MEM_BASE, MEM_SIZE);
     cfg.error_every = error_every;
@@ -64,15 +67,18 @@ fn injected_errors_stay_transaction_local() {
     // Memory errors every 4th burst; fragmentation 4 turns a 16-beat write
     // into 4 fragments, so exactly one fragment of it errors.
     let script = vec![
-        read_op(1, MEM_BASE.raw(), 1),                              // burst 1: ok
-        read_op(2, MEM_BASE.raw() + 0x40, 1),                       // burst 2: ok
-        read_op(3, MEM_BASE.raw() + 0x80, 1),                       // burst 3: ok
-        read_op(4, MEM_BASE.raw() + 0xc0, 1),                       // burst 4: SLVERR
+        read_op(1, MEM_BASE.raw(), 1),        // burst 1: ok
+        read_op(2, MEM_BASE.raw() + 0x40, 1), // burst 2: ok
+        read_op(3, MEM_BASE.raw() + 0x80, 1), // burst 3: ok
+        read_op(4, MEM_BASE.raw() + 0xc0, 1), // burst 4: SLVERR
         write_op(5, MEM_BASE.raw() + 0x100, &(0..16).collect::<Vec<_>>()), // bursts 5..8: one errs
-        read_op(6, MEM_BASE.raw() + 0x200, 1),                      // later burst: ok again
+        read_op(6, MEM_BASE.raw() + 0x200, 1), // later burst: ok again
     ];
     let (mut sim, mgr, realm) = rig(4, 4, script);
-    assert!(sim.run_until(50_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+    assert!(sim.run_until(50_000, |s| s
+        .component::<ScriptedManager>(mgr)
+        .unwrap()
+        .is_done()));
     let m = sim.component::<ScriptedManager>(mgr).unwrap();
     let resps: Vec<Resp> = m.completions().iter().map(|c| c.resp).collect();
     assert_eq!(resps[0], Resp::Okay);
@@ -105,7 +111,10 @@ fn heavy_injection_never_wedges() {
     // Granularity 256: transactions pass unfragmented, so exactly every
     // second burst errors.
     let (mut sim, mgr, realm) = rig(2, 256, script);
-    assert!(sim.run_until(200_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+    assert!(sim.run_until(200_000, |s| s
+        .component::<ScriptedManager>(mgr)
+        .unwrap()
+        .is_done()));
     let m = sim.component::<ScriptedManager>(mgr).unwrap();
     assert_eq!(m.completions().len(), 30);
     let errored = m.completions().iter().filter(|c| c.resp.is_err()).count();
@@ -138,11 +147,18 @@ fn vcd_of_a_regulated_run() {
     rt.frag_len = 2;
     sim.add(RealmUnit::new(DesignConfig::cheshire(), rt, up, down));
     let mut map = AddressMap::new();
-    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0)).expect("map");
+    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0))
+        .expect("map");
     sim.add(Crossbar::new(map, vec![down], vec![mem_port]).expect("ports"));
-    sim.add(MemoryModel::new(MemoryConfig::spm(MEM_BASE, MEM_SIZE), mem_port));
+    sim.add(MemoryModel::new(
+        MemoryConfig::spm(MEM_BASE, MEM_SIZE),
+        mem_port,
+    ));
 
-    assert!(sim.run_until(10_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+    assert!(sim.run_until(10_000, |s| s
+        .component::<ScriptedManager>(mgr)
+        .unwrap()
+        .is_done()));
     sim.run(5);
 
     let up_p = sim.component::<TraceProbe>(up_probe).unwrap();

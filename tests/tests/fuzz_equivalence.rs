@@ -3,7 +3,7 @@
 //! responses. A self-checking random manager drives write/read-back traffic
 //! through REALM → crossbar → memory across a grid of configurations.
 
-use axi4::{Addr, SubordinateId, TxnId};
+use axi4::{Addr, SubordinateId};
 use axi_mem::{MemoryConfig, MemoryModel};
 use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
 use axi_sim::{AxiBundle, BundleCapacity, Sim};
@@ -60,9 +60,14 @@ fn run_fuzz(
     ));
 
     let finished = sim.run_until(ops * 30_000, |s| {
-        s.component::<RandomManager>(mgr).expect("manager").is_done()
+        s.component::<RandomManager>(mgr)
+            .expect("manager")
+            .is_done()
     });
-    assert!(finished, "fuzz run must drain (seed {seed}, frag {frag_len})");
+    assert!(
+        finished,
+        "fuzz run must drain (seed {seed}, frag {frag_len})"
+    );
     let m = sim.component::<RandomManager>(mgr).expect("manager");
     let r = sim.component::<RealmUnit>(realm).expect("realm");
     FuzzOutcome {
@@ -119,13 +124,24 @@ fn abe_baseline_is_transparent() {
         let down = AxiBundle::new(sim.pool_mut(), cap);
         let mem_port = AxiBundle::new(sim.pool_mut(), cap);
         let mgr = sim.add(RandomManager::new(RandomConfig::fuzz(WINDOW, 60, seed), up));
-        sim.add(BurstEqualizer::new(EqualizerConfig::nominal(nominal), up, down));
+        sim.add(BurstEqualizer::new(
+            EqualizerConfig::nominal(nominal),
+            up,
+            down,
+        ));
         let mut map = AddressMap::new();
-        map.add(WINDOW.0, WINDOW.1, SubordinateId::new(0)).expect("map");
+        map.add(WINDOW.0, WINDOW.1, SubordinateId::new(0))
+            .expect("map");
         sim.add(Crossbar::new(map, vec![down], vec![mem_port]).expect("ports"));
-        sim.add(MemoryModel::new(MemoryConfig::llc(WINDOW.0, WINDOW.1), mem_port));
+        sim.add(MemoryModel::new(
+            MemoryConfig::llc(WINDOW.0, WINDOW.1),
+            mem_port,
+        ));
         assert!(
-            sim.run_until(2_000_000, |s| s.component::<RandomManager>(mgr).unwrap().is_done()),
+            sim.run_until(2_000_000, |s| s
+                .component::<RandomManager>(mgr)
+                .unwrap()
+                .is_done()),
             "seed {seed} nominal {nominal}"
         );
         let m = sim.component::<RandomManager>(mgr).unwrap();

@@ -3,7 +3,9 @@
 //! the cluster's egress — regulating the cluster's aggregate traffic at the
 //! ingress into the network, exactly where the paper places the units.
 
-use axi4::{Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, Resp, SubordinateId, TxnId, WriteTxn};
+use axi4::{
+    Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, Resp, SubordinateId, TxnId, WriteTxn,
+};
 use axi_mem::{MemoryConfig, MemoryModel};
 use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
 use axi_sim::{AxiBundle, BundleCapacity, ComponentId, Sim};
@@ -17,10 +19,7 @@ const SPM_SIZE: u64 = 1 << 20;
 
 /// Builds: [mgr0, mgr1] → cluster xbar → REALM → system xbar ← mgr2;
 /// system xbar → LLC, SPM. Returns manager bundles and the REALM id.
-fn build(
-    sim: &mut Sim,
-    realm_runtime: RuntimeConfig,
-) -> (Vec<AxiBundle>, ComponentId) {
+fn build(sim: &mut Sim, realm_runtime: RuntimeConfig) -> (Vec<AxiBundle>, ComponentId) {
     let cap = BundleCapacity::uniform(4);
     let m0 = AxiBundle::new(sim.pool_mut(), cap);
     let m1 = AxiBundle::new(sim.pool_mut(), cap);
@@ -59,8 +58,14 @@ fn build(
         Crossbar::new(system_map, vec![regulated, m2], vec![llc_port, spm_port])
             .expect("static ports"),
     );
-    sim.add(MemoryModel::new(MemoryConfig::llc(LLC_BASE, LLC_SIZE), llc_port));
-    sim.add(MemoryModel::new(MemoryConfig::spm(SPM_BASE, SPM_SIZE), spm_port));
+    sim.add(MemoryModel::new(
+        MemoryConfig::llc(LLC_BASE, LLC_SIZE),
+        llc_port,
+    ));
+    sim.add(MemoryModel::new(
+        MemoryConfig::spm(SPM_BASE, SPM_SIZE),
+        spm_port,
+    ));
 
     (vec![m0, m1, m2], realm)
 }
@@ -107,7 +112,10 @@ fn data_integrity_across_two_levels() {
     let words: Vec<u64> = (0..32).map(|i| 0xC0DE_0000 + i).collect();
     let writer = sim.add(ScriptedManager::new(
         mgrs[0],
-        vec![write_op(1, LLC_BASE.raw(), &words), read_op(2, LLC_BASE.raw(), 32)],
+        vec![
+            write_op(1, LLC_BASE.raw(), &words),
+            read_op(2, LLC_BASE.raw(), 32),
+        ],
     ));
     assert!(sim.run_until(100_000, |s| {
         s.component::<ScriptedManager>(writer).unwrap().is_done()
@@ -125,7 +133,10 @@ fn data_integrity_across_two_levels() {
         s.component::<ScriptedManager>(outside).unwrap().is_done()
     }));
     assert_eq!(
-        sim.component::<ScriptedManager>(outside).unwrap().completions()[0].data,
+        sim.component::<ScriptedManager>(outside)
+            .unwrap()
+            .completions()[0]
+            .data,
         words
     );
 }
@@ -180,8 +191,17 @@ fn egress_budget_regulates_whole_cluster() {
     let t_b = sim.component::<ScriptedManager>(b).unwrap().completions()[0].finished;
     let (first, second) = (t_a.min(t_b), t_a.max(t_b));
     assert!(first < 2_000, "first burst inside period 1: {first}");
-    assert!(second >= 2_000, "second burst must wait for period 2: {second}");
-    assert!(sim.component::<RealmUnit>(realm).unwrap().stats().isolated_cycles > 500);
+    assert!(
+        second >= 2_000,
+        "second burst must wait for period 2: {second}"
+    );
+    assert!(
+        sim.component::<RealmUnit>(realm)
+            .unwrap()
+            .stats()
+            .isolated_cycles
+            > 500
+    );
 }
 
 /// Random fuzz through the full hierarchy stays functionally clean.

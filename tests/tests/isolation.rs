@@ -100,7 +100,11 @@ fn full_system_dos_containment() {
     );
     assert!(tb.xbar().w_stall_cycles(0) < 200);
     // The attacker itself never completes (it never produced data).
-    assert!(tb.staller().expect("staller present").completed_at().is_none());
+    assert!(tb
+        .staller()
+        .expect("staller present")
+        .completed_at()
+        .is_none());
 }
 
 /// Control experiment: the same attack without protection hangs the core

@@ -1,0 +1,225 @@
+//! The fast-forward kernel's correctness contract, checked end to end:
+//! `Sim::run(n)` (which may jump over quiescent stretches) must leave the
+//! system in exactly the state that `n` explicit `Sim::step()` calls do —
+//! same component states, same beat-level traces, same final cycle. Only
+//! the executed-tick/skipped-cycle split may differ.
+
+use axi4::{Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, TxnId, WriteTxn};
+use axi_mem::{MemoryConfig, MemoryModel};
+use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
+use axi_sim::{AxiBundle, BundleCapacity, ComponentId, Sim, TraceProbe};
+use axi_traffic::{Op, ScriptedManager};
+use cheshire_soc::{Testbench, TestbenchConfig};
+use proptest::prelude::*;
+
+const MEM_BASE: Addr = Addr::new(0x8000_0000);
+const MEM_SIZE: u64 = 0x1_0000;
+
+/// A manager → REALM unit → memory rig with a beat probe on the upstream
+/// port: small enough to step cycle by cycle, rich enough to exercise
+/// fragmentation, budgets, periods, isolation, and idle stretches.
+struct Rig {
+    sim: Sim,
+    mgr: ComponentId,
+    realm: ComponentId,
+    probe: ComponentId,
+}
+
+fn build_rig(script: Vec<Op>, frag_len: u16, budget: u64, period: u64) -> Rig {
+    let mut sim = Sim::new();
+    let cap = BundleCapacity::uniform(4);
+    let upstream = AxiBundle::new(sim.pool_mut(), cap);
+    let downstream = AxiBundle::new(sim.pool_mut(), cap);
+
+    let mut rt = RuntimeConfig::open(2);
+    rt.frag_len = frag_len;
+    rt.regions[0] = RegionConfig {
+        base: MEM_BASE,
+        size: MEM_SIZE,
+        budget_max: budget,
+        period,
+    };
+
+    let mgr = sim.add(ScriptedManager::new(upstream, script));
+    let realm = sim.add(RealmUnit::new(
+        DesignConfig::cheshire(),
+        rt,
+        upstream,
+        downstream,
+    ));
+    sim.add(MemoryModel::new(
+        MemoryConfig::spm(MEM_BASE, MEM_SIZE),
+        downstream,
+    ));
+    let probe = sim.add(TraceProbe::new(upstream, 4096));
+    Rig {
+        sim,
+        mgr,
+        realm,
+        probe,
+    }
+}
+
+/// Everything observable about a finished rig, in comparable form.
+fn observe(rig: &Rig) -> (u64, String, String, String, String) {
+    let mgr = rig.sim.component::<ScriptedManager>(rig.mgr).expect("mgr");
+    let realm = rig.sim.component::<RealmUnit>(rig.realm).expect("realm");
+    let probe = rig.sim.component::<TraceProbe>(rig.probe).expect("probe");
+    (
+        rig.sim.cycle(),
+        format!("{:?}", mgr.completions()),
+        format!("{:?}", realm.stats()),
+        format!("{:?}", realm.monitor().regions()),
+        probe.dump(),
+    )
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u8..8, 0u64..64, 1u16..=16, 1u64..2_000).prop_map(|(kind, slot, beats, wait)| {
+        let addr = MEM_BASE + slot * 256;
+        let len = BurstLen::new(beats).expect("in range");
+        match kind {
+            0..=2 => Op::Read(ArBeat::new(
+                TxnId::new(0),
+                addr,
+                len,
+                BurstSize::bus64(),
+                BurstKind::Incr,
+            )),
+            3..=5 => {
+                let aw = AwBeat::new(
+                    TxnId::new(0),
+                    addr,
+                    len,
+                    BurstSize::bus64(),
+                    BurstKind::Incr,
+                );
+                Op::Write(WriteTxn::from_words(aw, (0..beats).map(u64::from)).expect("legal burst"))
+            }
+            _ => Op::Wait(wait),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For random scripts (with idle gaps) and random regulation settings,
+    /// a fast-forwarded `run(n)` is indistinguishable from `n` steps.
+    #[test]
+    fn run_with_fast_forward_equals_stepping(
+        script in prop::collection::vec(arb_op(), 1..10),
+        frag_len in prop::sample::select(vec![1u16, 4, 16, 256]),
+        budget in prop::sample::select(vec![0u64, 256, 4096]),
+        period in prop::sample::select(vec![0u64, 300, 1024]),
+        cycles in 200u64..4_000,
+    ) {
+        let mut fast = build_rig(script.clone(), frag_len, budget, period);
+        let mut slow = build_rig(script, frag_len, budget, period);
+
+        fast.sim.run(cycles);
+        for _ in 0..cycles {
+            slow.sim.step();
+        }
+
+        let a = observe(&fast);
+        let b = observe(&slow);
+        prop_assert_eq!(a.0, b.0, "final cycle");
+        prop_assert_eq!(&a.1, &b.1, "manager completions");
+        prop_assert_eq!(&a.2, &b.2, "realm stats");
+        prop_assert_eq!(&a.3, &b.3, "monitor regions");
+        prop_assert_eq!(&a.4, &b.4, "beat trace");
+
+        // The kernel's accounting must cover every simulated cycle exactly.
+        let fs = fast.sim.kernel_stats();
+        prop_assert_eq!(fs.cycles_total(), cycles, "executed + skipped");
+        let ss = slow.sim.kernel_stats();
+        prop_assert_eq!(ss.ticks_executed, cycles);
+        prop_assert_eq!(ss.cycles_skipped, 0);
+    }
+}
+
+/// A wait-heavy script must actually trigger fast-forwarding — otherwise
+/// the equivalence property above is vacuous.
+#[test]
+fn idle_stretches_are_skipped_not_ticked() {
+    let script = vec![
+        Op::Read(ArBeat::new(
+            TxnId::new(0),
+            MEM_BASE,
+            BurstLen::new(4).expect("in range"),
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        )),
+        Op::Wait(5_000),
+        Op::Read(ArBeat::new(
+            TxnId::new(0),
+            MEM_BASE + 0x100,
+            BurstLen::ONE,
+            BurstSize::bus64(),
+            BurstKind::Incr,
+        )),
+    ];
+    let mut rig = build_rig(script, 16, 0, 0);
+    rig.sim.run(10_000);
+    let stats = rig.sim.kernel_stats();
+    assert!(stats.fast_forwards > 0, "no jump taken: {stats:?}");
+    assert!(
+        stats.cycles_skipped > 8_000,
+        "the wait and the post-script tail should dominate: {stats:?}"
+    );
+    assert_eq!(stats.cycles_total(), 10_000);
+    let mgr = rig.sim.component::<ScriptedManager>(rig.mgr).expect("mgr");
+    assert!(mgr.is_done(), "both reads completed across the jumps");
+    assert_eq!(mgr.completions().len(), 2);
+}
+
+/// The same equivalence holds for the full Cheshire-like testbench with a
+/// regulated, periodically-replenished DMA — the configuration the paper's
+/// experiments run. Stepping 30k cycles of the full SoC is slow, so this is
+/// a single pinned configuration rather than a property.
+#[test]
+fn testbench_run_matches_stepping() {
+    use cheshire_soc::experiments::llc_regulation;
+    use cheshire_soc::Regulation;
+
+    let config = || {
+        let mut cfg = TestbenchConfig::single_source(400);
+        cfg.dma = Some(TestbenchConfig::worst_case_dma());
+        cfg.core_regulation = Regulation::Realm(llc_regulation(1, 8 * 1024, 1_000));
+        cfg.dma_regulation = Regulation::Realm(llc_regulation(1, 2 * 1024, 1_000));
+        cfg
+    };
+    const CYCLES: u64 = 30_000;
+    let mut fast = Testbench::new(config());
+    fast.run(CYCLES);
+    let mut slow = Testbench::new(config());
+    for _ in 0..CYCLES {
+        slow.sim_mut().step();
+    }
+
+    let a = fast.result();
+    let b = slow.result();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.core_accesses, b.core_accesses);
+    assert_eq!(
+        format!("{:?}", a.core_latency),
+        format!("{:?}", b.core_latency)
+    );
+    assert_eq!(a.dma_bytes, b.dma_bytes);
+    assert_eq!(a.llc_beats, b.llc_beats);
+    assert_eq!(
+        format!("{:?}", fast.dma_realm().expect("regulated").stats()),
+        format!("{:?}", slow.dma_realm().expect("regulated").stats()),
+    );
+    assert_eq!(
+        format!(
+            "{:?}",
+            fast.dma_realm().expect("regulated").monitor().regions()
+        ),
+        format!(
+            "{:?}",
+            slow.dma_realm().expect("regulated").monitor().regions()
+        ),
+    );
+}

@@ -69,7 +69,10 @@ fn charges_attributed_per_region() {
         read_op(3, REGION_A.raw() + 0x100, 2),
     ];
     let (mut sim, mgr, realm) = build(rt, script);
-    assert!(sim.run_until(10_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+    assert!(sim.run_until(10_000, |s| s
+        .component::<ScriptedManager>(mgr)
+        .unwrap()
+        .is_done()));
     let unit = sim.component::<RealmUnit>(realm).unwrap();
     let regions = unit.monitor().regions();
     assert_eq!(regions[0].stats.bytes_total, (8 + 2) * 8);
@@ -90,7 +93,10 @@ fn one_depleted_region_isolates_everything() {
         read_op(2, REGION_B.raw(), 1), // must wait for A's replenishment
     ];
     let (mut sim, mgr, realm) = build(rt, script);
-    assert!(sim.run_until(20_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+    assert!(sim.run_until(20_000, |s| s
+        .component::<ScriptedManager>(mgr)
+        .unwrap()
+        .is_done()));
     let m = sim.component::<ScriptedManager>(mgr).unwrap();
     let t_b = m.completions()[1].finished;
     assert!(
@@ -108,19 +114,28 @@ fn periods_replenish_independently() {
     // Both deplete on first access; A replenishes at 5000, B at 500.
     let rt = two_region_runtime(64, 5_000, 8, 500);
     let script = vec![
-        read_op(1, REGION_B.raw(), 1),  // depletes B (8 bytes)
-        read_op(2, REGION_B.raw(), 1),  // needs B's second period (~500)
-        read_op(3, REGION_A.raw(), 8),  // depletes A
-        read_op(4, REGION_B.raw(), 1),  // needs B replenished AND A's period
+        read_op(1, REGION_B.raw(), 1), // depletes B (8 bytes)
+        read_op(2, REGION_B.raw(), 1), // needs B's second period (~500)
+        read_op(3, REGION_A.raw(), 8), // depletes A
+        read_op(4, REGION_B.raw(), 1), // needs B replenished AND A's period
     ];
     let (mut sim, mgr, _realm) = build(rt, script);
-    assert!(sim.run_until(50_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+    assert!(sim.run_until(50_000, |s| s
+        .component::<ScriptedManager>(mgr)
+        .unwrap()
+        .is_done()));
     let m = sim.component::<ScriptedManager>(mgr).unwrap();
     let t: Vec<u64> = m.completions().iter().map(|c| c.finished).collect();
     assert!(t[0] < 500, "first B access immediate: {t:?}");
-    assert!((500..5_000).contains(&t[1]), "second B access after B's period only: {t:?}");
+    assert!(
+        (500..5_000).contains(&t[1]),
+        "second B access after B's period only: {t:?}"
+    );
     assert!(t[2] < 5_000, "A access proceeds on A's first budget: {t:?}");
-    assert!(t[3] >= 5_000, "after A depletes, everything waits for A: {t:?}");
+    assert!(
+        t[3] >= 5_000,
+        "after A depletes, everything waits for A: {t:?}"
+    );
 }
 
 /// Addresses outside every region are charged to no budget — but while a
@@ -135,7 +150,10 @@ fn unmapped_addresses_uncharged_but_gated_by_isolation() {
         read_op(2, 0x7000_0000, 1),    // outside both regions: DECERR
     ];
     let (mut sim, mgr, realm) = build(rt, script);
-    assert!(sim.run_until(20_000, |s| s.component::<ScriptedManager>(mgr).unwrap().is_done()));
+    assert!(sim.run_until(20_000, |s| s
+        .component::<ScriptedManager>(mgr)
+        .unwrap()
+        .is_done()));
     let m = sim.component::<ScriptedManager>(mgr).unwrap();
     assert_eq!(m.completions()[1].resp, axi4::Resp::DecErr);
     assert!(

@@ -94,7 +94,13 @@ fn guard_protects_statistics_end_to_end() {
     let resps: Vec<Resp> = master.completions().iter().map(|c| c.resp).collect();
     assert_eq!(
         resps,
-        [Resp::SlvErr, Resp::Okay, Resp::Okay, Resp::SlvErr, Resp::SlvErr]
+        [
+            Resp::SlvErr,
+            Resp::Okay,
+            Resp::Okay,
+            Resp::SlvErr,
+            Resp::SlvErr
+        ]
     );
     assert_eq!(master.completions()[0].kind, CompletionKind::Read);
 }

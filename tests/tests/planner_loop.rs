@@ -46,8 +46,7 @@ fn profile_plan_apply_verify() {
     let end_bytes = tb.dma_realm().expect("dma regulated").monitor().regions()[0]
         .stats
         .bytes_total;
-    let measured_share =
-        (end_bytes - start_bytes) as f64 / MEASURE as f64 / BUS_BYTES_PER_CYCLE;
+    let measured_share = (end_bytes - start_bytes) as f64 / MEASURE as f64 / BUS_BYTES_PER_CYCLE;
     assert!(
         measured_share <= TARGET_SHARE * 1.05,
         "measured share {measured_share:.3} exceeds the planned {TARGET_SHARE}"

@@ -69,7 +69,11 @@ fn everything_at_once() {
     assert!(r.core_latency.max().unwrap() < 200, "{:?}", r.core_latency);
 
     // Staller contained: never completed, W channel not reserved-idle.
-    assert!(tb.staller().expect("staller present").completed_at().is_none());
+    assert!(tb
+        .staller()
+        .expect("staller present")
+        .completed_at()
+        .is_none());
     assert!(tb.xbar().w_stall_cycles(0) < 500);
 
     // Config master: all operations OKAY, readbacks consistent with the
@@ -86,10 +90,7 @@ fn everything_at_once() {
     assert!(snapshot <= dma_realm.stats().txns_accepted);
 
     // Budget retune took effect.
-    assert_eq!(
-        dma_realm.monitor().regions()[0].config.budget_max,
-        2 * 1024
-    );
+    assert_eq!(dma_realm.monitor().regions()[0].config.budget_max, 2 * 1024);
     // The DMA spent time isolated (budget-limited).
     assert!(dma_realm.stats().isolated_cycles > 1_000);
 

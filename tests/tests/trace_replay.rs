@@ -30,10 +30,17 @@ fn replay(trace: Trace, budget: u64, period: u64) -> (u64, u64) {
     };
     sim.add(RealmUnit::new(DesignConfig::cheshire(), rt, up, down));
     let mut map = AddressMap::new();
-    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0)).expect("map");
+    map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0))
+        .expect("map");
     sim.add(Crossbar::new(map, vec![down], vec![mem_port]).expect("ports"));
-    sim.add(MemoryModel::new(MemoryConfig::spm(MEM_BASE, MEM_SIZE), mem_port));
-    assert!(sim.run_until(500_000, |s| s.component::<TraceManager>(mgr).unwrap().is_done()));
+    sim.add(MemoryModel::new(
+        MemoryConfig::spm(MEM_BASE, MEM_SIZE),
+        mem_port,
+    ));
+    assert!(sim.run_until(500_000, |s| s
+        .component::<TraceManager>(mgr)
+        .unwrap()
+        .is_done()));
     let m = sim.component::<TraceManager>(mgr).unwrap();
     (m.completed(), sim.cycle())
 }

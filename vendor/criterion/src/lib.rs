@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds without crates.io access, so the `[[bench]]`
+//! targets run on this minimal harness instead of real criterion. It keeps
+//! the same source-level API for the subset the benches use — groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `iter`,
+//! `iter_with_setup`, `criterion_group!`/`criterion_main!` — and prints one
+//! mean-per-iteration line per benchmark.
+//!
+//! Statistical machinery (outlier detection, HTML reports) is intentionally
+//! absent: the numbers are honest wall-clock means, good enough to track
+//! relative regressions, and the harness stays dependency-free. Passing
+//! `--test` (as `cargo test` does for bench targets) runs each body once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measuring time per benchmark, overridable with
+/// `CRITERION_MEASURE_MS`.
+fn measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+/// A named benchmark, optionally parameterised.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function_name` with a parameter suffix.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the harness-chosen iteration count, timing the
+    /// whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Runs `routine` on a fresh `setup()` value per iteration, timing only
+    /// the routine.
+    pub fn iter_with_setup<S, O, Setup: FnMut() -> S, R: FnMut(S) -> O>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: R,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` invokes harness=false bench binaries with `--test`;
+        // run each body once there instead of measuring.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Measures one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        run_one(self.test_mode, &id.into(), f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes batches by wall-clock
+    /// budget instead of sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Measures one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion.test_mode, &full, f);
+        self
+    }
+
+    /// Measures one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(self.criterion.test_mode, &full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, id: &str, mut f: F) {
+    // Calibration pass: one iteration, also the warmup.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {id} ... ok (bench ran once)");
+        return;
+    }
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let budget = measure_budget();
+    let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+    bencher.iters = iters;
+    f(&mut bencher);
+    let mean = bencher.elapsed / u32::try_from(iters).expect("iters clamped to 100k");
+    println!("bench {id:<48} {mean:>12.2?}/iter ({iters} iters)");
+}
+
+/// Declares a function running each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 7,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn iter_with_setup_times_only_the_routine() {
+        let mut b = Bencher {
+            iters: 3,
+            elapsed: Duration::ZERO,
+        };
+        let mut setups = 0u64;
+        b.iter_with_setup(
+            || {
+                setups += 1;
+                42u64
+            },
+            |v| v * 2,
+        );
+        assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("one", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("two", 8), &8, |b, &x| b.iter(|| x * 2));
+        group.bench_with_input(BenchmarkId::from_parameter(16), &16, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        c.bench_function("free", |b| b.iter(|| ()));
+    }
+}
