@@ -31,6 +31,7 @@ fn dos_ablation() -> ExperimentReport {
         }
         let mut tb = Testbench::new(cfg);
         let finished = tb.run_until_core_done(2_000_000);
+        tb.assert_conformance();
         let accesses = tb.core().completed_accesses();
         let w_stalls = tb.xbar().w_stall_cycles(0);
         ((finished, accesses, w_stalls), tb.sim().kernel_stats())
@@ -74,6 +75,7 @@ fn throttle_ablation() -> ExperimentReport {
         cfg.dma_regulation = Regulation::Realm(dma_rt);
         let mut tb = Testbench::new(cfg);
         assert!(tb.run_until_core_done(50_000_000));
+        tb.assert_conformance();
         let r = tb.result();
         let kernel = r.kernel;
         (r, kernel)
@@ -114,6 +116,7 @@ fn splitter_ablation() -> ExperimentReport {
         cfg.core_regulation = Regulation::Realm(llc_regulation(256, 0, 0));
         let mut tb = Testbench::new(cfg);
         assert!(tb.run_until_core_done(10_000_000));
+        tb.assert_conformance();
         let r = tb.result();
         let kernel = r.kernel;
         (r, kernel)

@@ -18,7 +18,7 @@ use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
 use axi_sim::{AxiBundle, BundleCapacity, KernelStats, Sim};
 use axi_traffic::{CoreModel, CoreWorkload, DmaConfig, DmaModel};
 use axi_xbar::{AddressMap, Crossbar};
-use realm_bench::{run_sweep, ExperimentReport, Row};
+use realm_bench::{run_sweep, ExperimentReport, MonitorRig, Row};
 
 const MEM_BASE: Addr = Addr::new(0x8000_0000);
 const MEM_SIZE: u64 = 16 << 20;
@@ -101,6 +101,21 @@ fn run(frag_len: Option<u16>, with_dma: bool) -> (Outcome, KernelStats) {
         spm_port,
     ));
 
+    // Protocol monitors on every port. The cache is intentionally not a
+    // scoreboard link: hits absorb traffic and writebacks create it, so
+    // only its two ports' own protocol rules apply.
+    let mut rig = MonitorRig::new();
+    rig.port(&mut sim, "core", core_up);
+    rig.port(&mut sim, "core.xbar", core_down);
+    rig.port(&mut sim, "dma", dma_up);
+    rig.port(&mut sim, "dma.xbar", dma_down);
+    rig.port(&mut sim, "llc", cache_front);
+    rig.port(&mut sim, "dram", cache_back);
+    rig.port(&mut sim, "spm", spm_port);
+    rig.link("core", "core.xbar");
+    rig.link("dma", "dma.xbar");
+    rig.boundary(&["core.xbar", "dma.xbar"], &["llc", "spm"]);
+
     assert!(sim.run_until(200_000_000, |s| s
         .component::<CoreModel>(core)
         .unwrap()
@@ -113,6 +128,7 @@ fn run(frag_len: Option<u16>, with_dma: bool) -> (Outcome, KernelStats) {
         hit_rate: k.stats().hit_rate().unwrap_or(0.0),
         writebacks: k.stats().writebacks,
     };
+    rig.assert_clean(&sim);
     (outcome, sim.kernel_stats())
 }
 

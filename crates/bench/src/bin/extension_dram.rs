@@ -16,7 +16,7 @@ use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
 use axi_sim::{AxiBundle, BundleCapacity, KernelStats, Sim};
 use axi_traffic::{CoreModel, CoreWorkload, DmaConfig, DmaModel};
 use axi_xbar::{AddressMap, Crossbar};
-use realm_bench::{run_sweep, ExperimentReport, Row};
+use realm_bench::{run_sweep, ExperimentReport, MonitorRig, Row};
 
 const DRAM_BASE: Addr = Addr::new(0x8000_0000);
 const DRAM_SIZE: u64 = 16 << 20;
@@ -94,6 +94,17 @@ fn run(frag_len: Option<u16>, with_dma: bool) -> (Outcome, KernelStats) {
         spm_port,
     ));
 
+    let mut rig = MonitorRig::new();
+    rig.port(&mut sim, "core", core_up);
+    rig.port(&mut sim, "core.xbar", core_down);
+    rig.port(&mut sim, "dma", dma_up);
+    rig.port(&mut sim, "dma.xbar", dma_down);
+    rig.port(&mut sim, "dram", dram_port);
+    rig.port(&mut sim, "spm", spm_port);
+    rig.link("core", "core.xbar");
+    rig.link("dma", "dma.xbar");
+    rig.boundary(&["core.xbar", "dma.xbar"], &["dram", "spm"]);
+
     assert!(sim.run_until(100_000_000, |s| s
         .component::<CoreModel>(core)
         .unwrap()
@@ -106,6 +117,7 @@ fn run(frag_len: Option<u16>, with_dma: bool) -> (Outcome, KernelStats) {
         lat_max: c.latency().max().unwrap_or(0),
         row_hit_rate: d.stats().hit_rate().unwrap_or(0.0),
     };
+    rig.assert_clean(&sim);
     (outcome, sim.kernel_stats())
 }
 

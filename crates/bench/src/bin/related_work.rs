@@ -15,7 +15,7 @@ use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
 use axi_sim::{AxiBundle, BundleCapacity, ComponentId, KernelStats, Sim};
 use axi_traffic::{CoreModel, CoreWorkload, DmaConfig, DmaModel, StallPlan, StallingManager};
 use axi_xbar::{AddressMap, Crossbar};
-use realm_bench::{run_sweep, ExperimentReport, Row};
+use realm_bench::{run_sweep, ExperimentReport, MonitorRig, Row};
 
 const LLC_BASE: Addr = Addr::new(0x8000_0000);
 const LLC_SIZE: u64 = 16 << 20;
@@ -63,6 +63,7 @@ fn attach(sim: &mut Sim, regulator: Regulator, up: AxiBundle) -> AxiBundle {
 struct Scenario {
     core: ComponentId,
     sim: Sim,
+    rig: MonitorRig,
 }
 
 /// Builds core (monitor-only REALM, as in silicon) + one untrusted manager
@@ -79,13 +80,30 @@ fn build(regulator: Regulator, dma: bool, staller: bool, accesses: u64) -> Scena
         core_up,
     ));
 
+    let mut rig = MonitorRig::new();
+    rig.port(&mut sim, "core", core_up);
+    rig.port(&mut sim, "core.xbar", core_down);
+    rig.link("core", "core.xbar");
+    let mut boundary_mgrs = vec!["core.xbar"];
+
+    // With `Regulator::None` the regulator's downstream IS the manager's
+    // port, so only one monitor applies (and there is no link to check).
+    let regulated = !matches!(regulator, Regulator::None);
+
     let mut mgr_ports = vec![core_down];
     if dma {
         let up = AxiBundle::new(sim.pool_mut(), cap);
         let mut cfg = DmaConfig::worst_case((LLC_BASE + 0x80_0000, 0x8_0000), (SPM_BASE, SPM_SIZE));
         cfg.id = TxnId::new(1);
         sim.add(DmaModel::new(cfg, up));
-        mgr_ports.push(attach(&mut sim, regulator, up));
+        let down = attach(&mut sim, regulator, up);
+        rig.port(&mut sim, "dma", up);
+        if regulated {
+            rig.port(&mut sim, "dma.xbar", down);
+            rig.link("dma", "dma.xbar");
+        }
+        boundary_mgrs.push(if regulated { "dma.xbar" } else { "dma" });
+        mgr_ports.push(down);
     }
     if staller {
         let up = AxiBundle::new(sim.pool_mut(), cap);
@@ -93,7 +111,14 @@ fn build(regulator: Regulator, dma: bool, staller: bool, accesses: u64) -> Scena
             StallPlan::forever(LLC_BASE + 0x20_0000),
             up,
         ));
-        mgr_ports.push(attach(&mut sim, regulator, up));
+        let down = attach(&mut sim, regulator, up);
+        rig.port(&mut sim, "staller", up);
+        if regulated {
+            rig.port(&mut sim, "staller.xbar", down);
+            rig.link("staller", "staller.xbar");
+        }
+        boundary_mgrs.push(if regulated { "staller.xbar" } else { "staller" });
+        mgr_ports.push(down);
     }
 
     let llc_port = AxiBundle::new(sim.pool_mut(), cap);
@@ -112,8 +137,11 @@ fn build(regulator: Regulator, dma: bool, staller: bool, accesses: u64) -> Scena
         MemoryConfig::spm(SPM_BASE, SPM_SIZE),
         spm_port,
     ));
+    rig.port(&mut sim, "llc", llc_port);
+    rig.port(&mut sim, "spm", spm_port);
+    rig.boundary(&boundary_mgrs, &["llc", "spm"]);
 
-    Scenario { core, sim }
+    Scenario { core, sim, rig }
 }
 
 fn main() {
@@ -130,6 +158,7 @@ fn main() {
             .component::<CoreModel>(s.core)
             .unwrap()
             .is_done()));
+        s.rig.assert_clean(&s.sim);
         s.sim
             .component::<CoreModel>(s.core)
             .unwrap()
@@ -176,6 +205,7 @@ fn main() {
             .component::<CoreModel>(s.core)
             .unwrap()
             .is_done()));
+        s.rig.assert_clean(&s.sim);
         let contended = s.sim.component::<CoreModel>(s.core).unwrap();
         let contended_cycles = contended.finished_at().unwrap();
         let lat_max = contended.latency().max().unwrap_or(0);
@@ -185,6 +215,7 @@ fn main() {
         let survived = d.sim.run_until(2_000_000, |sim| {
             sim.component::<CoreModel>(d.core).unwrap().is_done()
         });
+        d.rig.assert_clean(&d.sim);
 
         let (k1, k2) = (s.sim.kernel_stats(), d.sim.kernel_stats());
         let kernel = KernelStats {

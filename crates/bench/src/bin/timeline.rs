@@ -29,6 +29,7 @@ fn main() {
         tb.run(2 * PERIOD); // warm up past the first periods
 
         let timeline = tb.run_timeline(16, PERIOD / 4); // 4 samples per period
+        tb.assert_conformance();
         (timeline, tb.sim().kernel_stats())
     });
     let timeline = &outcome.results[0];

@@ -5,9 +5,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conformance;
 pub mod json;
 pub mod report;
 pub mod sweep;
 
+pub use conformance::MonitorRig;
 pub use report::{ExperimentReport, Row};
 pub use sweep::{run_sweep, PointRuntime, SweepOutcome};

@@ -1,0 +1,392 @@
+//! Aggregating monitors into a system-level conformance verdict.
+//!
+//! A [`Scoreboard`] is a static description of how monitored ports relate:
+//! *links* (two ports carrying the same traffic with pipeline stages — e.g.
+//! a REALM unit — between them) and *boundaries* (a many-to-many interconnect
+//! such as the crossbar, checked by summing both sides). At report time the
+//! scoreboard turns [`PortCounters`] into conservation checks:
+//!
+//! - Always-valid inequalities (downstream W beats never exceed upstream;
+//!   responses never exceed requests) hold even mid-flight.
+//! - Exact equalities (beat conservation through the REALM unit, crossbar
+//!   ingress/egress sums) apply only once the involved monitors are drained,
+//!   detected automatically from outstanding-transaction counts.
+//! - Crossbar boundary sums are additionally gated on zero error responses,
+//!   because the crossbar answers unmapped addresses with internally
+//!   generated `DECERR` beats that never reach a subordinate port.
+
+use std::fmt;
+
+use axi_sim::{Component, ComponentId, PushRefusal, Sim};
+
+use crate::monitor::{PortCounters, ProtocolMonitor, Violation};
+
+/// Declared relations between monitored ports; see the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct Scoreboard {
+    links: Vec<(String, String)>,
+    boundaries: Vec<(Vec<String>, Vec<String>)>,
+}
+
+impl Scoreboard {
+    /// Creates an empty scoreboard (per-port checks only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares that every beat on `down` passed through `up` first: the
+    /// two ports carry the same traffic with only pipeline stages (register
+    /// slices, a REALM unit) between them. Fragmentation may multiply
+    /// *bursts* downstream but must conserve *beats*.
+    pub fn link(mut self, up: impl Into<String>, down: impl Into<String>) -> Self {
+        self.links.push((up.into(), down.into()));
+        self
+    }
+
+    /// Declares a many-to-many interconnect boundary: all traffic entering
+    /// through `managers` leaves through `subordinates` (and vice versa),
+    /// so the summed counters of both sides must agree once drained.
+    pub fn boundary(mut self, managers: &[&str], subordinates: &[&str]) -> Self {
+        self.boundaries.push((
+            managers.iter().map(|s| (*s).to_owned()).collect(),
+            subordinates.iter().map(|s| (*s).to_owned()).collect(),
+        ));
+        self
+    }
+
+    /// Runs every conservation check against the named monitors, returning
+    /// one message per failed check. Unknown port names fail loudly rather
+    /// than silently skipping a check.
+    pub fn check(&self, ports: &[(&str, &ProtocolMonitor)]) -> Vec<String> {
+        let mut failures = Vec::new();
+        let find = |name: &str| ports.iter().find(|(n, _)| *n == name).map(|(_, m)| *m);
+
+        for (name, monitor) in ports {
+            per_port(name, monitor, &mut failures);
+        }
+
+        for (up_name, down_name) in &self.links {
+            let (Some(up), Some(down)) = (find(up_name), find(down_name)) else {
+                failures.push(format!("link {up_name} -> {down_name}: unknown port name"));
+                continue;
+            };
+            link_checks(up_name, up, down_name, down, &mut failures);
+        }
+
+        for (managers, subordinates) in &self.boundaries {
+            let resolve = |names: &[String]| -> Option<Vec<&ProtocolMonitor>> {
+                names.iter().map(|n| find(n)).collect()
+            };
+            let (Some(mgrs), Some(subs)) = (resolve(managers), resolve(subordinates)) else {
+                failures.push(format!(
+                    "boundary {managers:?} / {subordinates:?}: unknown port name"
+                ));
+                continue;
+            };
+            boundary_checks(&mgrs, &subs, &mut failures);
+        }
+        failures
+    }
+}
+
+fn per_port(name: &str, monitor: &ProtocolMonitor, failures: &mut Vec<String>) {
+    let c = monitor.counters();
+    // Responses never outnumber requests, drained or not.
+    let always = [
+        (c.b_resps <= c.aw_bursts, "B responses exceed AW bursts"),
+        (c.r_lasts <= c.ar_bursts, "R bursts exceed AR bursts"),
+        (c.w_lasts <= c.aw_bursts, "W bursts exceed AW bursts"),
+    ];
+    for (ok, what) in always {
+        if !ok {
+            failures.push(format!("port {name}: {what} ({c:?})"));
+        }
+    }
+    if monitor.is_drained() {
+        let drained = [
+            (
+                c.b_resps == c.aw_bursts,
+                "drained but B responses != AW bursts",
+            ),
+            (
+                c.r_lasts == c.ar_bursts,
+                "drained but R bursts != AR bursts",
+            ),
+            (
+                c.w_lasts == c.aw_bursts,
+                "drained but W bursts != AW bursts",
+            ),
+        ];
+        for (ok, what) in drained {
+            if !ok {
+                failures.push(format!("port {name}: {what} ({c:?})"));
+            }
+        }
+        if c.err_resps == 0 {
+            if c.w_beats != c.write_beats_expected {
+                failures.push(format!(
+                    "port {name}: drained, error-free, but {} W beats delivered of {} promised",
+                    c.w_beats, c.write_beats_expected
+                ));
+            }
+            if c.r_beats != c.read_beats_expected {
+                failures.push(format!(
+                    "port {name}: drained, error-free, but {} R beats delivered of {} owed",
+                    c.r_beats, c.read_beats_expected
+                ));
+            }
+        }
+    }
+}
+
+fn link_checks(
+    up_name: &str,
+    up: &ProtocolMonitor,
+    down_name: &str,
+    down: &ProtocolMonitor,
+    failures: &mut Vec<String>,
+) {
+    let (u, d) = (up.counters(), down.counters());
+    let label = format!("link {up_name} -> {down_name}");
+    // Mid-flight safe: beats may lag behind the upstream port but never
+    // materialise from nowhere.
+    if d.w_beats > u.w_beats {
+        failures.push(format!(
+            "{label}: {} W beats downstream exceed {} upstream",
+            d.w_beats, u.w_beats
+        ));
+    }
+    if u.r_beats > d.r_beats {
+        failures.push(format!(
+            "{label}: {} R beats upstream exceed {} downstream",
+            u.r_beats, d.r_beats
+        ));
+    }
+    // Once both sides are drained the pipeline is empty: beat counts must
+    // agree exactly — conservation through the REALM unit, throttled or not.
+    // (Burst counts are only comparable here too: mid-flight the unit may
+    // buffer accepted bursts before forwarding them, so downstream can lag
+    // upstream; drained, fragmentation can only have multiplied them.)
+    if up.is_drained() && down.is_drained() {
+        if d.aw_bursts < u.aw_bursts || d.ar_bursts < u.ar_bursts {
+            failures.push(format!(
+                "{label}: bursts lost crossing the link (up aw={} ar={}, down aw={} ar={})",
+                u.aw_bursts, u.ar_bursts, d.aw_bursts, d.ar_bursts
+            ));
+        }
+        if d.w_beats != u.w_beats {
+            failures.push(format!(
+                "{label}: drained but W beats not conserved ({} up, {} down)",
+                u.w_beats, d.w_beats
+            ));
+        }
+        if d.r_beats != u.r_beats {
+            failures.push(format!(
+                "{label}: drained but R beats not conserved ({} up, {} down)",
+                u.r_beats, d.r_beats
+            ));
+        }
+    }
+}
+
+fn boundary_checks(
+    mgrs: &[&ProtocolMonitor],
+    subs: &[&ProtocolMonitor],
+    failures: &mut Vec<String>,
+) {
+    let sum = |side: &[&ProtocolMonitor]| {
+        side.iter().fold(PortCounters::default(), |mut acc, m| {
+            let c = m.counters();
+            acc.aw_bursts += c.aw_bursts;
+            acc.ar_bursts += c.ar_bursts;
+            acc.w_beats += c.w_beats;
+            acc.r_beats += c.r_beats;
+            acc.err_resps += c.err_resps;
+            acc
+        })
+    };
+    let (m, s) = (sum(mgrs), sum(subs));
+    // Mid-flight safe: a W beat reaches the subordinate side only after
+    // appearing on some manager-side port.
+    if s.w_beats > m.w_beats {
+        failures.push(format!(
+            "boundary: {} W beats on the subordinate side exceed {} entering",
+            s.w_beats, m.w_beats
+        ));
+    }
+    let drained = mgrs.iter().chain(subs).all(|p| p.is_drained());
+    // DECERR traffic is absorbed/answered inside the crossbar, so exact
+    // ingress/egress sums only hold on error-free runs.
+    if drained && m.err_resps == 0 && s.err_resps == 0 {
+        let pairs = [
+            (m.aw_bursts, s.aw_bursts, "AW bursts"),
+            (m.ar_bursts, s.ar_bursts, "AR bursts"),
+            (m.w_beats, s.w_beats, "W beats"),
+            (m.r_beats, s.r_beats, "R beats"),
+        ];
+        for (lhs, rhs, what) in pairs {
+            if lhs != rhs {
+                failures.push(format!(
+                    "boundary: drained, error-free, but {what} not conserved ({lhs} in, {rhs} out)"
+                ));
+            }
+        }
+    }
+}
+
+/// Everything one monitor contributed to a [`ConformanceReport`].
+#[derive(Clone, Debug)]
+pub struct PortReport {
+    /// The monitor's port name.
+    pub port: String,
+    /// Its beat/burst counters.
+    pub counters: PortCounters,
+    /// Its recorded violations.
+    pub violations: Vec<Violation>,
+    /// Violations beyond the monitor's retention bound.
+    pub violations_dropped: u64,
+    /// Transactions still outstanding at collection time.
+    pub outstanding: usize,
+}
+
+/// The aggregated verdict of a monitored run: per-port violations, failed
+/// conservation checks, and kernel-level push refusals.
+#[derive(Clone, Debug)]
+pub struct ConformanceReport {
+    /// One entry per monitor, in the order given to `collect`.
+    pub ports: Vec<PortReport>,
+    /// Failed conservation checks, as human-readable messages.
+    pub conservation: Vec<String>,
+    /// Refused channel pushes, with the offending component's name when the
+    /// refusal happened inside a kernel tick.
+    pub refusals: Vec<(PushRefusal, Option<String>)>,
+    /// Refusals beyond the kernel's retention bound.
+    pub refusals_dropped: u64,
+}
+
+impl ConformanceReport {
+    /// Gathers violations, counters, conservation results, and push
+    /// refusals from `monitors` registered with `sim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an ID in `monitors` does not refer to a
+    /// [`ProtocolMonitor`] — that is a wiring bug, not a runtime condition.
+    pub fn collect(sim: &Sim, monitors: &[ComponentId], scoreboard: &Scoreboard) -> Self {
+        let resolved: Vec<&ProtocolMonitor> = monitors
+            .iter()
+            .map(|&id| {
+                sim.component::<ProtocolMonitor>(id)
+                    .expect("ComponentId does not refer to a ProtocolMonitor")
+            })
+            .collect();
+        let named: Vec<(&str, &ProtocolMonitor)> =
+            resolved.iter().map(|m| (m.name(), *m)).collect();
+        let conservation = scoreboard.check(&named);
+        let ports = resolved
+            .iter()
+            .map(|m| PortReport {
+                port: m.name().to_owned(),
+                counters: m.counters(),
+                violations: m.violations().to_vec(),
+                violations_dropped: m.violations_dropped(),
+                outstanding: m.outstanding(),
+            })
+            .collect();
+        let refusals = sim
+            .pool()
+            .push_refusals()
+            .iter()
+            .map(|&r| {
+                let name = r
+                    .component
+                    .and_then(|i| sim.component_name(i))
+                    .map(str::to_owned);
+                (r, name)
+            })
+            .collect();
+        Self {
+            ports,
+            conservation,
+            refusals,
+            refusals_dropped: sim.pool().refusals_dropped(),
+        }
+    }
+
+    /// Total violations across all ports, including dropped ones.
+    pub fn total_violations(&self) -> u64 {
+        self.ports
+            .iter()
+            .map(|p| p.violations.len() as u64 + p.violations_dropped)
+            .sum()
+    }
+
+    /// `true` if the run was conformant: no violations, no failed
+    /// conservation checks, no refused pushes.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations() == 0
+            && self.conservation.is_empty()
+            && self.refusals.is_empty()
+            && self.refusals_dropped == 0
+    }
+
+    /// Panics with the rendered report unless [`ConformanceReport::is_clean`].
+    pub fn assert_clean(&self) {
+        assert!(self.is_clean(), "conformance violations detected:\n{self}");
+    }
+}
+
+impl fmt::Display for ConformanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "conformance: {} ({} ports, {} violations, {} conservation failures, {} refusals)",
+            if self.is_clean() {
+                "CLEAN"
+            } else {
+                "VIOLATIONS"
+            },
+            self.ports.len(),
+            self.total_violations(),
+            self.conservation.len(),
+            self.refusals.len() as u64 + self.refusals_dropped,
+        )?;
+        for p in &self.ports {
+            let c = p.counters;
+            writeln!(
+                f,
+                "  port {}: aw={} w={}/{} b={} ar={} r={}/{} err={} outstanding={}",
+                p.port,
+                c.aw_bursts,
+                c.w_beats,
+                c.write_beats_expected,
+                c.b_resps,
+                c.ar_bursts,
+                c.r_beats,
+                c.read_beats_expected,
+                c.err_resps,
+                p.outstanding,
+            )?;
+            for v in &p.violations {
+                writeln!(f, "    {v}")?;
+            }
+            if p.violations_dropped > 0 {
+                writeln!(f, "    … and {} more violations", p.violations_dropped)?;
+            }
+        }
+        for msg in &self.conservation {
+            writeln!(f, "  conservation: {msg}")?;
+        }
+        for (r, name) in &self.refusals {
+            write!(f, "  refusal: {r}")?;
+            match name {
+                Some(n) => writeln!(f, " ({n})")?,
+                None => writeln!(f)?,
+            }
+        }
+        if self.refusals_dropped > 0 {
+            writeln!(f, "  … and {} more refusals", self.refusals_dropped)?;
+        }
+        Ok(())
+    }
+}

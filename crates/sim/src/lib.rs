@@ -52,7 +52,7 @@ mod wire;
 pub use arb::RoundRobin;
 pub use bundle::{AxiBundle, BundleCapacity};
 pub use component::{Component, TickCtx};
-pub use pool::{Channel, ChannelPool, WireId};
+pub use pool::{Channel, ChannelPool, PushRefusal, WireId};
 pub use sim::{ComponentId, KernelStats, Sim};
 pub use trace::{TraceChannel, TraceEvent, TracePayload, TraceProbe};
 pub use vcd::vcd_dump;

@@ -65,7 +65,9 @@ mod sealed {
 
 /// Beat types that can travel on pool-managed wires: the five AXI channel
 /// payloads. Sealed — the pool's storage is concrete per channel.
-pub trait Channel: sealed::Sealed + Sized {
+pub trait Channel: sealed::Sealed + Copy {
+    /// Short channel name for diagnostics ("AW", "W", "B", "AR", "R").
+    const LABEL: &'static str;
     #[doc(hidden)]
     fn wires(pool: &ChannelPool) -> &Vec<Wire<Self>>;
     #[doc(hidden)]
@@ -73,8 +75,9 @@ pub trait Channel: sealed::Sealed + Sized {
 }
 
 macro_rules! impl_channel {
-    ($ty:ty, $field:ident) => {
+    ($ty:ty, $field:ident, $label:literal) => {
         impl Channel for $ty {
+            const LABEL: &'static str = $label;
             fn wires(pool: &ChannelPool) -> &Vec<Wire<Self>> {
                 &pool.$field
             }
@@ -85,11 +88,49 @@ macro_rules! impl_channel {
     };
 }
 
-impl_channel!(AwBeat, aw);
-impl_channel!(WBeat, w);
-impl_channel!(BBeat, b);
-impl_channel!(ArBeat, ar);
-impl_channel!(RBeat, r);
+impl_channel!(AwBeat, aw, "AW");
+impl_channel!(WBeat, w, "W");
+impl_channel!(BBeat, b, "B");
+impl_channel!(ArBeat, ar, "AR");
+impl_channel!(RBeat, r, "R");
+
+/// The structured record of a refused [`ChannelPool::push`]: who pushed,
+/// where, when, and why. Replaces the kernel's former hard panic so a
+/// misbehaving component turns into a diagnosable conformance finding
+/// instead of a crash.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PushRefusal {
+    /// Registration index of the component whose tick performed the push,
+    /// if the push happened inside a [`Sim`](crate::Sim) tick (resolve it
+    /// to a name via [`Sim::component_name`](crate::Sim::component_name)).
+    pub component: Option<usize>,
+    /// Channel label ("AW", "W", "B", "AR", "R").
+    pub channel: &'static str,
+    /// Pool-internal wire index within the channel.
+    pub wire: usize,
+    /// Cycle of the refused push.
+    pub cycle: Cycle,
+    /// Why the wire refused.
+    pub error: PushError,
+}
+
+impl fmt::Display for PushRefusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {:>8}: push on {} wire {} refused ({})",
+            self.cycle, self.channel, self.wire, self.error
+        )?;
+        if let Some(c) = self.component {
+            write!(f, " by component #{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Upper bound on retained [`PushRefusal`] records; further refusals only
+/// bump the overflow counter.
+const MAX_REFUSALS: usize = 256;
 
 /// Owns every wire in a simulated system and hands out typed [`WireId`]
 /// handles.
@@ -107,6 +148,11 @@ pub struct ChannelPool {
     // Beats currently on any wire, maintained push/pop-incrementally so the
     // kernel's idle check is O(1) instead of a walk over every wire.
     in_flight: u64,
+    // Registration index of the component currently being ticked, stamped
+    // by the kernel so refusals can name their culprit.
+    owner: Option<usize>,
+    refusals: Vec<PushRefusal>,
+    refusals_dropped: u64,
 }
 
 impl ChannelPool {
@@ -141,14 +187,25 @@ impl ChannelPool {
 
     /// Pushes a beat; visible to consumers from the next cycle.
     ///
-    /// # Panics
-    ///
-    /// Panics on backpressure or double-push — callers must check
-    /// [`ChannelPool::can_push`] first. Use [`ChannelPool::try_push`] to
-    /// handle refusal as data.
+    /// Callers must check [`ChannelPool::can_push`] first. A refused push
+    /// (backpressure or double-push) is not a panic: the beat is dropped
+    /// and a structured [`PushRefusal`] — component index, channel, wire,
+    /// cycle, reason — is recorded and surfaced through
+    /// [`ChannelPool::push_refusals`] and the conformance report. Use
+    /// [`ChannelPool::try_push`] to handle refusal as data instead.
     pub fn push<T: Channel>(&mut self, id: WireId<T>, cycle: Cycle, beat: T) {
-        if let Err(e) = self.try_push(id, cycle, beat) {
-            panic!("push on {id:?} at cycle {cycle} refused: {e}");
+        if let Err(error) = self.try_push(id, cycle, beat) {
+            if self.refusals.len() < MAX_REFUSALS {
+                self.refusals.push(PushRefusal {
+                    component: self.owner,
+                    channel: T::LABEL,
+                    wire: id.index,
+                    cycle,
+                    error,
+                });
+            } else {
+                self.refusals_dropped += 1;
+            }
         }
     }
 
@@ -174,6 +231,36 @@ impl ChannelPool {
     /// Returns the front beat if one is visible at `cycle`.
     pub fn peek<T: Channel>(&self, id: WireId<T>, cycle: Cycle) -> Option<&T> {
         self.wire(id).peek(cycle)
+    }
+
+    /// Starts recording every accepted push onto `id` into its tap buffer
+    /// (see [`Wire::enable_tap`]). The collector must drain regularly.
+    pub fn enable_tap<T: Channel>(&mut self, id: WireId<T>) {
+        self.wire_mut(id).enable_tap();
+    }
+
+    /// Moves all tapped `(push_cycle, beat)` records of `id` into `out`,
+    /// oldest first. No-op on an untapped wire.
+    pub fn drain_tap<T: Channel>(&mut self, id: WireId<T>, out: &mut Vec<(Cycle, T)>) {
+        self.wire_mut(id).drain_tap_into(out);
+    }
+
+    /// Stamps the component whose tick is currently executing (kernel use;
+    /// refusals recorded while an owner is set carry its index).
+    pub fn set_owner(&mut self, owner: Option<usize>) {
+        self.owner = owner;
+    }
+
+    /// Structured records of refused [`ChannelPool::push`] calls, oldest
+    /// first (bounded; see [`ChannelPool::refusals_dropped`]). A correct
+    /// system keeps this empty.
+    pub fn push_refusals(&self) -> &[PushRefusal] {
+        &self.refusals
+    }
+
+    /// Refusals beyond the retention bound, counted instead of stored.
+    pub fn refusals_dropped(&self) -> u64 {
+        self.refusals_dropped
     }
 
     /// Pops the front beat if one is visible at `cycle` (at most once per
@@ -275,12 +362,58 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "refused")]
-    fn push_panics_on_full() {
+    fn push_records_structured_refusal() {
         let mut pool = ChannelPool::new();
         let w = pool.new_wire::<WBeat>(1);
         pool.push(w, 0, WBeat::full(1, true));
+        assert!(pool.push_refusals().is_empty());
+        // Refused pushes no longer panic: the beat is dropped and a
+        // structured record names wire, cycle, and reason.
+        pool.set_owner(Some(3));
         pool.push(w, 1, WBeat::full(2, true));
+        pool.set_owner(None);
+        pool.push(w, 1, WBeat::full(3, true));
+        let r = pool.push_refusals();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].component, Some(3));
+        assert_eq!(r[0].channel, "W");
+        assert_eq!(r[0].wire, w.index());
+        assert_eq!(r[0].cycle, 1);
+        assert_eq!(r[0].error, PushError::Full);
+        assert_eq!(r[1].component, None);
+        assert_eq!(pool.refusals_dropped(), 0);
+        assert!(r[0].to_string().contains("component #3"));
+        // The wire still holds only the first beat.
+        assert_eq!(pool.len(w), 1);
+        assert_eq!(pool.pop(w, 2).map(|b| b.data), Some(1));
+    }
+
+    #[test]
+    fn refusals_beyond_cap_are_counted() {
+        let mut pool = ChannelPool::new();
+        let w = pool.new_wire::<WBeat>(1);
+        pool.push(w, 0, WBeat::full(0, true));
+        for c in 1..=(super::MAX_REFUSALS as u64 + 5) {
+            pool.push(w, c, WBeat::full(c, true));
+        }
+        assert_eq!(pool.push_refusals().len(), super::MAX_REFUSALS);
+        assert_eq!(pool.refusals_dropped(), 5);
+    }
+
+    #[test]
+    fn taps_observe_pushes_per_wire() {
+        let mut pool = ChannelPool::new();
+        let a = pool.new_wire::<WBeat>(4);
+        let b = pool.new_wire::<WBeat>(4);
+        pool.enable_tap(a);
+        pool.push(a, 0, WBeat::full(1, false));
+        pool.push(b, 0, WBeat::full(2, false));
+        let mut out = Vec::new();
+        pool.drain_tap(a, &mut out);
+        pool.drain_tap(b, &mut out); // untapped: contributes nothing
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 0);
+        assert_eq!(out[0].1.data, 1);
     }
 
     #[test]

@@ -125,15 +125,24 @@ impl Sim {
 
     /// Advances the simulation by one cycle, ticking every component once.
     pub fn step(&mut self) {
-        for component in &mut self.components {
+        for (index, component) in self.components.iter_mut().enumerate() {
+            self.pool.set_owner(Some(index));
             let mut ctx = TickCtx {
                 cycle: self.cycle,
                 pool: &mut self.pool,
             };
             component.tick(&mut ctx);
         }
+        self.pool.set_owner(None);
         self.cycle += 1;
         self.stats.ticks_executed += 1;
+    }
+
+    /// The instance name of the component registered at `index`, if any —
+    /// resolves [`PushRefusal::component`](crate::PushRefusal) indices for
+    /// reports.
+    pub fn component_name(&self, index: usize) -> Option<&str> {
+        self.components.get(index).map(|c| c.name())
     }
 
     /// The cycle the kernel may jump to without ticking, bounded by

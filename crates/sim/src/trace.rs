@@ -281,6 +281,98 @@ mod tests {
         assert!(matches!(first.payload, TracePayload::B(b) if b.id != TxnId::new(0)));
     }
 
+    /// Every displaced event is counted: after heavy overflow the ring
+    /// holds exactly the newest `capacity` events and `dropped` accounts
+    /// for all the rest.
+    #[test]
+    fn overflow_accounts_for_every_event() {
+        let mut sim = Sim::new();
+        let bundle = AxiBundle::with_defaults(sim.pool_mut());
+        let probe = sim.add(TraceProbe::new(bundle, 4));
+        const TOTAL: u64 = 20;
+        for i in 0..TOTAL {
+            let c = sim.cycle();
+            sim.pool_mut().pop(bundle.b, c);
+            sim.pool_mut()
+                .push(bundle.b, c, BBeat::okay(TxnId::new(i as u32)));
+            sim.run(2);
+        }
+        let p = sim.component::<TraceProbe>(probe).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.dropped() + p.len() as u64, TOTAL);
+        // The survivors are the newest events, still in order.
+        let ids: Vec<u32> = p
+            .events()
+            .map(|e| match e.payload {
+                TracePayload::B(b) => b.id.raw(),
+                _ => unreachable!("only B beats were pushed"),
+            })
+            .collect();
+        assert_eq!(ids, [16, 17, 18, 19]);
+    }
+
+    /// A probe must see every beat even when the kernel fast-forwards over
+    /// the idle gaps between them. The producer sleeps 1000 cycles between
+    /// beats, so almost all simulated time is jumped over.
+    #[test]
+    fn fast_forward_does_not_lose_beats() {
+        struct SparseProducer {
+            out: crate::pool::WireId<BBeat>,
+            sent: u32,
+            next_at: Cycle,
+        }
+        impl Component for SparseProducer {
+            fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+                if ctx.cycle >= self.next_at && self.sent < 5 {
+                    ctx.pool
+                        .push(self.out, ctx.cycle, BBeat::okay(TxnId::new(self.sent)));
+                    self.sent += 1;
+                    self.next_at = ctx.cycle + 1000;
+                }
+            }
+            fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+                (self.sent < 5).then(|| self.next_at.max(cycle))
+            }
+        }
+        struct Sink {
+            input: crate::pool::WireId<BBeat>,
+        }
+        impl Component for Sink {
+            fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+                ctx.pool.pop(self.input, ctx.cycle);
+            }
+            fn next_event(&self, _cycle: Cycle) -> Option<Cycle> {
+                None
+            }
+        }
+
+        let mut sim = Sim::new();
+        let bundle = AxiBundle::with_defaults(sim.pool_mut());
+        let probe = sim.add(TraceProbe::new(bundle, 16));
+        sim.add(SparseProducer {
+            out: bundle.b,
+            sent: 0,
+            next_at: 0,
+        });
+        sim.add(Sink { input: bundle.b });
+        sim.run(6_000);
+        assert!(
+            sim.kernel_stats().fast_forwards >= 4,
+            "idle gaps must be jumped: {:?}",
+            sim.kernel_stats()
+        );
+        let p = sim.component::<TraceProbe>(probe).unwrap();
+        let ids: Vec<u32> = p
+            .events()
+            .map(|e| match e.payload {
+                TracePayload::B(b) => b.id.raw(),
+                _ => unreachable!("only B beats were pushed"),
+            })
+            .collect();
+        assert_eq!(ids, [0, 1, 2, 3, 4], "no beat may be lost across jumps");
+        assert_eq!(p.dropped(), 0);
+    }
+
     #[test]
     fn dump_is_line_per_event() {
         let mut pool = ChannelPool::new();

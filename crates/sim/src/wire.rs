@@ -50,6 +50,10 @@ pub struct Wire<T> {
     last_push: Option<Cycle>,
     last_pop: Option<Cycle>,
     stats: WireStats,
+    // When tapped, every accepted push is also appended here (push cycle +
+    // payload) until a collector drains it — the exactly-once observation
+    // stream protocol monitors are built on.
+    tap: Option<Vec<(Cycle, T)>>,
 }
 
 impl<T> Wire<T> {
@@ -67,6 +71,32 @@ impl<T> Wire<T> {
             last_push: None,
             last_pop: None,
             stats: WireStats::default(),
+            tap: None,
+        }
+    }
+
+    /// Starts recording every accepted push into the tap buffer.
+    ///
+    /// Unlike peek-based probing, the tap sees each beat exactly once, in
+    /// push order, with its push cycle — even when identical payloads
+    /// follow each other or a consumer pops the beat in the same cycle a
+    /// peeker would have looked. A collector must call
+    /// [`Wire::drain_tap_into`] regularly (ticked components do so every
+    /// executed cycle) or the buffer grows unboundedly.
+    pub fn enable_tap(&mut self) {
+        self.tap.get_or_insert_with(Vec::new);
+    }
+
+    /// Returns `true` if pushes are being recorded.
+    pub fn is_tapped(&self) -> bool {
+        self.tap.is_some()
+    }
+
+    /// Moves all tapped `(push_cycle, beat)` records into `out`, oldest
+    /// first, clearing the tap buffer. No-op on an untapped wire.
+    pub fn drain_tap_into(&mut self, out: &mut Vec<(Cycle, T)>) {
+        if let Some(tap) = &mut self.tap {
+            out.append(tap);
         }
     }
 
@@ -82,13 +112,19 @@ impl<T> Wire<T> {
     ///
     /// [`PushError::Full`] on backpressure, [`PushError::Busy`] if a beat
     /// was already pushed this cycle.
-    pub fn try_push(&mut self, cycle: Cycle, item: T) -> Result<(), PushError> {
+    pub fn try_push(&mut self, cycle: Cycle, item: T) -> Result<(), PushError>
+    where
+        T: Clone,
+    {
         if self.last_push == Some(cycle) {
             return Err(PushError::Busy);
         }
         if self.queue.len() >= self.capacity {
             self.stats.full_stalls += 1;
             return Err(PushError::Full);
+        }
+        if let Some(tap) = &mut self.tap {
+            tap.push((cycle, item.clone()));
         }
         self.queue.push_back((cycle, item));
         self.last_push = Some(cycle);
@@ -213,6 +249,31 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = Wire::<u8>::new(0);
+    }
+
+    #[test]
+    fn tap_sees_every_push_exactly_once() {
+        let mut w = Wire::new(2);
+        assert!(!w.is_tapped());
+        w.enable_tap();
+        assert!(w.is_tapped());
+        // Two identical payloads back to back — a peek-based observer would
+        // dedupe them away; the tap must not.
+        w.try_push(0, 7u64).unwrap();
+        w.try_push(1, 7u64).unwrap();
+        assert_eq!(w.try_push(2, 8), Err(PushError::Full));
+        let mut out = Vec::new();
+        w.drain_tap_into(&mut out);
+        assert_eq!(out, [(0, 7), (1, 7)]);
+        // Drained: nothing left, refusals never recorded.
+        out.clear();
+        w.drain_tap_into(&mut out);
+        assert!(out.is_empty());
+        // Consumption does not disturb the tap.
+        assert_eq!(w.pop(2), Some(7));
+        w.try_push(2, 9).unwrap();
+        w.drain_tap_into(&mut out);
+        assert_eq!(out, [(2, 9)]);
     }
 
     #[test]

@@ -22,6 +22,8 @@ fn run(config: TestbenchConfig) -> RunResult {
         tb.run_until_core_done(MAX_CYCLES),
         "experiment exceeded {MAX_CYCLES} cycles"
     );
+    // Every published number must come from protocol-legal traffic.
+    tb.assert_conformance();
     tb.result()
 }
 

@@ -1,6 +1,7 @@
 //! The Cheshire-like testbench: Fig. 5 of the paper as a simulated system.
 
 use axi4::{Addr, SubordinateId, TxnId};
+use axi_conformance::{ConformanceReport, ProtocolMonitor, Scoreboard};
 use axi_mem::{MemoryConfig, MemoryModel, MmioSubordinate};
 use axi_realm::{BusGuard, DesignConfig, RealmRegFile, RealmUnit, RuntimeConfig};
 use axi_sim::{AxiBundle, BundleCapacity, ComponentId, KernelStats, Sim};
@@ -60,6 +61,20 @@ pub struct TestbenchConfig {
     /// that claims the bus guard and programs the REALM units over AXI, as
     /// CVA6 does early in Cheshire's boot flow. Empty = no such manager.
     pub config_script: Vec<Op>,
+    /// Attach passive AXI4 protocol monitors to every manager and
+    /// subordinate port (plus the downstream side of each REALM unit).
+    /// Defaults to on; set `REALM_MONITORS=0` in the environment to default
+    /// off, or override this field directly.
+    pub monitors: bool,
+}
+
+/// Reads the `REALM_MONITORS` environment variable: monitors default on
+/// unless it is set to `0`, `off`, or `false`.
+fn monitors_enabled_by_env() -> bool {
+    !matches!(
+        std::env::var("REALM_MONITORS").as_deref(),
+        Ok("0") | Ok("off") | Ok("false")
+    )
 }
 
 impl TestbenchConfig {
@@ -74,6 +89,7 @@ impl TestbenchConfig {
             staller_regulation: Regulation::None,
             realm_design: DesignConfig::cheshire(),
             config_script: Vec::new(),
+            monitors: monitors_enabled_by_env(),
         }
     }
 
@@ -100,6 +116,8 @@ pub struct Testbench {
     xbar: ComponentId,
     llc: ComponentId,
     spm: ComponentId,
+    monitors: Vec<ComponentId>,
+    scoreboard: Scoreboard,
 }
 
 /// Summary of one run, the raw material for every figure.
@@ -170,6 +188,9 @@ impl Testbench {
         // feed them, with optional REALM units in between.
         let mut xbar_mgr_ports = Vec::new();
         let mut realm_ids: Vec<Option<ComponentId>> = Vec::new();
+        // (name, upstream bundle, downstream bundle if a REALM sits between)
+        // for the protocol monitors attached at the end of construction.
+        let mut mgr_info: Vec<(&'static str, AxiBundle, Option<AxiBundle>)> = Vec::new();
 
         let attach = |sim: &mut Sim, regulation: &Regulation| -> (AxiBundle, Option<ComponentId>) {
             let upstream = AxiBundle::new(sim.pool_mut(), cap);
@@ -189,26 +210,26 @@ impl Testbench {
         let (core_up, core_realm) = attach(&mut sim, &config.core_regulation);
         let core = sim.add(CoreModel::new(config.core, core_up));
         realm_ids.push(core_realm);
-        xbar_mgr_ports.push(match core_realm {
-            Some(id) => sim
-                .component::<RealmUnit>(id)
+        let core_down = core_realm.map(|id| {
+            sim.component::<RealmUnit>(id)
                 .expect("just added")
-                .downstream(),
-            None => core_up,
+                .downstream()
         });
+        xbar_mgr_ports.push(core_down.unwrap_or(core_up));
+        mgr_info.push(("core", core_up, core_down));
 
         // DMA (manager 1).
         let (dma, dma_realm) = match &config.dma {
             Some(dma_cfg) => {
                 let (dma_up, dma_realm) = attach(&mut sim, &config.dma_regulation);
                 let id = sim.add(DmaModel::new(*dma_cfg, dma_up));
-                xbar_mgr_ports.push(match dma_realm {
-                    Some(r) => sim
-                        .component::<RealmUnit>(r)
+                let down = dma_realm.map(|r| {
+                    sim.component::<RealmUnit>(r)
                         .expect("just added")
-                        .downstream(),
-                    None => dma_up,
+                        .downstream()
                 });
+                xbar_mgr_ports.push(down.unwrap_or(dma_up));
+                mgr_info.push(("dma", dma_up, down));
                 (Some(id), dma_realm)
             }
             None => (None, None),
@@ -220,13 +241,13 @@ impl Testbench {
             Some(plan) => {
                 let (up, realm) = attach(&mut sim, &config.staller_regulation);
                 let id = sim.add(StallingManager::new(*plan, up));
-                xbar_mgr_ports.push(match realm {
-                    Some(r) => sim
-                        .component::<RealmUnit>(r)
+                let down = realm.map(|r| {
+                    sim.component::<RealmUnit>(r)
                         .expect("just added")
-                        .downstream(),
-                    None => up,
+                        .downstream()
                 });
+                xbar_mgr_ports.push(down.unwrap_or(up));
+                mgr_info.push(("staller", up, down));
                 (Some(id), realm)
             }
             None => (None, None),
@@ -240,6 +261,7 @@ impl Testbench {
             let port = AxiBundle::new(sim.pool_mut(), cap);
             let id = sim.add(ScriptedManager::new(port, config.config_script.clone()));
             xbar_mgr_ports.push(port);
+            mgr_info.push(("cfgmgr", port, None));
             Some(id)
         };
 
@@ -278,6 +300,34 @@ impl Testbench {
         let guard = BusGuard::new(RealmRegFile::new(unit_regs));
         sim.add(MmioSubordinate::new(guard, CFG_BASE, CFG_SIZE, cfg_port));
 
+        // Protocol monitors, attached last so functional component indices
+        // are identical with monitors on or off. Each manager's upstream
+        // port gets one; REALM'd managers also get one on the downstream
+        // (crossbar-facing) port, linked for beat conservation; all three
+        // subordinate ports close the crossbar boundary.
+        let mut monitors = Vec::new();
+        let mut scoreboard = Scoreboard::new();
+        if config.monitors {
+            let mut boundary_mgrs: Vec<String> = Vec::new();
+            for (name, up, down) in &mgr_info {
+                monitors.push(ProtocolMonitor::attach(&mut sim, *name, *up));
+                match down {
+                    Some(down) => {
+                        let down_name = format!("{name}.xbar");
+                        monitors.push(ProtocolMonitor::attach(&mut sim, down_name.clone(), *down));
+                        scoreboard = scoreboard.link(*name, down_name.clone());
+                        boundary_mgrs.push(down_name);
+                    }
+                    None => boundary_mgrs.push((*name).to_owned()),
+                }
+            }
+            for (name, port) in [("llc", llc_port), ("spm", spm_port), ("cfgreg", cfg_port)] {
+                monitors.push(ProtocolMonitor::attach(&mut sim, name, port));
+            }
+            let mgr_refs: Vec<&str> = boundary_mgrs.iter().map(String::as_str).collect();
+            scoreboard = scoreboard.boundary(&mgr_refs, &["llc", "spm", "cfgreg"]);
+        }
+
         Self {
             sim,
             core,
@@ -290,6 +340,8 @@ impl Testbench {
             xbar,
             llc,
             spm,
+            monitors,
+            scoreboard,
         }
     }
 
@@ -412,6 +464,26 @@ impl Testbench {
         Timeline { window, samples }
     }
 
+    /// Whether protocol monitors were attached at construction.
+    pub fn monitors_enabled(&self) -> bool {
+        !self.monitors.is_empty()
+    }
+
+    /// Collects the conformance verdict: per-port protocol violations, the
+    /// scoreboard's beat-conservation checks across REALM units and the
+    /// crossbar, and any structured push refusals from the kernel.
+    pub fn conformance_report(&self) -> ConformanceReport {
+        ConformanceReport::collect(&self.sim, &self.monitors, &self.scoreboard)
+    }
+
+    /// Panics with a full report if any monitor saw a violation. A no-op
+    /// when monitors are disabled.
+    pub fn assert_conformance(&self) {
+        if self.monitors_enabled() {
+            self.conformance_report().assert_clean();
+        }
+    }
+
     /// Snapshots the run into a [`RunResult`].
     pub fn result(&self) -> RunResult {
         let core = self.core();
@@ -500,5 +572,30 @@ mod tests {
         assert!(tb.core_realm().is_some());
         assert!(tb.dma_realm().is_some());
         assert!(tb.dma_realm().unwrap().stats().fragments_emitted > 0);
+        // Fragmented, budget-regulated traffic must still be protocol-legal
+        // on both sides of each REALM unit, beat for beat.
+        tb.assert_conformance();
+    }
+
+    #[test]
+    fn monitors_observe_cleanly_and_can_be_disabled() {
+        let mut cfg = TestbenchConfig::single_source(50);
+        cfg.dma = Some(TestbenchConfig::worst_case_dma());
+        cfg.monitors = true;
+        let mut tb = Testbench::new(cfg.clone());
+        assert!(tb.run_until_core_done(5_000_000));
+        assert!(tb.monitors_enabled());
+        let report = tb.conformance_report();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.total_violations(), 0);
+
+        // Monitors are passive: disabling them changes nothing observable.
+        cfg.monitors = false;
+        let mut off = Testbench::new(cfg);
+        assert!(off.run_until_core_done(5_000_000));
+        assert!(!off.monitors_enabled());
+        off.assert_conformance(); // no-op without monitors
+        assert_eq!(tb.result().cycles, off.result().cycles);
+        assert_eq!(tb.result().llc_beats, off.result().llc_beats);
     }
 }

@@ -16,6 +16,10 @@
 //! - [`RandomManager`] issues seeded random legal transactions and checks
 //!   every read against its own memory model — the end-to-end fuzzer.
 //!
+//! [`FuzzSpec`] complements them: it expands a `u64` seed into a random but
+//! protocol-legal script for the [`ScriptedManager`], and [`shrink`] reduces
+//! a failing script to a minimal reproducer by greedy delta debugging.
+//!
 //! All generators are deterministic; [`LatencyStats`] aggregates per-access
 //! latency for the paper's worst-case numbers.
 
@@ -24,6 +28,7 @@
 
 mod core_model;
 mod dma;
+mod fuzz;
 mod random;
 mod replay;
 mod script;
@@ -32,6 +37,7 @@ mod stats;
 
 pub use core_model::{CoreModel, CoreWorkload};
 pub use dma::{DmaConfig, DmaModel};
+pub use fuzz::{shrink, FuzzSpec};
 pub use random::{RandomConfig, RandomManager};
 pub use replay::{ParseTraceError, Trace, TraceManager, TraceRecord};
 pub use script::{Completion, CompletionKind, Op, ScriptedManager};

@@ -1,0 +1,65 @@
+//! Regression: a refused wire push no longer panics the kernel — it is
+//! recorded as a structured [`PushRefusal`](axi_sim::PushRefusal) with the
+//! offending component and cycle, and surfaces through the conformance
+//! report's verdict.
+
+use axi4::WBeat;
+use axi_conformance::{ConformanceReport, ProtocolMonitor, Scoreboard};
+use axi_sim::{AxiBundle, BundleCapacity, Component, Sim, TickCtx, WireId};
+
+/// A deliberately buggy manager: pushes a W beat every cycle without
+/// checking `can_push`, overrunning a capacity-1 wire that nobody pops.
+struct Flooder {
+    out: WireId<WBeat>,
+    pushes: u64,
+}
+
+impl Component for Flooder {
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        ctx.pool
+            .push(self.out, ctx.cycle, WBeat::full(self.pushes, false));
+        self.pushes += 1;
+    }
+
+    fn name(&self) -> &str {
+        "flooder"
+    }
+}
+
+#[test]
+fn refused_push_surfaces_in_conformance_report() {
+    let mut sim = Sim::new();
+    let bundle = AxiBundle::new(sim.pool_mut(), BundleCapacity::uniform(1));
+    let mon = ProtocolMonitor::attach(&mut sim, "port", bundle);
+    sim.add(Flooder {
+        out: bundle.w,
+        pushes: 0,
+    });
+
+    // Cycle 0 fills the wire; every later push is refused (capacity 1, no
+    // consumer). The simulation keeps running — no panic.
+    sim.run(4);
+
+    let report = ConformanceReport::collect(&sim, &[mon], &Scoreboard::new());
+    assert!(!report.is_clean(), "refusals must fail the verdict");
+    // The one beat that did land is itself illegal — a W with no AW — and
+    // the monitor flags it independently of the kernel's refusals.
+    assert_eq!(report.total_violations(), 1);
+    assert_eq!(report.ports[0].violations[0].rule.label(), "W_ORPHAN");
+    assert_eq!(report.refusals.len(), 3, "cycles 1..=3 each refused a push");
+
+    let (first, name) = &report.refusals[0];
+    assert_eq!(first.cycle, 1);
+    assert_eq!(first.channel, "W");
+    assert_eq!(name.as_deref(), Some("flooder"), "owner resolved by name");
+
+    let rendered = report.to_string();
+    assert!(rendered.contains("VIOLATIONS"), "{rendered}");
+    assert!(rendered.contains("refused"), "{rendered}");
+    assert!(rendered.contains("flooder"), "{rendered}");
+
+    // The monitor itself only saw the beats that actually made it onto the
+    // wire: exactly the one successful push.
+    let m = sim.component::<ProtocolMonitor>(mon).unwrap();
+    assert_eq!(m.counters().w_beats, 1);
+}
