@@ -142,8 +142,10 @@ mod tests {
 
     #[test]
     fn ids_order_and_hash() {
+        // lint:allow(hashmap-iter) -- exercises the Hash impl, never iterated
         use std::collections::HashSet;
         assert!(TxnId::new(1) < TxnId::new(2));
+        // lint:allow(hashmap-iter) -- dedup by Hash/Eq only; len is order-free
         let set: HashSet<ManagerId> = [ManagerId::new(0), ManagerId::new(0)].into_iter().collect();
         assert_eq!(set.len(), 1);
     }

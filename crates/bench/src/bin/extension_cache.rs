@@ -38,8 +38,6 @@ fn run(frag_len: Option<u16>, with_dma: bool) -> (Outcome, KernelStats) {
 
     let core_up = AxiBundle::new(sim.pool_mut(), cap);
     let core_down = AxiBundle::new(sim.pool_mut(), cap);
-    let dma_up = AxiBundle::new(sim.pool_mut(), cap);
-    let dma_down = AxiBundle::new(sim.pool_mut(), cap);
     let cache_front = AxiBundle::new(sim.pool_mut(), cap);
     let cache_back = AxiBundle::new(sim.pool_mut(), cap);
     let spm_port = AxiBundle::new(sim.pool_mut(), cap);
@@ -55,38 +53,48 @@ fn run(frag_len: Option<u16>, with_dma: bool) -> (Outcome, KernelStats) {
         };
         rt
     };
-    sim.add(RealmUnit::new(
-        DesignConfig::cheshire(),
-        runtime(256),
-        core_up,
-        core_down,
-    ));
-    sim.add(RealmUnit::new(
-        DesignConfig::cheshire(),
-        runtime(frag_len.unwrap_or(256)),
-        dma_up,
-        dma_down,
-    ));
+    sim.add(
+        RealmUnit::new(DesignConfig::cheshire(), runtime(256), core_up, core_down)
+            .named("realm.core"),
+    );
 
     // Core working set (64 KiB) fits the 128 KiB LLC.
     let core = sim.add(CoreModel::new(
         CoreWorkload::susan(MEM_BASE, 2_000),
         core_up,
     ));
-    if with_dma {
+    // The DMA path (manager, REALM unit, crossbar port) exists only in
+    // contended runs — an always-present unit with no manager behind it
+    // would leave its upstream wires dangling (realm-lint: wire-dangling).
+    let dma_frag = frag_len.unwrap_or(256);
+    let dma_ports = with_dma.then(|| {
+        let dma_up = AxiBundle::new(sim.pool_mut(), cap);
+        let dma_down = AxiBundle::new(sim.pool_mut(), cap);
+        sim.add(
+            RealmUnit::new(
+                DesignConfig::cheshire(),
+                runtime(dma_frag),
+                dma_up,
+                dma_down,
+            )
+            .named("realm.dma"),
+        );
         let mut dma = DmaConfig::worst_case((MEM_BASE + 0x80_0000, 0x8_0000), (SPM_BASE, SPM_SIZE));
         dma.id = TxnId::new(1);
         sim.add(DmaModel::new(dma, dma_up));
-    }
+        (dma_up, dma_down)
+    });
 
+    let mut mgr_ports = vec![core_down];
+    if let Some((_, dma_down)) = dma_ports {
+        mgr_ports.push(dma_down);
+    }
     let mut map = AddressMap::new();
     map.add(MEM_BASE, MEM_SIZE, SubordinateId::new(0))
         .expect("map");
     map.add(SPM_BASE, SPM_SIZE, SubordinateId::new(1))
         .expect("map");
-    sim.add(
-        Crossbar::new(map, vec![core_down, dma_down], vec![cache_front, spm_port]).expect("ports"),
-    );
+    sim.add(Crossbar::new(map, mgr_ports, vec![cache_front, spm_port]).expect("ports"));
     let cache = sim.add(CacheModel::new(
         CacheConfig::llc(MEM_BASE, MEM_SIZE),
         cache_front,
@@ -107,14 +115,36 @@ fn run(frag_len: Option<u16>, with_dma: bool) -> (Outcome, KernelStats) {
     let mut rig = MonitorRig::new();
     rig.port(&mut sim, "core", core_up);
     rig.port(&mut sim, "core.xbar", core_down);
-    rig.port(&mut sim, "dma", dma_up);
-    rig.port(&mut sim, "dma.xbar", dma_down);
+    let mut boundary_mgrs = vec!["core.xbar"];
+    if let Some((dma_up, dma_down)) = dma_ports {
+        rig.port(&mut sim, "dma", dma_up);
+        rig.port(&mut sim, "dma.xbar", dma_down);
+        rig.link("dma", "dma.xbar");
+        boundary_mgrs.push("dma.xbar");
+    }
     rig.port(&mut sim, "llc", cache_front);
     rig.port(&mut sim, "dram", cache_back);
     rig.port(&mut sim, "spm", spm_port);
     rig.link("core", "core.xbar");
-    rig.link("dma", "dma.xbar");
-    rig.boundary(&["core.xbar", "dma.xbar"], &["llc", "spm"]);
+    rig.boundary(&boundary_mgrs, &["llc", "spm"]);
+
+    // Elaboration-time analysis before the first cycle.
+    if realm_lint::enabled_by_env() {
+        let mut model = realm_lint::SystemModel::new()
+            .window("llc", MEM_BASE, MEM_SIZE)
+            .window("spm", SPM_BASE, SPM_SIZE)
+            .bandwidth("llc", 8)
+            .bandwidth("spm", 8)
+            .id_space(15, if with_dma { 2 } else { 1 })
+            .realm("realm.core", DesignConfig::cheshire(), runtime(256));
+        if with_dma {
+            model = model.realm("realm.dma", DesignConfig::cheshire(), runtime(dma_frag));
+        }
+        realm_lint::apply(
+            "extension_cache",
+            &realm_lint::analyze(&sim.topology(), &model),
+        );
+    }
 
     assert!(sim.run_until(200_000_000, |s| s
         .component::<CoreModel>(core)

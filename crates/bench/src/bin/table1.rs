@@ -34,6 +34,10 @@ const PUBLISHED_RT_CFG: f64 = 9.8;
 const PUBLISHED_SOC: f64 = 3810.0;
 
 fn main() {
+    // Analytic binary: no simulator is constructed, so gate on the
+    // default Cheshire system explicitly (REALM_LINT=0 skips).
+    cheshire_soc::startup_lint("table1");
+
     let breakdown = AreaBreakdown::evaluate(AreaParams::cheshire());
     let model_units = breakdown.units_ge() / 1000.0;
     let model_cfg = breakdown.config_ge() / 1000.0;

@@ -12,6 +12,10 @@ use axi_sim::KernelStats;
 use realm_bench::{run_sweep, ExperimentReport, Row};
 
 fn main() {
+    // Analytic binary: no simulator is constructed, so gate on the
+    // default Cheshire system explicitly (REALM_LINT=0 skips).
+    cheshire_soc::startup_lint("table2");
+
     // Part 1: the coefficient matrix exactly as published.
     let mut coeffs = ExperimentReport::new(
         "Table II",

@@ -9,7 +9,7 @@
 //! jump). The monitor never pushes, pops, or peeks a wire, so attaching it
 //! cannot perturb simulated behaviour.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use axi4::{ArBeat, AwBeat, BBeat, ProtocolError, RBeat, TxnId, WBeat};
@@ -182,12 +182,12 @@ pub struct ProtocolMonitor {
     // oldest write still missing beats.
     writes: VecDeque<WriteTrack>,
     // Writes whose data completed, per ID, awaiting exactly one B each.
-    pending_b: HashMap<TxnId, u32>,
+    pending_b: BTreeMap<TxnId, u32>,
     // Outstanding reads per ID, oldest first: AXI4 requires same-ID read
     // data in request order, so each R beat attaches to the oldest
     // outstanding read of its ID. Same-ID reordering by the interconnect
     // surfaces as RLAST misplacement.
-    reads: HashMap<TxnId, VecDeque<ReadTrack>>,
+    reads: BTreeMap<TxnId, VecDeque<ReadTrack>>,
     // Scratch drain buffers, reused across ticks to avoid reallocating.
     aw_buf: Vec<(Cycle, AwBeat)>,
     w_buf: Vec<(Cycle, WBeat)>,
@@ -211,8 +211,8 @@ impl ProtocolMonitor {
             violations_dropped: 0,
             counters: PortCounters::default(),
             writes: VecDeque::new(),
-            pending_b: HashMap::new(),
-            reads: HashMap::new(),
+            pending_b: BTreeMap::new(),
+            reads: BTreeMap::new(),
             aw_buf: Vec::new(),
             w_buf: Vec::new(),
             b_buf: Vec::new(),
@@ -481,6 +481,10 @@ impl Component for ProtocolMonitor {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn ports(&self) -> Vec<axi_sim::PortDecl> {
+        self.bundle.observer_ports()
     }
 
     // Purely reactive: taps only fill when some component pushes, which

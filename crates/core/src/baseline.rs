@@ -11,7 +11,7 @@
 //! (Table-less, §II) a runnable experiment: see
 //! `realm-bench --bin related_work`.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use axi4::{fragment_read, fragment_write_header, BBeat, Resp, WBeat};
 use axi_sim::{AxiBundle, Component, TickCtx};
@@ -61,7 +61,7 @@ pub struct BurstEqualizer {
     w_templates: VecDeque<u16>,
     beats_into_fragment: u16,
     /// Per-ID write coalescing (AWs forwarded eagerly, Bs merged).
-    wtxns: HashMap<u32, VecDeque<WriteTxnState>>,
+    wtxns: BTreeMap<u32, VecDeque<WriteTxnState>>,
     aw_outstanding: usize,
     fragments_emitted: u64,
     name: String,
@@ -90,7 +90,7 @@ impl BurstEqualizer {
             aw_queue: VecDeque::new(),
             w_templates: VecDeque::new(),
             beats_into_fragment: 0,
-            wtxns: HashMap::new(),
+            wtxns: BTreeMap::new(),
             aw_outstanding: 0,
             fragments_emitted: 0,
             name: "abe".to_owned(),
@@ -221,6 +221,14 @@ impl Component for BurstEqualizer {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn ports(&self) -> Vec<axi_sim::PortDecl> {
+        [
+            self.upstream.subordinate_ports(),
+            self.downstream.manager_ports(),
+        ]
+        .concat()
     }
 
     fn next_event(&self, cycle: axi_sim::Cycle) -> Option<axi_sim::Cycle> {

@@ -119,7 +119,10 @@ impl RuntimeConfig {
     ///
     /// [`ConfigError::BadFragLen`] for a granularity outside 1–256,
     /// [`ConfigError::TooManyRegions`] if more regions are configured than
-    /// the design instantiates.
+    /// the design instantiates, [`ConfigError::OverlappingRegions`] if two
+    /// enabled regions share addresses — [`RuntimeConfig::region_of`]
+    /// routes by first match, so an overlap would silently charge all
+    /// traffic in the shared range to the lower-indexed region's budget.
     pub fn validate(&self, design: &DesignConfig) -> Result<(), ConfigError> {
         if self.frag_len == 0 || self.frag_len > 256 {
             return Err(ConfigError::BadFragLen {
@@ -131,6 +134,20 @@ impl RuntimeConfig {
                 configured: self.regions.len(),
                 available: design.num_regions,
             });
+        }
+        for (i, a) in self.regions.iter().enumerate() {
+            for (j, b) in self.regions.iter().enumerate().skip(i + 1) {
+                let disjoint = a.size == 0
+                    || b.size == 0
+                    || a.base.raw().saturating_add(a.size) <= b.base.raw()
+                    || b.base.raw().saturating_add(b.size) <= a.base.raw();
+                if !disjoint {
+                    return Err(ConfigError::OverlappingRegions {
+                        first: i,
+                        second: j,
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -169,6 +186,14 @@ pub enum ConfigError {
         /// Regions available in hardware.
         available: usize,
     },
+    /// Two enabled regions share addresses; matching is first-wins, so
+    /// the overlap would be charged to the wrong budget silently.
+    OverlappingRegions {
+        /// Lower region index.
+        first: usize,
+        /// Higher region index.
+        second: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -190,6 +215,11 @@ impl fmt::Display for ConfigError {
             } => write!(
                 f,
                 "{configured} regions configured but only {available} instantiated"
+            ),
+            ConfigError::OverlappingRegions { first, second } => write!(
+                f,
+                "regions {first} and {second} overlap; first-match routing would \
+                 charge the shared range to region {first} only"
             ),
         }
     }
@@ -243,6 +273,38 @@ mod tests {
             r.validate(&d),
             Err(ConfigError::TooManyRegions { .. })
         ));
+    }
+
+    #[test]
+    fn overlapping_regions_rejected() {
+        let d = DesignConfig::cheshire();
+        let mut r = RuntimeConfig::open(2);
+        r.regions[0] = RegionConfig {
+            base: Addr::new(0x1000),
+            size: 0x2000,
+            budget_max: 0,
+            period: 0,
+        };
+        r.regions[1] = RegionConfig {
+            base: Addr::new(0x2000),
+            size: 0x1000,
+            budget_max: 0,
+            period: 0,
+        };
+        assert_eq!(
+            r.validate(&d),
+            Err(ConfigError::OverlappingRegions {
+                first: 0,
+                second: 1
+            })
+        );
+        // Adjacent (touching) regions are fine.
+        r.regions[1].base = Addr::new(0x3000);
+        assert!(r.validate(&d).is_ok());
+        // A disabled region overlaps nothing.
+        r.regions[1].base = Addr::new(0x2000);
+        r.regions[1].size = 0;
+        assert!(r.validate(&d).is_ok());
     }
 
     #[test]

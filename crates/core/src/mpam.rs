@@ -9,7 +9,7 @@
 //! budgets and applies them through the units' shared registers, exactly
 //! as a hypervisor would through the register file.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -106,8 +106,8 @@ impl Error for PartitionError {}
 #[derive(Debug)]
 pub struct PartitionTable {
     units: Vec<SharedRegs>,
-    partitions: HashMap<PartId, BandwidthPartition>,
-    bindings: HashMap<usize, PartId>,
+    partitions: BTreeMap<PartId, BandwidthPartition>,
+    bindings: BTreeMap<usize, PartId>,
     region_base: axi4::Addr,
     region_size: u64,
 }
@@ -118,8 +118,8 @@ impl PartitionTable {
     pub fn new(units: Vec<SharedRegs>, region_base: axi4::Addr, region_size: u64) -> Self {
         Self {
             units,
-            partitions: HashMap::new(),
-            bindings: HashMap::new(),
+            partitions: BTreeMap::new(),
+            bindings: BTreeMap::new(),
             region_base,
             region_size,
         }

@@ -1,7 +1,7 @@
 //! The read side of the REALM unit: fragment emission and response
 //! reassembly.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use axi4::{ArBeat, FragPlan, RBeat, Resp};
 
@@ -42,7 +42,7 @@ struct ReadTxnState {
 pub struct ReadPath {
     num_pending: usize,
     frag_queue: VecDeque<ArBeat>,
-    txns: HashMap<u32, VecDeque<ReadTxnState>>,
+    txns: BTreeMap<u32, VecDeque<ReadTxnState>>,
     pending_txns: usize,
     outstanding_frags: usize,
 }
@@ -53,7 +53,7 @@ impl ReadPath {
         Self {
             num_pending,
             frag_queue: VecDeque::new(),
-            txns: HashMap::new(),
+            txns: BTreeMap::new(),
             pending_txns: 0,
             outstanding_frags: 0,
         }

@@ -86,6 +86,18 @@ impl RealmUnit {
         }
     }
 
+    /// Replaces the default instance name (`"realm"`) — distinguishes
+    /// units in topology snapshots and lint diagnostics.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The design parameters the unit was instantiated with.
+    pub fn design(&self) -> DesignConfig {
+        self.design
+    }
+
     /// The shared register cell, to be served by a
     /// [`RealmRegFile`](crate::RealmRegFile).
     pub fn regs(&self) -> SharedRegs {
@@ -350,6 +362,14 @@ impl Component for RealmUnit {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn ports(&self) -> Vec<axi_sim::PortDecl> {
+        [
+            self.upstream.subordinate_ports(),
+            self.downstream.manager_ports(),
+        ]
+        .concat()
     }
 
     fn next_event(&self, cycle: u64) -> Option<u64> {

@@ -8,7 +8,7 @@
 //! forwarded *cut-through* (unprotected), which is why the paper sizes the
 //! buffer to the largest supported fragmentation.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use axi4::{AwBeat, BBeat, FragPlan, Resp, WBeat};
 
@@ -74,7 +74,7 @@ pub struct WritePath {
     fill_in_ready: bool,
     ready: VecDeque<PendingFrag>,
     buffered_beats: usize,
-    txns: HashMap<u32, VecDeque<WriteTxnState>>,
+    txns: BTreeMap<u32, VecDeque<WriteTxnState>>,
     pending_txns: usize,
     outstanding_frags: usize,
 }
@@ -90,7 +90,7 @@ impl WritePath {
             fill_in_ready: false,
             ready: VecDeque::new(),
             buffered_beats: 0,
-            txns: HashMap::new(),
+            txns: BTreeMap::new(),
             pending_txns: 0,
             outstanding_frags: 0,
         }

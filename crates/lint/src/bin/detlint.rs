@@ -1,0 +1,68 @@
+//! Pass B driver: scans the workspace for nondeterminism hazards.
+//!
+//! ```text
+//! detlint [ROOT] [--json PATH]
+//! ```
+//!
+//! `ROOT` defaults to the current directory. Exits 1 if any violation is
+//! found; `--json` additionally writes the machine-readable report.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use realm_lint::{scan_workspace, violations_to_json};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("detlint: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: detlint [ROOT] [--json PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = PathBuf::from(other),
+        }
+    }
+
+    let violations = match scan_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("detlint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_path {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, violations_to_json(&violations)) {
+            eprintln!("detlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if violations.is_empty() {
+        println!("detlint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!(
+            "detlint: {} violation(s); suppress intentional uses with \
+             `// lint:allow(<rule>)`",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

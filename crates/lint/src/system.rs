@@ -1,0 +1,195 @@
+//! The semantic side of the system under analysis.
+//!
+//! A [`Topology`](axi_sim::Topology) says which component touches which
+//! wire, but not what the addresses mean or what the budgets promise. The
+//! builder assembles those declarations — address windows, service rates,
+//! REALM unit configurations, the ID space, declared combinational
+//! couplings — into a [`SystemModel`] the rules can check arithmetic
+//! against.
+
+use axi4::Addr;
+use axi_realm::{DesignConfig, RuntimeConfig};
+
+/// One window of the crossbar's address map.
+#[derive(Clone, Debug)]
+pub struct AddrWindow {
+    /// Subordinate name the window routes to.
+    pub name: String,
+    /// First address of the window.
+    pub base: Addr,
+    /// Window size in bytes.
+    pub size: u64,
+}
+
+impl AddrWindow {
+    /// One-past-the-end address, saturating.
+    pub fn end(&self) -> u64 {
+        self.base.raw().saturating_add(self.size)
+    }
+
+    /// `true` if `[base, base+size)` lies fully inside this window.
+    pub fn covers(&self, base: Addr, size: u64) -> bool {
+        base.raw() >= self.base.raw() && base.raw().saturating_add(size) <= self.end()
+    }
+}
+
+/// One REALM unit and the configuration it was instantiated with.
+#[derive(Clone, Debug)]
+pub struct RealmSpec {
+    /// Component path for diagnostics (e.g. `realm.dma`).
+    pub path: String,
+    /// Design-time structural parameters.
+    pub design: DesignConfig,
+    /// Runtime regulation parameters.
+    pub config: RuntimeConfig,
+}
+
+/// Semantic declarations about a system, assembled with the builder
+/// methods; [`crate::analyze`] checks a topology against it.
+///
+/// Every list is checked in insertion order, so diagnostics are
+/// deterministic.
+#[derive(Clone, Debug)]
+pub struct SystemModel {
+    /// Crossbar address-map windows.
+    pub windows: Vec<AddrWindow>,
+    /// Peak service rate per subordinate, in bytes per cycle, keyed by
+    /// window name. The paper's bandwidth-reservation bound (§II: the sum
+    /// of granted budgets `e_i` over a period `P` must not exceed the
+    /// subordinate's capacity `P · W`) is checked against these.
+    pub bandwidths: Vec<(String, u64)>,
+    /// Instantiated REALM units.
+    pub realms: Vec<RealmSpec>,
+    /// Largest manager-side transaction ID in use (the crossbar extends
+    /// IDs multiplicatively, so `(max_id + 1) · n_managers - 1` must fit).
+    pub max_txn_id: u32,
+    /// Number of manager ports on the crossbar.
+    pub n_managers: usize,
+    /// Declared zero-latency (combinational) couplings between named
+    /// components. Wires are registered, so these are the *only* edges
+    /// that can form a zero-latency cycle.
+    pub comb_edges: Vec<(String, String)>,
+    /// Bytes per data beat (bus width / 8). Defaults to 8 (64-bit bus).
+    pub beat_bytes: u64,
+}
+
+impl Default for SystemModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemModel {
+    /// An empty model: no windows, no realms, 64-bit data bus.
+    pub fn new() -> Self {
+        Self {
+            windows: Vec::new(),
+            bandwidths: Vec::new(),
+            realms: Vec::new(),
+            max_txn_id: 0,
+            n_managers: 0,
+            comb_edges: Vec::new(),
+            beat_bytes: 8,
+        }
+    }
+
+    /// Declares an address-map window routed to subordinate `name`.
+    pub fn window(mut self, name: impl Into<String>, base: Addr, size: u64) -> Self {
+        self.windows.push(AddrWindow {
+            name: name.into(),
+            base,
+            size,
+        });
+        self
+    }
+
+    /// Declares the peak service rate of the subordinate behind window
+    /// `name`, in bytes per cycle.
+    pub fn bandwidth(mut self, name: impl Into<String>, bytes_per_cycle: u64) -> Self {
+        self.bandwidths.push((name.into(), bytes_per_cycle));
+        self
+    }
+
+    /// Declares an instantiated REALM unit.
+    pub fn realm(
+        mut self,
+        path: impl Into<String>,
+        design: DesignConfig,
+        config: RuntimeConfig,
+    ) -> Self {
+        self.realms.push(RealmSpec {
+            path: path.into(),
+            design,
+            config,
+        });
+        self
+    }
+
+    /// Declares the transaction-ID space: the largest upstream ID and the
+    /// number of crossbar manager ports.
+    pub fn id_space(mut self, max_txn_id: u32, n_managers: usize) -> Self {
+        self.max_txn_id = max_txn_id;
+        self.n_managers = n_managers;
+        self
+    }
+
+    /// Declares a zero-latency coupling from component `from` to
+    /// component `to` (by instance name).
+    pub fn comb_edge(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.comb_edges.push((from.into(), to.into()));
+        self
+    }
+
+    /// Overrides the data-bus beat width in bytes.
+    pub fn beats_of(mut self, beat_bytes: u64) -> Self {
+        self.beat_bytes = beat_bytes;
+        self
+    }
+
+    /// The declared service rate behind the window containing `addr`, if
+    /// both the window and its bandwidth were declared.
+    pub fn service_rate_at(&self, addr: Addr) -> Option<(&AddrWindow, u64)> {
+        let w = self
+            .windows
+            .iter()
+            .find(|w| w.size > 0 && w.covers(addr, 1))?;
+        let (_, rate) = self.bandwidths.iter().find(|(n, _)| *n == w.name)?;
+        Some((w, *rate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_coverage() {
+        let w = AddrWindow {
+            name: "llc".into(),
+            base: Addr::new(0x1000),
+            size: 0x1000,
+        };
+        assert!(w.covers(Addr::new(0x1000), 0x1000));
+        assert!(w.covers(Addr::new(0x1800), 0x100));
+        assert!(!w.covers(Addr::new(0x1800), 0x1000));
+        assert!(!w.covers(Addr::new(0x800), 0x100));
+        assert_eq!(w.end(), 0x2000);
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let m = SystemModel::new()
+            .window("llc", Addr::new(0x8000_0000), 1 << 20)
+            .bandwidth("llc", 8)
+            .id_space(15, 4)
+            .comb_edge("mmio", "realm.core");
+        assert_eq!(m.windows.len(), 1);
+        assert_eq!(m.max_txn_id, 15);
+        assert_eq!(m.n_managers, 4);
+        assert_eq!(m.comb_edges.len(), 1);
+        let (w, rate) = m.service_rate_at(Addr::new(0x8000_1000)).unwrap();
+        assert_eq!(w.name, "llc");
+        assert_eq!(rate, 8);
+        assert!(m.service_rate_at(Addr::new(0x0)).is_none());
+    }
+}

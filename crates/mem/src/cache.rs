@@ -493,6 +493,10 @@ impl Component for CacheModel {
         &self.name
     }
 
+    fn ports(&self) -> Vec<axi_sim::PortDecl> {
+        [self.front.subordinate_ports(), self.back.manager_ports()].concat()
+    }
+
     fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
         let mut wake: Option<Cycle> = None;
         let mut note = |c: Cycle| wake = Some(wake.map_or(c, |w: Cycle| w.min(c)));

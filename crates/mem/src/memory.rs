@@ -412,6 +412,10 @@ impl Component for MemoryModel {
         &self.name
     }
 
+    fn ports(&self) -> Vec<axi_sim::PortDecl> {
+        self.port.subordinate_ports()
+    }
+
     fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
         let mut wake: Option<Cycle> = None;
         let mut note = |c: Cycle| wake = Some(wake.map_or(c, |w: Cycle| w.min(c)));

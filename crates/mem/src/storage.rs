@@ -1,6 +1,6 @@
 //! Sparse byte-accurate backing store.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use axi4::Addr;
 
@@ -26,7 +26,7 @@ const PAGE_BYTES: u64 = 4096;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Storage {
-    pages: HashMap<u64, Box<[u8]>>,
+    pages: BTreeMap<u64, Box<[u8]>>,
 }
 
 impl Storage {

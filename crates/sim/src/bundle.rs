@@ -3,6 +3,7 @@
 use axi4::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
 
 use crate::pool::{ChannelPool, WireId};
+use crate::topology::{PortDecl, PortDir};
 
 /// Queue capacities for the five wires of an [`AxiBundle`].
 ///
@@ -75,6 +76,37 @@ impl AxiBundle {
     /// Allocates a bundle with the default shallow capacities.
     pub fn with_defaults(pool: &mut ChannelPool) -> Self {
         Self::new(pool, BundleCapacity::default())
+    }
+
+    /// Port declarations for the wires of this bundle with explicit
+    /// per-channel directions: `req` applies to AW/W/AR, `rsp` to B/R.
+    fn ports_with(&self, req: PortDir, rsp: PortDir) -> Vec<PortDecl> {
+        vec![
+            PortDecl::new("AW", self.aw.index(), req),
+            PortDecl::new("W", self.w.index(), req),
+            PortDecl::new("B", self.b.index(), rsp),
+            PortDecl::new("AR", self.ar.index(), req),
+            PortDecl::new("R", self.r.index(), rsp),
+        ]
+    }
+
+    /// Declarations for the manager side of this port: drives AW/W/AR,
+    /// consumes B/R (see [`Component::ports`](crate::Component::ports)).
+    pub fn manager_ports(&self) -> Vec<PortDecl> {
+        self.ports_with(PortDir::Drive, PortDir::Consume)
+    }
+
+    /// Declarations for the subordinate side of this port: consumes
+    /// AW/W/AR, drives B/R.
+    pub fn subordinate_ports(&self) -> Vec<PortDecl> {
+        self.ports_with(PortDir::Consume, PortDir::Drive)
+    }
+
+    /// Declarations for a passive observer of this port (protocol
+    /// monitors, trace probes): peeks all five channels, sources and sinks
+    /// nothing.
+    pub fn observer_ports(&self) -> Vec<PortDecl> {
+        self.ports_with(PortDir::Observe, PortDir::Observe)
     }
 
     /// Returns `true` if all five wires are empty — no beats in flight on

@@ -3,6 +3,7 @@
 use std::any::Any;
 
 use crate::pool::ChannelPool;
+use crate::topology::PortDecl;
 use crate::Cycle;
 
 /// Per-cycle context handed to every component: the current cycle and
@@ -59,6 +60,21 @@ pub trait Component: Any {
     /// them in [`Component::on_fast_forward`].
     fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
         Some(cycle)
+    }
+
+    /// The component's declared wire endpoints, for static topology
+    /// analysis before cycle 0 (see [`Sim::topology`](crate::Sim::topology)
+    /// and the `realm-lint` crate).
+    ///
+    /// The default declares nothing, which marks the component *opaque*:
+    /// graph checks skip it and its wires, trading analysis coverage for
+    /// zero migration effort. Components built from [`AxiBundle`]s can
+    /// implement this in one line via
+    /// [`AxiBundle::manager_ports`](crate::AxiBundle::manager_ports),
+    /// [`AxiBundle::subordinate_ports`](crate::AxiBundle::subordinate_ports),
+    /// or [`AxiBundle::observer_ports`](crate::AxiBundle::observer_ports).
+    fn ports(&self) -> Vec<PortDecl> {
+        Vec::new()
     }
 
     /// Notification that the kernel is jumping the clock from `from` to

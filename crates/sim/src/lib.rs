@@ -44,6 +44,7 @@ mod bundle;
 mod component;
 mod pool;
 mod sim;
+mod topology;
 mod trace;
 mod vcd;
 mod watchdog;
@@ -54,6 +55,7 @@ pub use bundle::{AxiBundle, BundleCapacity};
 pub use component::{Component, TickCtx};
 pub use pool::{Channel, ChannelPool, PushRefusal, WireId};
 pub use sim::{ComponentId, KernelStats, Sim};
+pub use topology::{PortDecl, PortDir, TopoComponent, TopoWire, Topology};
 pub use trace::{TraceChannel, TraceEvent, TracePayload, TraceProbe};
 pub use vcd::vcd_dump;
 pub use watchdog::Watchdog;

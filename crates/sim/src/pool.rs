@@ -293,6 +293,25 @@ impl ChannelPool {
         self.aw.len() + self.w.len() + self.b.len() + self.ar.len() + self.r.len()
     }
 
+    /// Identity and capacity of every allocated wire, channel by channel
+    /// in AW/W/B/AR/R order — the wire side of a
+    /// [`Topology`](crate::Topology) snapshot.
+    pub fn wire_table(&self) -> Vec<crate::TopoWire> {
+        fn rows<T: Channel>(wires: &[Wire<T>]) -> impl Iterator<Item = crate::TopoWire> + '_ {
+            wires.iter().enumerate().map(|(index, w)| crate::TopoWire {
+                channel: T::LABEL,
+                index,
+                capacity: w.capacity(),
+            })
+        }
+        rows(&self.aw)
+            .chain(rows(&self.w))
+            .chain(rows(&self.b))
+            .chain(rows(&self.ar))
+            .chain(rows(&self.r))
+            .collect()
+    }
+
     /// Beats currently in flight across all wires (O(1)).
     ///
     /// Zero means no beat is buffered anywhere — the precondition for the

@@ -123,6 +123,14 @@ impl Sim {
         self.stats
     }
 
+    /// A static snapshot of the system's structure — every component with
+    /// its declared wire endpoints plus every allocated wire — for
+    /// elaboration-time analysis before the first cycle runs (see the
+    /// `realm-lint` crate).
+    pub fn topology(&self) -> crate::Topology {
+        crate::Topology::collect(&self.components, &self.pool)
+    }
+
     /// Advances the simulation by one cycle, ticking every component once.
     pub fn step(&mut self) {
         for (index, component) in self.components.iter_mut().enumerate() {

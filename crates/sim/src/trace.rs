@@ -225,6 +225,10 @@ impl Component for TraceProbe {
         &self.name
     }
 
+    fn ports(&self) -> Vec<crate::PortDecl> {
+        self.bundle.observer_ports()
+    }
+
     // Purely reactive: the probe only mutates state when a front beat
     // changes, which cannot happen while every wire is empty.
     fn next_event(&self, _cycle: Cycle) -> Option<Cycle> {

@@ -31,3 +31,20 @@ pub use testbench::{
     CFG_SIZE, CORE_BUFFER, DMA_LLC_BUFFER, DMA_LLC_BUFFER_SIZE, LLC_BASE, LLC_SIZE, SPM_BASE,
     SPM_SIZE,
 };
+
+/// Startup gate for experiment binaries that never construct a
+/// [`Testbench`] themselves (the analytic tables): builds the default
+/// contended Cheshire system, runs the elaboration-time analyzer over it,
+/// and panics on error-severity findings. Honors `REALM_LINT=0`.
+pub fn startup_lint(binary: &str) {
+    if !realm_lint::enabled_by_env() {
+        return;
+    }
+    let mut cfg = TestbenchConfig::single_source(1);
+    cfg.dma = Some(TestbenchConfig::worst_case_dma());
+    cfg.core_regulation = Regulation::Realm(experiments::llc_regulation(256, 0, 0));
+    cfg.dma_regulation = Regulation::Realm(experiments::llc_regulation(256, 0, 0));
+    cfg.monitors = false; // construction-only; nothing will run
+    let tb = Testbench::new(cfg); // Testbench::new already gates
+    realm_lint::apply(binary, &tb.lint_report());
+}

@@ -192,14 +192,18 @@ impl Testbench {
         // for the protocol monitors attached at the end of construction.
         let mut mgr_info: Vec<(&'static str, AxiBundle, Option<AxiBundle>)> = Vec::new();
 
-        let attach = |sim: &mut Sim, regulation: &Regulation| -> (AxiBundle, Option<ComponentId>) {
+        let attach = |sim: &mut Sim,
+                      regulation: &Regulation,
+                      mgr: &str|
+         -> (AxiBundle, Option<ComponentId>) {
             let upstream = AxiBundle::new(sim.pool_mut(), cap);
             match regulation {
                 Regulation::None => (upstream, None),
                 Regulation::Realm(rt) => {
                     let downstream = AxiBundle::new(sim.pool_mut(), cap);
                     let unit =
-                        RealmUnit::new(config.realm_design, rt.clone(), upstream, downstream);
+                        RealmUnit::new(config.realm_design, rt.clone(), upstream, downstream)
+                            .named(format!("realm.{mgr}"));
                     let id = sim.add(unit);
                     (upstream, Some(id))
                 }
@@ -207,7 +211,7 @@ impl Testbench {
         };
 
         // Core (manager 0).
-        let (core_up, core_realm) = attach(&mut sim, &config.core_regulation);
+        let (core_up, core_realm) = attach(&mut sim, &config.core_regulation, "core");
         let core = sim.add(CoreModel::new(config.core, core_up));
         realm_ids.push(core_realm);
         let core_down = core_realm.map(|id| {
@@ -221,7 +225,7 @@ impl Testbench {
         // DMA (manager 1).
         let (dma, dma_realm) = match &config.dma {
             Some(dma_cfg) => {
-                let (dma_up, dma_realm) = attach(&mut sim, &config.dma_regulation);
+                let (dma_up, dma_realm) = attach(&mut sim, &config.dma_regulation, "dma");
                 let id = sim.add(DmaModel::new(*dma_cfg, dma_up));
                 let down = dma_realm.map(|r| {
                     sim.component::<RealmUnit>(r)
@@ -239,7 +243,7 @@ impl Testbench {
         // Staller (manager 2).
         let (staller, staller_realm) = match &config.staller {
             Some(plan) => {
-                let (up, realm) = attach(&mut sim, &config.staller_regulation);
+                let (up, realm) = attach(&mut sim, &config.staller_regulation, "staller");
                 let id = sim.add(StallingManager::new(*plan, up));
                 let down = realm.map(|r| {
                     sim.component::<RealmUnit>(r)
@@ -328,7 +332,7 @@ impl Testbench {
             scoreboard = scoreboard.boundary(&mgr_refs, &["llc", "spm", "cfgreg"]);
         }
 
-        Self {
+        let tb = Self {
             sim,
             core,
             dma,
@@ -342,7 +346,63 @@ impl Testbench {
             spm,
             monitors,
             scoreboard,
+        };
+
+        // Elaboration-time analysis before the first cycle, mirroring the
+        // monitor auto-attach: on by default, `REALM_LINT=0` opts out.
+        // Feasibility findings are warnings (the paper's own Fig. 6b
+        // configuration over-subscribes the LLC); only structural errors
+        // abort construction.
+        if realm_lint::enabled_by_env() {
+            realm_lint::apply("testbench", &tb.lint_report());
         }
+        tb
+    }
+
+    /// The semantic declarations the elaboration-time analyzer checks this
+    /// system against: the static address map, each subordinate's peak
+    /// service rate (one 8-byte beat per cycle), every instantiated REALM
+    /// unit's configuration, the crossbar ID space, and the zero-latency
+    /// register coupling from the MMIO frontend into each unit.
+    fn lint_model(&self) -> realm_lint::SystemModel {
+        /// Peak subordinate service rate: one 64-bit beat per cycle.
+        const BYTES_PER_CYCLE: u64 = 8;
+        /// Upstream IDs are 4 bits wide in the Cheshire configuration.
+        const MAX_TXN_ID: u32 = 15;
+        let n_managers = 1
+            + usize::from(self.dma.is_some())
+            + usize::from(self.staller.is_some())
+            + usize::from(self.config_master.is_some());
+        let mut model = realm_lint::SystemModel::new()
+            .window("llc", LLC_BASE, LLC_SIZE)
+            .window("spm", SPM_BASE, SPM_SIZE)
+            .window("cfgreg", CFG_BASE, CFG_SIZE)
+            .bandwidth("llc", BYTES_PER_CYCLE)
+            .bandwidth("spm", BYTES_PER_CYCLE)
+            .bandwidth("cfgreg", BYTES_PER_CYCLE)
+            .id_space(MAX_TXN_ID, n_managers);
+        for (name, id) in [
+            ("realm.core", self.core_realm),
+            ("realm.dma", self.dma_realm),
+            ("realm.staller", self.staller_realm),
+        ] {
+            let Some(id) = id else { continue };
+            let unit = self.sim.component::<RealmUnit>(id).expect("realm present");
+            model = model
+                .realm(name, unit.design(), unit.active_config().clone())
+                // Register writes land in the unit through a shared cell
+                // the same cycle the MMIO frontend applies them — the one
+                // genuine zero-latency coupling in the system (one-way,
+                // so no cycle).
+                .comb_edge("mmio", name);
+        }
+        model
+    }
+
+    /// Runs the elaboration-time analyzer (Pass A of `realm-lint`) over
+    /// this system and returns every finding.
+    pub fn lint_report(&self) -> realm_lint::Report {
+        realm_lint::analyze(&self.sim.topology(), &self.lint_model())
     }
 
     /// Runs until the core's workload completes (or `max_cycles` elapse);

@@ -264,6 +264,10 @@ impl Component for CoreModel {
         &self.name
     }
 
+    fn ports(&self) -> Vec<axi_sim::PortDecl> {
+        self.port.manager_ports()
+    }
+
     fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
         match &self.state {
             // Nothing happens until the compute phase ends.

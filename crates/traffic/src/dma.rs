@@ -279,6 +279,10 @@ impl Component for DmaModel {
         &self.name
     }
 
+    fn ports(&self) -> Vec<axi_sim::PortDecl> {
+        self.port.manager_ports()
+    }
+
     fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
         // A write burst is queued or mid-stream: wants to push now.
         if self.write_state.is_some() || !self.write_queue.is_empty() {

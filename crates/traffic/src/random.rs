@@ -1,7 +1,7 @@
 //! A self-checking randomized manager: issues random legal transactions
 //! and verifies every read against its own memory model.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use axi4::{Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, Resp, TxnId, WBeat, BOUNDARY_4K};
@@ -75,7 +75,7 @@ pub struct RandomManager {
     cfg: RandomConfig,
     port: AxiBundle,
     rng: StdRng,
-    model: HashMap<u64, u64>,
+    model: BTreeMap<u64, u64>,
     state: State,
     issued: u64,
     completed: u64,
@@ -102,7 +102,7 @@ impl RandomManager {
             cfg,
             port,
             rng: StdRng::seed_from_u64(cfg.seed),
-            model: HashMap::new(),
+            model: BTreeMap::new(),
             state: State::Idle,
             issued: 0,
             completed: 0,
@@ -262,6 +262,10 @@ impl Component for RandomManager {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn ports(&self) -> Vec<axi_sim::PortDecl> {
+        self.port.manager_ports()
     }
 
     fn next_event(&self, cycle: Cycle) -> Option<Cycle> {

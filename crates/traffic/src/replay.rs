@@ -332,6 +332,10 @@ impl Component for TraceManager {
         &self.name
     }
 
+    fn ports(&self) -> Vec<axi_sim::PortDecl> {
+        self.port.manager_ports()
+    }
+
     fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
         match &self.state {
             // An empty queue still owes the transition into `Done` (which

@@ -254,6 +254,10 @@ impl Component for ScriptedManager {
         &self.name
     }
 
+    fn ports(&self) -> Vec<axi_sim::PortDecl> {
+        self.port.manager_ports()
+    }
+
     fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
         match &self.state {
             // Idle still has a transition to make (pop the next op, or

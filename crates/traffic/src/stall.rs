@@ -142,6 +142,10 @@ impl Component for StallingManager {
         &self.name
     }
 
+    fn ports(&self) -> Vec<axi_sim::PortDecl> {
+        self.port.manager_ports()
+    }
+
     fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
         match &self.state {
             State::IssueAw | State::Stream { .. } => Some(cycle),

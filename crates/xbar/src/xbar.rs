@@ -607,6 +607,16 @@ impl Component for Crossbar {
         &self.name
     }
 
+    fn ports(&self) -> Vec<axi_sim::PortDecl> {
+        // The crossbar is the subordinate side of every manager-facing port
+        // and the manager side of every subordinate-facing port.
+        self.mgr_ports
+            .iter()
+            .flat_map(|b| b.subordinate_ports())
+            .chain(self.sub_ports.iter().flat_map(|b| b.manager_ports()))
+            .collect()
+    }
+
     fn next_event(&self, cycle: axi_sim::Cycle) -> Option<axi_sim::Cycle> {
         // Queued DECERR responses want to push now; everything else reacts
         // to beats on the wires.
