@@ -259,6 +259,9 @@ fn main() {
             ticks_executed: k1.ticks_executed + k2.ticks_executed,
             cycles_skipped: k1.cycles_skipped + k2.cycles_skipped,
             fast_forwards: k1.fast_forwards + k2.fast_forwards,
+            component_ticks: k1.component_ticks + k2.component_ticks,
+            component_skips: k1.component_skips + k2.component_skips,
+            wire_events: k1.wire_events + k2.wire_events,
         };
         ((contended_cycles, lat_max, survived), kernel)
     });

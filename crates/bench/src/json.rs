@@ -17,7 +17,11 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number (stored as `f64`, ample for report values).
+    /// An integer, printed without a fractional part. Counters (cycle and
+    /// tick counts, thread counts) use this so `"ticks": 3884796` does not
+    /// come out as the float-flavoured `3884796.0`.
+    Int(i64),
+    /// A non-integer JSON number (stored as `f64`).
     Num(f64),
     /// A string.
     Str(String),
@@ -44,12 +48,29 @@ impl Json {
         }
     }
 
-    /// The numeric payload, if this is a number.
+    /// The numeric payload, if this is a number (integer or float).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
+            Json::Int(n) => Some(*n as f64),
             Json::Num(n) => Some(*n),
             _ => None,
         }
+    }
+
+    /// The integer payload. Floats qualify only when they are exactly
+    /// integral, so counters survive a trip through older float-formatted
+    /// files.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            Json::Num(n) if *n == n.trunc() && n.abs() < 9e15 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as `u64`; `None` for negatives.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|n| u64::try_from(n).ok())
     }
 
     /// The elements, if this is an array.
@@ -72,6 +93,9 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => {
                 let _ = write!(out, "{b}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
             }
             Json::Num(n) => write_number(out, *n),
             Json::Str(s) => write_escaped(out, s),
@@ -330,10 +354,19 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        // A token with no fraction or exponent is an integer when it fits
+        // i64; everything else falls back to f64.
+        if !token.bytes().any(|b| matches!(b, b'.' | b'e' | b'E')) {
+            if let Ok(n) = token.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        token
+            .parse::<f64>()
             .map(Json::Num)
+            .ok()
             .ok_or_else(|| format!("bad number at byte {start}"))
     }
 }
@@ -377,6 +410,42 @@ mod tests {
         assert!(text.contains("\"n\": 42.0"), "{text}");
         assert!(text.contains("\"x\": 1.5"), "{text}");
         assert!(text.starts_with("{\n  "), "{text}");
+    }
+
+    #[test]
+    fn integer_counters_roundtrip_without_float_suffix() {
+        // Regression: counters such as `"ticks_executed": 3884796` used to be
+        // emitted as `3884796.0` because every number was an f64.
+        let doc = Json::Obj(vec![
+            ("ticks_executed".to_owned(), Json::Int(3_884_796)),
+            ("threads".to_owned(), Json::Int(1)),
+            ("cycles_skipped".to_owned(), Json::Int(0)),
+            ("big".to_owned(), Json::Int(9_007_199_254_740_993)),
+            ("rate".to_owned(), Json::Num(1.5)),
+        ]);
+        let text = doc.pretty();
+        assert!(text.contains("\"ticks_executed\": 3884796"), "{text}");
+        assert!(!text.contains("3884796.0"), "{text}");
+        assert!(text.contains("\"threads\": 1,"), "{text}");
+        // Beyond f64's exact-integer range, so a float detour would corrupt it.
+        assert!(text.contains("\"big\": 9007199254740993"), "{text}");
+        let back = parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(
+            back.get("big").unwrap().as_u64(),
+            Some(9_007_199_254_740_993)
+        );
+        assert_eq!(back.get("threads").unwrap().as_i64(), Some(1));
+        assert_eq!(back.get("threads").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn integral_floats_still_read_as_counters() {
+        // Older result files carry `42.0`; as_i64/as_u64 accept those too.
+        let v = parse("{\"n\": 42.0}").unwrap();
+        assert_eq!(v.get("n"), Some(&Json::Num(42.0)));
+        assert_eq!(v.get("n").unwrap().as_i64(), Some(42));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(42));
     }
 
     #[test]

@@ -53,7 +53,12 @@ impl Row {
             .map(|pair| {
                 let pair = pair.as_arr().ok_or("value entry is not a pair")?;
                 match pair {
-                    [Json::Str(k), Json::Num(n)] => Ok((k.clone(), *n)),
+                    // Int covers hand-edited or integer-formatted files; our
+                    // own writer emits Num for row values.
+                    [Json::Str(k), n] => n
+                        .as_f64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| "value entry is not [name, number]".to_owned()),
                     _ => Err("value entry is not [name, number]".to_owned()),
                 }
             })

@@ -31,20 +31,19 @@ pub struct PointRuntime {
 impl PointRuntime {
     /// Simulated cycles per wall-clock second (executed + skipped).
     pub fn cycles_per_sec(&self) -> f64 {
-        let cycles = self.kernel.ticks_executed + self.kernel.cycles_skipped;
-        cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+        self.kernel.cycles_total() as f64 / self.wall.as_secs_f64().max(1e-9)
     }
 
-    /// A deterministic report row: counters only, no wall-clock, so
-    /// `results/*.json` stays identical run to run.
+    /// A deterministic report row. Only the total simulated cycle count
+    /// appears here: it is identical under the event kernel and forced
+    /// cycle stepping (`REALM_KERNEL=step`), so `results/*.json` stays
+    /// bit-identical whichever kernel ran. Kernel-dependent counters
+    /// (ticks executed, skips, wire events) belong in `BENCH_kernel.json`
+    /// via [`SweepOutcome::write_kernel_baseline`].
     pub fn to_runtime_row(&self) -> Row {
         Row::new(
             self.label.clone(),
-            vec![
-                ("ticks_executed", self.kernel.ticks_executed as f64),
-                ("cycles_skipped", self.kernel.cycles_skipped as f64),
-                ("fast_forwards", self.kernel.fast_forwards as f64),
-            ],
+            vec![("cycles", self.kernel.cycles_total() as f64)],
         )
     }
 }
@@ -74,11 +73,7 @@ impl<R> SweepOutcome<R> {
 
     /// Total simulated cycles per wall-clock second across the sweep.
     pub fn cycles_per_sec(&self) -> f64 {
-        let cycles: u64 = self
-            .runtime
-            .iter()
-            .map(|p| p.kernel.ticks_executed + p.kernel.cycles_skipped)
-            .sum();
+        let cycles: u64 = self.runtime.iter().map(|p| p.kernel.cycles_total()).sum();
         cycles as f64 / self.wall.as_secs_f64().max(1e-9)
     }
 
@@ -90,6 +85,21 @@ impl<R> SweepOutcome<R> {
     /// Sum of skipped cycles across points.
     pub fn cycles_skipped(&self) -> u64 {
         self.runtime.iter().map(|p| p.kernel.cycles_skipped).sum()
+    }
+
+    /// Sum of per-component tick executions across points.
+    pub fn component_ticks(&self) -> u64 {
+        self.runtime.iter().map(|p| p.kernel.component_ticks).sum()
+    }
+
+    /// Sum of per-component elided ticks across points.
+    pub fn component_skips(&self) -> u64 {
+        self.runtime.iter().map(|p| p.kernel.component_skips).sum()
+    }
+
+    /// Sum of recorded wire push/pop wake events across points.
+    pub fn wire_events(&self) -> u64 {
+        self.runtime.iter().map(|p| p.kernel.wire_events).sum()
     }
 
     /// A one-line human summary of the sweep's runtime, for stdout (not for
@@ -123,6 +133,9 @@ impl<R> SweepOutcome<R> {
     ) -> std::io::Result<()> {
         use crate::json::Json;
         let num = Json::Num;
+        // Counters are emitted as JSON integers (`Json::Int`), never as
+        // `.0`-suffixed floats; only derived rates and wall-clock stay f64.
+        let int = |n: u64| Json::Int(i64::try_from(n).unwrap_or(i64::MAX));
         let points = self
             .runtime
             .iter()
@@ -130,35 +143,26 @@ impl<R> SweepOutcome<R> {
                 Json::Obj(vec![
                     ("label".to_owned(), Json::Str(p.label.clone())),
                     ("wall_ms".to_owned(), num(p.wall.as_secs_f64() * 1e3)),
-                    (
-                        "ticks_executed".to_owned(),
-                        num(p.kernel.ticks_executed as f64),
-                    ),
-                    (
-                        "cycles_skipped".to_owned(),
-                        num(p.kernel.cycles_skipped as f64),
-                    ),
-                    (
-                        "fast_forwards".to_owned(),
-                        num(p.kernel.fast_forwards as f64),
-                    ),
+                    ("ticks_executed".to_owned(), int(p.kernel.ticks_executed)),
+                    ("cycles_skipped".to_owned(), int(p.kernel.cycles_skipped)),
+                    ("fast_forwards".to_owned(), int(p.kernel.fast_forwards)),
+                    ("component_ticks".to_owned(), int(p.kernel.component_ticks)),
+                    ("component_skips".to_owned(), int(p.kernel.component_skips)),
+                    ("wire_events".to_owned(), int(p.kernel.wire_events)),
                     ("cycles_per_sec".to_owned(), num(p.cycles_per_sec())),
                 ])
             })
             .collect();
         let doc = Json::Obj(vec![
             ("experiment".to_owned(), Json::Str(experiment.to_owned())),
-            ("threads".to_owned(), num(self.threads as f64)),
+            ("threads".to_owned(), int(self.threads as u64)),
             ("wall_ms".to_owned(), num(self.wall.as_secs_f64() * 1e3)),
             ("cycles_per_sec".to_owned(), num(self.cycles_per_sec())),
-            (
-                "ticks_executed".to_owned(),
-                num(self.ticks_executed() as f64),
-            ),
-            (
-                "cycles_skipped".to_owned(),
-                num(self.cycles_skipped() as f64),
-            ),
+            ("ticks_executed".to_owned(), int(self.ticks_executed())),
+            ("cycles_skipped".to_owned(), int(self.cycles_skipped())),
+            ("component_ticks".to_owned(), int(self.component_ticks())),
+            ("component_skips".to_owned(), int(self.component_skips())),
+            ("wire_events".to_owned(), int(self.wire_events())),
             ("points".to_owned(), Json::Arr(points)),
         ]);
         std::fs::write(path, doc.pretty())
@@ -248,6 +252,9 @@ mod tests {
             ticks_executed: ticks,
             cycles_skipped: skipped,
             fast_forwards: u64::from(skipped > 0),
+            component_ticks: ticks * 2,
+            component_skips: skipped * 2,
+            wire_events: ticks,
         }
     }
 
@@ -270,10 +277,43 @@ mod tests {
         let outcome = run_sweep(labelled(&[1u64, 2, 3]), |&p| (p, stats(p * 100, p)));
         assert_eq!(outcome.ticks_executed(), 600);
         assert_eq!(outcome.cycles_skipped(), 6);
+        assert_eq!(outcome.component_ticks(), 1200);
+        assert_eq!(outcome.component_skips(), 12);
+        assert_eq!(outcome.wire_events(), 600);
         let rows = outcome.runtime_rows();
         assert_eq!(rows.len(), 3);
-        assert_eq!(rows[1].values[0], ("ticks_executed".to_owned(), 200.0));
-        assert_eq!(rows[2].values[1], ("cycles_skipped".to_owned(), 3.0));
+        // Runtime rows carry only the kernel-invariant total, so report
+        // files diff clean between the event kernel and forced stepping.
+        assert_eq!(rows[1].values, [("cycles".to_owned(), 202.0)]);
+        assert_eq!(rows[2].values, [("cycles".to_owned(), 303.0)]);
+    }
+
+    #[test]
+    fn baseline_counters_are_json_integers() {
+        let outcome = run_sweep(labelled(&[7u64]), |&p| (p, stats(p * 1000, p)));
+        let dir = std::env::temp_dir().join("realm_sweep_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_kernel.json");
+        outcome.write_kernel_baseline(&path, "unit").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = crate::json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("ticks_executed"),
+            Some(&crate::json::Json::Int(7000))
+        );
+        assert!(text.contains("\"ticks_executed\": 7000,"), "{text}");
+        assert!(!text.contains("\"ticks_executed\": 7000.0"), "{text}");
+        assert!(!text.contains("\"threads\": 1.0"), "{text}");
+        let point = &doc.get("points").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            point.get("wire_events"),
+            Some(&crate::json::Json::Int(7000))
+        );
+        assert_eq!(
+            point.get("component_skips"),
+            Some(&crate::json::Json::Int(14))
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -487,11 +487,21 @@ impl Component for ProtocolMonitor {
         self.bundle.observer_ports()
     }
 
-    // Purely reactive: taps only fill when some component pushes, which
-    // requires an executed tick — and the kernel only fast-forwards when
-    // every wire is empty, by which point all taps have been drained. A
-    // monitor therefore never needs to force a tick.
+    // Purely reactive: taps only fill on pushes, and every push on an
+    // observed wire wakes this component for the same or the next cycle
+    // (same-cycle for peers ticking later, so the drain stays beat-exact).
+    // The kernel may fast-forward with beats *parked* on the wires — e.g.
+    // through an isolation window — but parked beats were pushed earlier
+    // and thus already drained; silence on the taps is exactly what `None`
+    // promises to cover.
     fn next_event(&self, _cycle: Cycle) -> Option<Cycle> {
+        None
+    }
+
+    // Same reasoning from the backlog side: an untaken beat parked on an
+    // observed wire never refills a tap, so queued input alone can never
+    // require a monitor tick.
+    fn backlog_event(&self, _cycle: Cycle) -> Option<Cycle> {
         None
     }
 }

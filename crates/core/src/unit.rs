@@ -330,12 +330,15 @@ impl RealmUnit {
         shared.status.isolated = self.is_isolated();
         shared.status.drained = self.is_drained();
         shared.status.stats = self.stats;
-        shared.status.regions = self
-            .monitor
-            .regions()
-            .iter()
-            .map(|r| (r.stats, r.budget_left))
-            .collect();
+        // Rewrite in place: this runs once per tick (and per reconciled
+        // sleep stretch), so it must not allocate.
+        shared.status.regions.clear();
+        shared.status.regions.extend(
+            self.monitor
+                .regions()
+                .iter()
+                .map(|r| (r.stats, r.budget_left)),
+        );
     }
 }
 
@@ -415,6 +418,39 @@ impl Component for RealmUnit {
         wake
     }
 
+    fn backlog_event(&self, cycle: u64) -> Option<u64> {
+        // Pending register writes or an intrusive drain: tick every cycle.
+        {
+            let shared = self.regs.borrow();
+            if shared.clear_stats || shared.runtime != self.active {
+                return Some(cycle);
+            }
+        }
+        if self.reconfiguring || !self.active.enabled {
+            return Some(cycle);
+        }
+        // Responses may be parked on the downstream B/R wires whenever
+        // emitted fragments are unanswered; `tick_responses` pops one per
+        // cycle, so backlog there needs a tick right away.
+        if self.read.outstanding_fragments() > 0 || self.write.outstanding_fragments() > 0 {
+            return Some(cycle);
+        }
+        // An open intake gate can pop a parked AR/AW/W beat right away.
+        // While depleted (or isolated) with a full write buffer, none of
+        // these hold — that is the isolation window this hint exists for.
+        if self.write.can_take_beat() {
+            return Some(cycle);
+        }
+        if !self.is_isolated() && (self.read.can_accept() || self.write.can_accept()) {
+            return Some(cycle);
+        }
+        // Intake is closed and nothing is coming back: the gates reopen at
+        // a period boundary (or via queued-fragment motion), which
+        // `next_event` computes, or on fresh wire activity, which the
+        // kernel's wire wakes deliver regardless of this hint.
+        self.next_event(cycle)
+    }
+
     fn on_fast_forward(&mut self, from: u64, to: u64) {
         // Re-run the elided period bookkeeping: the last elided tick was at
         // `to - 1`, and the grid arithmetic in `BudgetMonitor::tick` lands
@@ -425,7 +461,13 @@ impl Component for RealmUnit {
         // would have counted one isolated cycle.
         if self.active.enabled && self.is_isolated() {
             self.stats.isolated_cycles += to - from;
+            self.mirror_status();
         }
-        self.mirror_status();
+        // No `mirror_status` otherwise: everything it mirrors is provably
+        // unchanged across a non-isolated sleep stretch. Stats only move in
+        // `tick` (and in the isolated branch above); isolation and drain
+        // are constant while asleep; and a region whose budget or byte
+        // counter differs from its reset value has a period-boundary wake
+        // scheduled, so no stretch crosses a replenishment.
     }
 }

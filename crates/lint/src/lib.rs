@@ -33,6 +33,23 @@
 //! Testbenches run the pass automatically at construction; set
 //! `REALM_LINT=0` to opt out and `REALM_LINT=verbose` to print warnings.
 //!
+//! **Runtime-checked kernel contract (`kernel-stale-hint`).** One rule in
+//! the catalogue is enforced by the event kernel itself rather than by
+//! either static pass, because it depends on dynamic state no
+//! elaboration-time or source-level check can see: a component's
+//! [`next_event`](axi_sim::Component::next_event) /
+//! [`backlog_event`](axi_sim::Component::backlog_event) wake hint must
+//! name a cycle `>=` the one being asked about. A stale hint (at or
+//! before an already-ticked cycle) cannot be honored — the kernel falls
+//! back to re-ticking the component next cycle, so results stay exact,
+//! and records the violation (component name, cycle, offending hint) in
+//! [`Sim::contract_violations`](axi_sim::Sim::contract_violations).
+//! Testbenches and the `kernel_equivalence` property tests assert the
+//! list is empty; treat any entry like an error-severity diagnostic from
+//! Pass A. When writing a `next_event` override, clamp derived wakes with
+//! `.max(cycle)` — stored cycles (a period start, a last-activity stamp)
+//! go stale the moment the kernel fast-forwards past them.
+//!
 //! **Pass B — workspace determinism lint.** [`scan_workspace`] is a
 //! `std`-only source scanner (driven by the `detlint` binary) that denies
 //! nondeterminism in sim-visible code: hash-container iteration, wall

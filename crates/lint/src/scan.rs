@@ -17,6 +17,11 @@
 //! Suppress a finding with a marker comment on the same or the preceding
 //! line: `// lint:allow(<rule>) -- reason`. The scanner is `std`-only and
 //! never executes the code it reads.
+//!
+//! These static rules have one runtime companion the scanner cannot
+//! express: the kernel wake-hint contract (`kernel-stale-hint`, see the
+//! crate docs), checked by the event kernel on every `next_event` /
+//! `backlog_event` call and reported through `Sim::contract_violations`.
 
 use std::fs;
 use std::io;

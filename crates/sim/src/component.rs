@@ -35,30 +35,69 @@ pub trait Component: Any {
     }
 
     /// The earliest cycle `>= cycle` at which ticking this component could
-    /// change any state, assuming no new beat becomes visible on its input
-    /// wires before then.
+    /// change any state, **assuming no push or pop happens on any of its
+    /// declared wires before then**.
     ///
-    /// This is the idle-skip hint behind [`Sim::run`](crate::Sim::run)'s
-    /// fast-forward: when every wire is empty and every component reports a
-    /// wake cycle beyond the present, the kernel jumps the clock to the
-    /// earliest wake instead of ticking through dead cycles.
+    /// This is the wake hint behind the event kernel in
+    /// [`Sim::run`](crate::Sim::run): each component sleeps until its hint
+    /// comes due or activity touches one of its [`Component::ports`] wires
+    /// — a push wakes it when the beat becomes visible (and same-cycle for
+    /// peers ticking later, so tap monitors stay beat-exact), a pop wakes
+    /// it when the freed capacity becomes usable. Cycles on which no
+    /// component is due are jumped over entirely.
     ///
     /// Return values:
     ///
     /// - `Some(cycle)` — must be ticked right now (the conservative
-    ///   default, which keeps legacy components exact and simply disables
-    ///   skipping while they are registered).
-    /// - `Some(later)` — ticks strictly before `later` are no-ops; the
-    ///   kernel may jump straight to `later`.
-    /// - `None` — quiescent: only a new input beat can wake this
-    ///   component.
+    ///   default, which keeps legacy components exact by simply never
+    ///   letting them sleep).
+    /// - `Some(later)` — ticks strictly before `later` are no-ops absent
+    ///   wire activity; the kernel may elide them.
+    /// - `None` — quiescent: only wire activity (or a declared
+    ///   [`Sim::couple`](crate::Sim::couple) write) can require a tick.
     ///
-    /// The contract is only consulted while **all** wires are empty, so a
-    /// purely reactive component (crossbar, memory with no pending work)
-    /// can return `None` without watching its inputs. Components whose
-    /// per-cycle tick mutates time-proportional counters must reconcile
-    /// them in [`Component::on_fast_forward`].
+    /// Because pops also wake, a producer blocked on a full output wire may
+    /// report `None` and sleep until the consumer drains a slot. Components
+    /// that declared no ports are woken by *any* wire activity and kept
+    /// awake while any beat is in flight. A component whose tick holds
+    /// beats queued on its Consume wires is re-ticked every cycle until
+    /// those wires drain (one pop per wire per cycle, and it may decline).
+    ///
+    /// Returning a hint at or before an already-ticked cycle is a contract
+    /// violation: the kernel re-ticks next cycle (exactness is preserved)
+    /// and records it — see
+    /// [`Sim::contract_violations`](crate::Sim::contract_violations).
+    /// Components whose per-cycle tick mutates time-proportional counters
+    /// must reconcile them in [`Component::on_fast_forward`].
     fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+        Some(cycle)
+    }
+
+    /// The earliest cycle `>= cycle` at which this component could consume
+    /// backlog parked on its input wires.
+    ///
+    /// The event kernel calls this after a tick that left beats queued on
+    /// the component's Consume wires (or, for opaque components, anywhere
+    /// in the pool): a consumer pops at most one beat per wire per cycle
+    /// and may decline, so queued input alone does not say *when* the next
+    /// pop can happen. The conservative default — "right away" — re-ticks
+    /// the component every cycle until its inputs drain, which is always
+    /// exact but forfeits skipping while traffic is parked upstream.
+    ///
+    /// Components whose intake is gated on internal state can override:
+    ///
+    /// - `Some(later)` — intake is closed until `later` (e.g. a budget
+    ///   period boundary); ticks before then would not pop. The kernel
+    ///   still wakes the component early on any push/pop touching its
+    ///   wires, so the hint only needs to cover *silence*.
+    /// - `None` — [`Component::next_event`] plus wire wakes already cover
+    ///   every state change; queued input alone never requires a tick.
+    ///
+    /// The same exactness rule as [`Component::next_event`] applies: a
+    /// hint must be `>= cycle`, and an override claiming `later` while a
+    /// stepped run would have popped earlier diverges the kernels — the
+    /// `kernel_equivalence` tests are the safety net.
+    fn backlog_event(&self, cycle: Cycle) -> Option<Cycle> {
         Some(cycle)
     }
 
@@ -77,13 +116,16 @@ pub trait Component: Any {
         Vec::new()
     }
 
-    /// Notification that the kernel is jumping the clock from `from` to
-    /// `to`, skipping the ticks at cycles `from..to`.
+    /// Notification that this component's ticks at cycles `from..to` were
+    /// elided (it was asleep) and it is about to be observed or ticked at
+    /// `to`.
     ///
     /// Components whose tick accumulates per-cycle state (e.g. an
     /// isolated-cycles counter) must apply the `to - from` elided ticks
-    /// here so a fast-forwarded run ends in exactly the state a stepped
-    /// run would. Components with purely event-driven state need nothing —
+    /// here so an event-driven run ends in exactly the state a stepped run
+    /// would. The kernel may reconcile one sleep stretch in several
+    /// consecutive calls (`a..b` then `b..c`), so the accounting must
+    /// compose. Components with purely event-driven state need nothing —
     /// the default is a no-op.
     fn on_fast_forward(&mut self, from: Cycle, to: Cycle) {
         let _ = (from, to);

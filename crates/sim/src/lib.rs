@@ -3,8 +3,9 @@
 //! The kernel models hardware at the granularity the paper's results depend
 //! on: clock cycles and beat-level channel handshakes. Its semantics are:
 //!
-//! - Time advances in integer clock cycles. Every [`Component`] is ticked
-//!   once per cycle.
+//! - Time advances in integer clock cycles. Observably, every [`Component`]
+//!   is ticked once per cycle; the default event-driven kernel only
+//!   *executes* the ticks that can change state (see [`Sim`]).
 //! - Channels are bounded [`Wire`]s. An item pushed at cycle *t* becomes
 //!   visible to consumers at *t + 1* ("register per hop"), so results do not
 //!   depend on the order components are ticked in, and every hop through a
@@ -54,7 +55,7 @@ pub use arb::RoundRobin;
 pub use bundle::{AxiBundle, BundleCapacity};
 pub use component::{Component, TickCtx};
 pub use pool::{Channel, ChannelPool, PushRefusal, WireId};
-pub use sim::{ComponentId, KernelStats, Sim};
+pub use sim::{ComponentId, ContractViolation, KernelMode, KernelStats, Sim, ViolationKind};
 pub use topology::{PortDecl, PortDir, TopoComponent, TopoWire, Topology};
 pub use trace::{TraceChannel, TraceEvent, TracePayload, TraceProbe};
 pub use vcd::vcd_dump;

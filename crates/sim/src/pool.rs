@@ -68,6 +68,9 @@ mod sealed {
 pub trait Channel: sealed::Sealed + Copy {
     /// Short channel name for diagnostics ("AW", "W", "B", "AR", "R").
     const LABEL: &'static str;
+    /// Dense channel index in AW/W/B/AR/R order (kernel bookkeeping).
+    #[doc(hidden)]
+    const SLOT: usize;
     #[doc(hidden)]
     fn wires(pool: &ChannelPool) -> &Vec<Wire<Self>>;
     #[doc(hidden)]
@@ -75,9 +78,10 @@ pub trait Channel: sealed::Sealed + Copy {
 }
 
 macro_rules! impl_channel {
-    ($ty:ty, $field:ident, $label:literal) => {
+    ($ty:ty, $field:ident, $label:literal, $slot:literal) => {
         impl Channel for $ty {
             const LABEL: &'static str = $label;
+            const SLOT: usize = $slot;
             fn wires(pool: &ChannelPool) -> &Vec<Wire<Self>> {
                 &pool.$field
             }
@@ -88,11 +92,40 @@ macro_rules! impl_channel {
     };
 }
 
-impl_channel!(AwBeat, aw, "AW");
-impl_channel!(WBeat, w, "W");
-impl_channel!(BBeat, b, "B");
-impl_channel!(ArBeat, ar, "AR");
-impl_channel!(RBeat, r, "R");
+impl_channel!(AwBeat, aw, "AW", 0);
+impl_channel!(WBeat, w, "W", 1);
+impl_channel!(BBeat, b, "B", 2);
+impl_channel!(ArBeat, ar, "AR", 3);
+impl_channel!(RBeat, r, "R", 4);
+
+/// Number of distinct AXI channels ([`Channel::SLOT`] range).
+pub(crate) const CHANNEL_SLOTS: usize = 5;
+
+/// Maps a channel label (as found in [`PortDecl`](crate::PortDecl)) to its
+/// dense [`Channel::SLOT`] index.
+pub(crate) fn channel_slot(label: &str) -> Option<usize> {
+    match label {
+        "AW" => Some(AwBeat::SLOT),
+        "W" => Some(WBeat::SLOT),
+        "B" => Some(BBeat::SLOT),
+        "AR" => Some(ArBeat::SLOT),
+        "R" => Some(RBeat::SLOT),
+        _ => None,
+    }
+}
+
+/// One successful push or pop, recorded while the event kernel is driving
+/// ticks so it can translate wire activity into component wakes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct WireEvent {
+    /// [`Channel::SLOT`] of the touched wire's channel.
+    pub slot: usize,
+    /// Pool-internal wire index within the channel.
+    pub wire: usize,
+    /// `true` for a push (new beat, visible next cycle), `false` for a pop
+    /// (freed capacity / new front beat).
+    pub push: bool,
+}
 
 /// The structured record of a refused [`ChannelPool::push`]: who pushed,
 /// where, when, and why. Replaces the kernel's former hard panic so a
@@ -148,11 +181,18 @@ pub struct ChannelPool {
     // Beats currently on any wire, maintained push/pop-incrementally so the
     // kernel's idle check is O(1) instead of a walk over every wire.
     in_flight: u64,
+    // Beats ever accepted onto any wire, maintained incrementally so
+    // activity watchers (the watchdog) read it in O(1).
+    total_pushed: u64,
     // Registration index of the component currently being ticked, stamped
     // by the kernel so refusals can name their culprit.
     owner: Option<usize>,
     refusals: Vec<PushRefusal>,
     refusals_dropped: u64,
+    // Successful push/pop log, captured only while the event kernel has
+    // recording on; drained after every tick to derive wakes.
+    events: Vec<WireEvent>,
+    recording: bool,
 }
 
 impl ChannelPool {
@@ -224,6 +264,14 @@ impl ChannelPool {
         let result = self.wire_mut(id).try_push(cycle, beat);
         if result.is_ok() {
             self.in_flight += 1;
+            self.total_pushed += 1;
+            if self.recording {
+                self.events.push(WireEvent {
+                    slot: T::SLOT,
+                    wire: id.index,
+                    push: true,
+                });
+            }
         }
         result
     }
@@ -269,6 +317,13 @@ impl ChannelPool {
         let beat = self.wire_mut(id).pop(cycle);
         if beat.is_some() {
             self.in_flight -= 1;
+            if self.recording {
+                self.events.push(WireEvent {
+                    slot: T::SLOT,
+                    wire: id.index,
+                    push: false,
+                });
+            }
         }
         beat
     }
@@ -335,13 +390,59 @@ impl ChannelPool {
         self.in_flight
     }
 
-    /// Total beats ever pushed onto any wire — a monotone activity counter;
-    /// if it stops moving, no beat is flowing anywhere in the system.
+    /// Total beats ever pushed onto any wire (O(1)) — a monotone activity
+    /// counter; if it stops moving, no beat is flowing anywhere in the
+    /// system.
     pub fn total_pushes(&self) -> u64 {
-        fn sum<T>(wires: &[Wire<T>]) -> u64 {
-            wires.iter().map(|w| w.stats().total_pushed).sum()
+        debug_assert_eq!(
+            self.total_pushed,
+            {
+                fn sum<T>(wires: &[Wire<T>]) -> u64 {
+                    wires.iter().map(|w| w.stats().total_pushed).sum()
+                }
+                sum(&self.aw) + sum(&self.w) + sum(&self.b) + sum(&self.ar) + sum(&self.r)
+            },
+            "push counter out of sync with per-wire stats"
+        );
+        self.total_pushed
+    }
+
+    /// Turns the push/pop event log on or off (event-kernel use). Turning
+    /// recording off discards any not-yet-drained events.
+    pub(crate) fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+        if !on {
+            self.events.clear();
         }
-        sum(&self.aw) + sum(&self.w) + sum(&self.b) + sum(&self.ar) + sum(&self.r)
+    }
+
+    /// Moves all recorded [`WireEvent`]s into `out`, oldest first.
+    pub(crate) fn drain_events_into(&mut self, out: &mut Vec<WireEvent>) {
+        out.append(&mut self.events);
+    }
+
+    /// In-flight beats on the wire addressed by `(slot, index)` — the
+    /// untyped twin of [`ChannelPool::len`] for kernel bookkeeping.
+    pub(crate) fn slot_len(&self, slot: usize, index: usize) -> usize {
+        match slot {
+            0 => self.aw[index].len(),
+            1 => self.w[index].len(),
+            2 => self.b[index].len(),
+            3 => self.ar[index].len(),
+            4 => self.r[index].len(),
+            _ => 0,
+        }
+    }
+
+    /// Wire counts per channel in [`Channel::SLOT`] order.
+    pub(crate) fn wire_counts(&self) -> [usize; CHANNEL_SLOTS] {
+        [
+            self.aw.len(),
+            self.w.len(),
+            self.b.len(),
+            self.ar.len(),
+            self.r.len(),
+        ]
     }
 }
 

@@ -1,10 +1,29 @@
 //! The top-level simulator: owns the wires and the components.
+//!
+//! Two kernels share one observable semantics:
+//!
+//! - [`Sim::step`] is the reference kernel: every component ticks every
+//!   cycle, in registration order.
+//! - [`Sim::run`]/[`Sim::run_until`] default to the *event kernel*: a
+//!   wake-queue (binary heap over [`Component::next_event`] hints) plus a
+//!   per-cycle dirty-set derived from wire pushes and pops, so a cycle only
+//!   visits components that have a due event or fresh input, and cycles
+//!   with no due component at all are jumped over entirely. Elided ticks
+//!   are reconciled per component through [`Component::on_fast_forward`].
+//!
+//! The two must be bit-identical in every observable: `REALM_KERNEL=step`
+//! forces the stepping kernel for differential runs, and the
+//! `kernel_equivalence` integration tests assert the equivalence on random
+//! traffic.
 
 use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 use crate::component::{Component, TickCtx};
-use crate::pool::ChannelPool;
+use crate::pool::{channel_slot, ChannelPool, WireEvent, CHANNEL_SLOTS};
+use crate::topology::PortDir;
 use crate::Cycle;
 
 /// Handle to a component registered with a [`Sim`].
@@ -19,16 +38,26 @@ impl ComponentId {
 }
 
 /// Counters describing how the kernel advanced time: real component ticks
-/// versus cycles fast-forwarded over while the system was quiescent.
+/// versus cycles fast-forwarded over while the system was quiescent, plus
+/// the per-component split within executed cycles.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct KernelStats {
-    /// Cycles advanced by actually ticking every component.
+    /// Cycles advanced by executing at least one component tick.
     pub ticks_executed: u64,
-    /// Cycles jumped over because all wires were empty and every component
-    /// reported no pending event.
+    /// Cycles jumped over because no component had a due event.
     pub cycles_skipped: u64,
     /// Number of fast-forward jumps taken.
     pub fast_forwards: u64,
+    /// Individual `Component::tick` calls across all executed cycles.
+    pub component_ticks: u64,
+    /// Component-cycles elided: sleeping components during executed cycles
+    /// plus every component during skipped cycles. The invariant
+    /// `component_ticks + component_skips == cycles_total() * n_components`
+    /// holds for a run driven by one kernel throughout.
+    pub component_skips: u64,
+    /// Successful wire pushes and pops the event kernel translated into
+    /// wakes (0 under the stepping kernel, which needs none).
+    pub wire_events: u64,
 }
 
 impl KernelStats {
@@ -38,17 +67,204 @@ impl KernelStats {
     }
 }
 
-/// A cycle-stepped simulator: a [`ChannelPool`] plus an ordered list of
-/// components ticked once per cycle.
+/// Which kernel drives [`Sim::run`] and [`Sim::run_until`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KernelMode {
+    /// Wake-queue + dirty-set event kernel (the default).
+    Event,
+    /// Reference kernel: tick every component every cycle. Selected by
+    /// `REALM_KERNEL=step` for differential runs.
+    Step,
+}
+
+fn kernel_mode_from_env() -> KernelMode {
+    match std::env::var("REALM_KERNEL").as_deref() {
+        Ok("step") | Ok("stepped") | Ok("cycle") => KernelMode::Step,
+        _ => KernelMode::Event,
+    }
+}
+
+/// How a [`ContractViolation`] was detected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// `next_event(cycle)` returned a hint at or before a cycle the
+    /// component had already been ticked for — the hint carries no
+    /// information and the kernel fell back to re-ticking next cycle.
+    StaleHint,
+    /// A sleeping component's `next_event` claimed it was due at the
+    /// current cycle even though nothing had scheduled it — an earlier
+    /// hint under-reported, or the component reacted to state outside its
+    /// declared wires (missing [`Sim::couple`] or port declaration).
+    MissedWake,
+}
+
+/// A detected breach of the [`Component::next_event`] contract (see
+/// [`Sim::contract_violations`]; stale hints are reported in every build,
+/// the missed-wake cross-check only in debug builds). The kernel corrects
+/// course — the offending component is woken — so results stay exact, but
+/// each record points at a hint that silently shrinks skipping.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ContractViolation {
+    /// Registration index of the offending component.
+    pub component: usize,
+    /// Its [`Component::name`] at detection time.
+    pub name: String,
+    /// The cycle at which the violation was observed.
+    pub cycle: Cycle,
+    /// The hint `next_event` returned.
+    pub hint: Cycle,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+impl fmt::Display for ContractViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            ViolationKind::StaleHint => "stale next_event hint",
+            ViolationKind::MissedWake => "missed wake (undeclared dependency?)",
+        };
+        write!(
+            f,
+            "cycle {:>8}: {} from component #{} ({}): hint {}",
+            self.cycle, what, self.component, self.name, self.hint
+        )
+    }
+}
+
+/// Retained [`ContractViolation`] records; further ones only bump a count.
+const MAX_VIOLATIONS: usize = 64;
+
+/// Sentinel for "no pending wake".
+const NEVER: Cycle = Cycle::MAX;
+
+/// The event kernel's wake bookkeeping, rebuilt from component port
+/// declarations whenever the topology changes.
+#[derive(Default)]
+struct Scheduler {
+    /// Flat endpoint table: wire `(slot, index)` maps through `slot_base`
+    /// to a `(start, end)` range in `endpoint_list` holding the
+    /// registration indices of its declared endpoints (drivers, consumers,
+    /// observers), deduplicated. Contiguous storage keeps the per-event
+    /// lookup to two indexed reads instead of three pointer hops.
+    endpoint_ranges: Vec<(u32, u32)>,
+    endpoint_list: Vec<u32>,
+    slot_base: [usize; CHANNEL_SLOTS],
+    /// Per component: its declared Consume wires as `(slot, wire)`.
+    consume: Vec<Vec<(usize, usize)>>,
+    /// Components that declared no ports: woken by *any* wire activity and
+    /// kept due while any beat is in flight, so undeclared topologies stay
+    /// exact at the price of not sleeping through traffic.
+    opaque: Vec<u32>,
+    is_opaque: Vec<bool>,
+    /// Per component: dependents registered via [`Sim::couple`].
+    dependents: Vec<Vec<u32>>,
+    /// Dirty-set for the cycle currently being processed.
+    due: Vec<bool>,
+    due_count: usize,
+    /// Components scheduled for the immediately following cycle — the fast
+    /// path that lets back-to-back beat streams ride cycle to cycle without
+    /// touching the heap.
+    next_flags: Vec<bool>,
+    next_list: Vec<u32>,
+    /// Earliest pending wake per component (`NEVER` = none); heap entries
+    /// not matching it are stale and discarded on pop.
+    scheduled: Vec<Cycle>,
+    heap: BinaryHeap<Reverse<(Cycle, u32)>>,
+    /// Scratch buffer for drained pool events.
+    events: Vec<WireEvent>,
+    /// `(components, wires, couples)` the tables were built for.
+    signature: (usize, usize, usize),
+}
+
+impl Scheduler {
+    fn mark_due(&mut self, j: usize) {
+        if !self.due[j] {
+            self.due[j] = true;
+            self.due_count += 1;
+        }
+    }
+
+    /// Records a wake at `at` (strictly after the cycle being processed).
+    fn schedule(&mut self, j: usize, at: Cycle, current: Cycle) {
+        if at >= self.scheduled[j] {
+            return;
+        }
+        self.scheduled[j] = at;
+        if at == current + 1 {
+            if !self.next_flags[j] {
+                self.next_flags[j] = true;
+                self.next_list.push(j as u32);
+            }
+        } else {
+            self.heap.push(Reverse((at, j as u32)));
+        }
+    }
+
+    /// Translates one wire event caused by `actor`'s tick at `cycle` into
+    /// wakes for peer `j`.
+    #[inline]
+    fn wake_peer(&mut self, j: usize, actor: usize, push: bool, cycle: Cycle) {
+        if j == actor {
+            return;
+        }
+        if push {
+            // New beat: visible next cycle; peers ticking after the pusher
+            // also look this cycle (tap monitors drain on the push cycle).
+            if j > actor {
+                self.mark_due(j);
+            }
+            self.schedule(j, cycle + 1, cycle);
+        } else if j > actor {
+            // Freed capacity / new front beat: usable this cycle by later
+            // peers, next cycle by earlier ones.
+            self.mark_due(j);
+        } else {
+            self.schedule(j, cycle + 1, cycle);
+        }
+    }
+
+    /// Wakes every declared endpoint of the event's wire. Indexed access
+    /// (rather than moving the list out) keeps the per-event cost to the
+    /// wakes themselves — this runs for every push and pop in the system.
+    fn wake_endpoints(&mut self, event: WireEvent, actor: usize, cycle: Cycle) {
+        let (start, end) = self.endpoint_ranges[self.slot_base[event.slot] + event.wire];
+        for k in start..end {
+            let j = self.endpoint_list[k as usize] as usize;
+            self.wake_peer(j, actor, event.push, cycle);
+        }
+    }
+
+    /// Wakes every opaque component after an event-bearing tick: any wire
+    /// activity may matter to a component with undeclared topology. One
+    /// combined wake per tick (due now for later peers, next cycle always)
+    /// over-approximates the per-event push/pop rules — extra ticks are
+    /// always exact — and avoids walking the list once per event.
+    fn wake_opaque(&mut self, actor: usize, cycle: Cycle) {
+        for k in 0..self.opaque.len() {
+            let j = self.opaque[k] as usize;
+            if j == actor {
+                continue;
+            }
+            if j > actor {
+                self.mark_due(j);
+            }
+            self.schedule(j, cycle + 1, cycle);
+        }
+    }
+}
+
+/// A cycle-accurate simulator: a [`ChannelPool`] plus an ordered list of
+/// components.
 ///
-/// [`Sim::run`] and [`Sim::run_until`] fast-forward over quiescent
-/// stretches: when no beat is in flight on any wire and every component's
-/// [`Component::next_event`] hint lies in the future, the clock jumps to
-/// the earliest pending event instead of ticking through dead cycles. The
-/// jump is exact — components reconcile time-proportional counters in
-/// [`Component::on_fast_forward`] — so a fast-forwarded run finishes in
-/// the same state, at the same cycle, as an explicitly stepped one; only
-/// wall-clock changes. [`Sim::kernel_stats`] reports the split.
+/// [`Sim::run`] and [`Sim::run_until`] are driven by a discrete-event
+/// kernel: a wake-queue keyed on [`Component::next_event`] hints plus a
+/// dirty-set fed by wire pushes/pops decides, per cycle, which components
+/// tick at all; cycles with an empty dirty-set are jumped over entirely.
+/// Skipping is exact — elided ticks are provable no-ops under the
+/// `next_event` contract, and components reconcile time-proportional
+/// counters in [`Component::on_fast_forward`] — so an event-driven run
+/// finishes in the same state, at the same cycle, as an explicitly stepped
+/// one; only wall-clock changes. [`Sim::kernel_stats`] reports the split.
 ///
 /// # Example
 ///
@@ -70,16 +286,33 @@ pub struct Sim {
     components: Vec<Box<dyn Component>>,
     cycle: Cycle,
     stats: KernelStats,
+    mode: KernelMode,
+    /// First cycle each component has *not* yet accounted for, via tick or
+    /// `on_fast_forward`. Invariant between advances: `synced_to[i] <=
+    /// cycle + 1`, equal to `cycle + 1` right after component `i` ticks.
+    synced_to: Vec<Cycle>,
+    /// `(source, dependent)` pairs from [`Sim::couple`].
+    couples: Vec<(usize, usize)>,
+    sched: Scheduler,
+    violations: Vec<ContractViolation>,
+    violations_dropped: u64,
 }
 
 impl Sim {
-    /// Creates an empty simulator at cycle 0.
+    /// Creates an empty simulator at cycle 0. The kernel honours the
+    /// `REALM_KERNEL` environment variable (`step` forces cycle stepping).
     pub fn new() -> Self {
         Self {
             pool: ChannelPool::new(),
             components: Vec::new(),
             cycle: 0,
             stats: KernelStats::default(),
+            mode: kernel_mode_from_env(),
+            synced_to: Vec::new(),
+            couples: Vec::new(),
+            sched: Scheduler::default(),
+            violations: Vec::new(),
+            violations_dropped: 0,
         }
     }
 
@@ -96,7 +329,22 @@ impl Sim {
     /// Registers a component; components are ticked in registration order.
     pub fn add<C: Component>(&mut self, component: C) -> ComponentId {
         self.components.push(Box::new(component));
+        self.synced_to.push(self.cycle);
         ComponentId(self.components.len() - 1)
+    }
+
+    /// Declares that `source`'s tick may mutate state that `dependent`
+    /// reads outside any wire (shared registers, `Rc<RefCell<…>>`
+    /// couplings). The event kernel then keeps the pair exact: before
+    /// `source` ticks, `dependent`'s elided ticks are reconciled, and after
+    /// `source` ticks, `dependent` is woken — mirroring what cycle stepping
+    /// does implicitly. Wire-only interactions need no coupling.
+    pub fn couple(&mut self, source: ComponentId, dependent: ComponentId) {
+        assert!(source.0 < self.components.len(), "unknown source");
+        assert!(dependent.0 < self.components.len(), "unknown dependent");
+        if source != dependent && !self.couples.contains(&(source.0, dependent.0)) {
+            self.couples.push((source.0, dependent.0));
+        }
     }
 
     /// Returns a typed reference to a registered component, or `None` if the
@@ -123,6 +371,29 @@ impl Sim {
         self.stats
     }
 
+    /// Which kernel [`Sim::run`]/[`Sim::run_until`] use.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.mode
+    }
+
+    /// Overrides the kernel selection (tests and differential tooling; the
+    /// default comes from `REALM_KERNEL`).
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.mode = mode;
+    }
+
+    /// [`Component::next_event`] contract breaches detected so far. The
+    /// kernel always corrects course, so these are diagnostics, not
+    /// failures — but a correct system keeps this empty.
+    pub fn contract_violations(&self) -> &[ContractViolation] {
+        &self.violations
+    }
+
+    /// Contract violations beyond the retention bound, counted not stored.
+    pub fn contract_violations_dropped(&self) -> u64 {
+        self.violations_dropped
+    }
+
     /// A static snapshot of the system's structure — every component with
     /// its declared wire endpoints plus every allocated wire — for
     /// elaboration-time analysis before the first cycle runs (see the
@@ -131,12 +402,19 @@ impl Sim {
         crate::Topology::collect(&self.components, &self.pool)
     }
 
-    /// Advances the simulation by one cycle, ticking every component once.
+    /// Advances the simulation by one cycle, ticking every component once
+    /// (the reference kernel). Interleaves exactly with event-driven runs:
+    /// components a previous run left fast-forwarded are reconciled here.
     pub fn step(&mut self) {
+        let cycle = self.cycle;
         for (index, component) in self.components.iter_mut().enumerate() {
+            if self.synced_to[index] < cycle {
+                component.on_fast_forward(self.synced_to[index], cycle);
+            }
+            self.synced_to[index] = cycle + 1;
             self.pool.set_owner(Some(index));
             let mut ctx = TickCtx {
-                cycle: self.cycle,
+                cycle,
                 pool: &mut self.pool,
             };
             component.tick(&mut ctx);
@@ -144,6 +422,7 @@ impl Sim {
         self.pool.set_owner(None);
         self.cycle += 1;
         self.stats.ticks_executed += 1;
+        self.stats.component_ticks += self.components.len() as u64;
     }
 
     /// The instance name of the component registered at `index`, if any —
@@ -153,53 +432,9 @@ impl Sim {
         self.components.get(index).map(|c| c.name())
     }
 
-    /// The cycle the kernel may jump to without ticking, bounded by
-    /// `target`, or `None` if some beat is in flight or some component has
-    /// a current event.
-    ///
-    /// A returned cycle is strictly greater than the current one: the ticks
-    /// at `cycle..jump` are all provable no-ops under the
-    /// [`Component::next_event`] contract.
-    fn fast_forward_target(&self, target: Cycle) -> Option<Cycle> {
-        if self.pool.total_in_flight() != 0 {
-            return None;
-        }
-        let mut jump = target;
-        for component in &self.components {
-            match component.next_event(self.cycle) {
-                // Quiescent until new input; with all wires empty no input
-                // can appear before another component acts.
-                None => {}
-                Some(wake) if wake <= self.cycle => return None,
-                Some(wake) => jump = jump.min(wake),
-            }
-        }
-        (jump > self.cycle).then_some(jump)
-    }
-
-    /// Advances time by one step, or by one fast-forward jump of up to
-    /// `target - cycle` cycles.
-    fn advance(&mut self, target: Cycle) {
-        debug_assert!(self.cycle < target);
-        match self.fast_forward_target(target) {
-            Some(jump) => {
-                for component in &mut self.components {
-                    component.on_fast_forward(self.cycle, jump);
-                }
-                self.stats.cycles_skipped += jump - self.cycle;
-                self.stats.fast_forwards += 1;
-                self.cycle = jump;
-            }
-            None => self.step(),
-        }
-    }
-
-    /// Runs for `cycles` cycles, fast-forwarding over quiescent stretches.
+    /// Runs for `cycles` cycles.
     pub fn run(&mut self, cycles: u64) {
-        let target = self.cycle + cycles;
-        while self.cycle < target {
-            self.advance(target);
-        }
+        self.drive(cycles, None::<&mut fn(&Sim) -> bool>, None);
     }
 
     /// Advances until `done` returns `true` or `max_cycles` elapse; returns
@@ -207,19 +442,410 @@ impl Sim {
     ///
     /// The predicate sees the simulator between advances, so it can inspect
     /// components and wires. Quiescent stretches are fast-forwarded, so the
-    /// predicate is evaluated per executed tick or jump, not per skipped
+    /// predicate is evaluated per executed cycle or jump, not per skipped
     /// cycle — component state cannot change inside a skipped stretch, so
     /// no predicate flank is missed, though a predicate watching
-    /// [`Sim::cycle`] itself may observe a jump past its threshold.
+    /// [`Sim::cycle`] itself may observe a jump past its threshold. Use
+    /// [`Sim::run_until_clamped`] when the predicate watches the clock.
     pub fn run_until<F: FnMut(&Sim) -> bool>(&mut self, max_cycles: u64, mut done: F) -> bool {
+        self.drive(max_cycles, Some(&mut done), None)
+    }
+
+    /// Like [`Sim::run_until`], but fast-forward jumps never cross the
+    /// absolute cycle `boundary`: a jump that would overshoot lands exactly
+    /// on it, so a predicate watching [`Sim::cycle`] observes the boundary
+    /// even when the system is quiescent there.
+    pub fn run_until_clamped<F: FnMut(&Sim) -> bool>(
+        &mut self,
+        max_cycles: u64,
+        boundary: Cycle,
+        mut done: F,
+    ) -> bool {
+        self.drive(max_cycles, Some(&mut done), Some(boundary))
+    }
+
+    /// The shared driver behind [`Sim::run`]/[`Sim::run_until`].
+    fn drive<F: FnMut(&Sim) -> bool>(
+        &mut self,
+        max_cycles: u64,
+        mut done: Option<&mut F>,
+        clamp: Option<Cycle>,
+    ) -> bool {
         let target = self.cycle + max_cycles;
-        while self.cycle < target {
-            if done(self) {
-                return true;
+        if self.mode == KernelMode::Step {
+            while self.cycle < target {
+                if let Some(done) = done.as_mut() {
+                    if done(self) {
+                        return true;
+                    }
+                }
+                self.step();
             }
-            self.advance(target);
+            return match done {
+                Some(done) => done(self),
+                None => false,
+            };
         }
-        done(self)
+
+        self.prepare_run();
+        let n = self.components.len() as u64;
+        loop {
+            if let Some(done) = done.as_mut() {
+                // Reconcile elided ticks so the predicate observes exactly
+                // the state a stepped run would show at this cycle.
+                self.flush_all(self.cycle);
+                if done(self) {
+                    return true;
+                }
+            }
+            if self.cycle >= target {
+                break;
+            }
+            self.pop_due();
+            if self.sched.due_count > 0 {
+                self.process_cycle();
+                continue;
+            }
+            // Nothing due at the current cycle: jump to the earliest
+            // pending wake, bounded by the run target and the clamp.
+            let next = match self.sched.heap.peek() {
+                Some(&Reverse((at, _))) => at.min(target),
+                None => target,
+            };
+            let jump = match clamp {
+                Some(boundary) if boundary > self.cycle => next.min(boundary),
+                _ => next,
+            };
+            debug_assert!(jump > self.cycle, "jump must make progress");
+            self.stats.cycles_skipped += jump - self.cycle;
+            self.stats.component_skips += (jump - self.cycle) * n;
+            self.stats.fast_forwards += 1;
+            self.cycle = jump;
+        }
+        self.flush_all(self.cycle);
+        match done {
+            Some(done) => done(self),
+            None => false,
+        }
+    }
+
+    /// Rebuilds wake tables if the topology changed, clears all pending
+    /// wakes, and marks every component due at the current cycle. Starting
+    /// a run from the all-due state re-synchronises any state mutated from
+    /// outside (direct `component_mut` access, pool pushes between runs)
+    /// exactly as the stepping kernel would see it.
+    fn prepare_run(&mut self) {
+        let signature = (
+            self.components.len(),
+            self.pool.wire_count(),
+            self.couples.len(),
+        );
+        if self.sched.signature != signature {
+            self.rebuild_scheduler();
+            self.sched.signature = signature;
+        }
+        self.sched.heap.clear();
+        self.sched.next_list.clear();
+        for f in &mut self.sched.next_flags {
+            *f = false;
+        }
+        for s in &mut self.sched.scheduled {
+            *s = NEVER;
+        }
+        self.sched.due_count = 0;
+        for j in 0..self.components.len() {
+            self.sched.due[j] = false;
+            self.sched.mark_due(j);
+        }
+        // Beats pushed from outside any run (no wake recording) become
+        // visible one cycle in: give every component a look at both of the
+        // first two cycles, then let the hints take over.
+        if self.pool.total_in_flight() > 0 {
+            for j in 0..self.components.len() {
+                self.sched.schedule(j, self.cycle + 1, self.cycle);
+            }
+        }
+        self.pool.set_recording(false);
+    }
+
+    fn rebuild_scheduler(&mut self) {
+        let n = self.components.len();
+        let counts = self.pool.wire_counts();
+        let mut slot_base = [0usize; CHANNEL_SLOTS];
+        let mut total_wires = 0;
+        for (slot, &wires) in counts.iter().enumerate() {
+            slot_base[slot] = total_wires;
+            total_wires += wires;
+        }
+        let mut endpoints: Vec<Vec<u32>> = vec![Vec::new(); total_wires];
+        let mut consume = vec![Vec::new(); n];
+        let mut opaque = Vec::new();
+        let mut is_opaque = vec![false; n];
+        for (i, component) in self.components.iter().enumerate() {
+            let ports = component.ports();
+            if ports.is_empty() {
+                opaque.push(i as u32);
+                is_opaque[i] = true;
+                continue;
+            }
+            for port in ports {
+                let Some(slot) = channel_slot(port.channel) else {
+                    continue;
+                };
+                if port.wire >= counts[slot] {
+                    continue; // dangling declaration; realm-lint reports it
+                }
+                let peers = &mut endpoints[slot_base[slot] + port.wire];
+                if !peers.contains(&(i as u32)) {
+                    peers.push(i as u32);
+                }
+                if port.dir == PortDir::Consume {
+                    let key = (slot, port.wire);
+                    if !consume[i].contains(&key) {
+                        consume[i].push(key);
+                    }
+                }
+            }
+        }
+        let mut endpoint_ranges = Vec::with_capacity(total_wires);
+        let mut endpoint_list = Vec::new();
+        for peers in &endpoints {
+            let start = endpoint_list.len() as u32;
+            endpoint_list.extend_from_slice(peers);
+            endpoint_ranges.push((start, endpoint_list.len() as u32));
+        }
+        let mut dependents = vec![Vec::new(); n];
+        for &(source, dependent) in &self.couples {
+            let dep = dependent as u32;
+            if !dependents[source].contains(&dep) {
+                dependents[source].push(dep);
+            }
+        }
+        self.sched.endpoint_ranges = endpoint_ranges;
+        self.sched.endpoint_list = endpoint_list;
+        self.sched.slot_base = slot_base;
+        self.sched.consume = consume;
+        self.sched.opaque = opaque;
+        self.sched.is_opaque = is_opaque;
+        self.sched.dependents = dependents;
+        self.sched.due = vec![false; n];
+        self.sched.due_count = 0;
+        self.sched.next_flags = vec![false; n];
+        self.sched.next_list.clear();
+        self.sched.scheduled = vec![NEVER; n];
+        self.sched.heap.clear();
+    }
+
+    /// Moves heap wakes that have come due at the current cycle into the
+    /// dirty-set.
+    fn pop_due(&mut self) {
+        while let Some(&Reverse((at, j))) = self.sched.heap.peek() {
+            if at > self.cycle {
+                break;
+            }
+            self.sched.heap.pop();
+            let j = j as usize;
+            debug_assert!(at == self.cycle, "wake left behind in the heap");
+            if self.sched.scheduled[j] == at {
+                self.sched.mark_due(j);
+            }
+        }
+    }
+
+    /// Reconciles component `index` up to (excluding) `to`.
+    fn flush_component(&mut self, index: usize, to: Cycle) {
+        if self.synced_to[index] < to {
+            self.components[index].on_fast_forward(self.synced_to[index], to);
+            self.synced_to[index] = to;
+        }
+    }
+
+    /// Reconciles every component up to (excluding) `to`.
+    fn flush_all(&mut self, to: Cycle) {
+        for index in 0..self.components.len() {
+            self.flush_component(index, to);
+        }
+    }
+
+    fn record_violation(
+        &mut self,
+        component: usize,
+        cycle: Cycle,
+        hint: Cycle,
+        kind: ViolationKind,
+    ) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            let name = self.components[component].name().to_owned();
+            self.violations.push(ContractViolation {
+                component,
+                name,
+                cycle,
+                hint,
+                kind,
+            });
+        } else {
+            self.violations_dropped += 1;
+        }
+    }
+
+    /// Debug-build safety net: a sleeping component whose `next_event`
+    /// claims it is due right now was missed by the wake bookkeeping — an
+    /// under-reporting hint or an undeclared dependency. Record it and wake
+    /// the component so results stay exact anyway.
+    #[cfg(debug_assertions)]
+    fn poll_missed_wakes(&mut self) {
+        let cycle = self.cycle;
+        for i in 0..self.components.len() {
+            if self.sched.due[i] {
+                continue;
+            }
+            if let Some(hint) = self.components[i].next_event(cycle) {
+                if hint <= cycle {
+                    self.record_violation(i, cycle, hint, ViolationKind::MissedWake);
+                    self.sched.mark_due(i);
+                }
+            }
+        }
+    }
+
+    /// Executes one cycle: ticks exactly the due components in registration
+    /// order, turns their wire activity into wakes, and re-arms their
+    /// `next_event` hints.
+    fn process_cycle(&mut self) {
+        #[cfg(debug_assertions)]
+        self.poll_missed_wakes();
+
+        let cycle = self.cycle;
+        let n = self.components.len();
+        let mut ticked: u64 = 0;
+        self.pool.set_recording(true);
+        let mut i = 0;
+        while i < n {
+            if !self.sched.due[i] {
+                i += 1;
+                continue;
+            }
+            self.sched.due[i] = false;
+            self.sched.due_count -= 1;
+
+            // Shared-state couplings: reconcile each dependent before this
+            // tick reads or writes the shared state. A dependent earlier in
+            // tick order has had its turn this cycle, so its tick at
+            // `cycle` is elided under the pre-write state.
+            for k in 0..self.sched.dependents[i].len() {
+                let d = self.sched.dependents[i][k] as usize;
+                let to = if d < i { cycle + 1 } else { cycle };
+                self.flush_component(d, to);
+            }
+
+            self.flush_component(i, cycle);
+            self.synced_to[i] = cycle + 1;
+            self.sched.scheduled[i] = if self.sched.next_flags[i] {
+                cycle + 1
+            } else {
+                NEVER
+            };
+
+            self.pool.set_owner(Some(i));
+            let mut ctx = TickCtx {
+                cycle,
+                pool: &mut self.pool,
+            };
+            self.components[i].tick(&mut ctx);
+            ticked += 1;
+
+            // Wire activity → wakes. A push is visible to peers from the
+            // next cycle (register per hop); peers later in tick order also
+            // get a same-cycle look so tap-draining monitors match the
+            // stepping kernel beat for beat. A pop frees capacity usable by
+            // peers from the next cycle, or this cycle for later peers.
+            self.pool.drain_events_into(&mut self.sched.events);
+            let n_events = self.sched.events.len();
+            if n_events > 0 {
+                self.stats.wire_events += n_events as u64;
+                for k in 0..n_events {
+                    let event = self.sched.events[k];
+                    self.sched.wake_endpoints(event, i, cycle);
+                }
+                self.sched.wake_opaque(i, cycle);
+                self.sched.events.clear();
+            }
+
+            // Coupled dependents observe the write next cycle, or this
+            // cycle if they tick after the writer — exactly as stepping.
+            for k in 0..self.sched.dependents[i].len() {
+                let d = self.sched.dependents[i][k] as usize;
+                if d > i {
+                    self.sched.mark_due(d);
+                } else {
+                    self.sched.schedule(d, cycle + 1, cycle);
+                }
+            }
+
+            // Re-arm the component's own wake hint — unless a wire wake has
+            // already booked it for the next cycle, in which case no hint
+            // (necessarily `>= cycle + 1`) could add anything and the
+            // virtual call is skipped outright. Saturated pipelines take
+            // this shortcut for most ticks.
+            if self.sched.scheduled[i] != cycle + 1 {
+                match self.components[i].next_event(cycle + 1) {
+                    None => {}
+                    Some(hint) if hint <= cycle => {
+                        self.record_violation(i, cycle, hint, ViolationKind::StaleHint);
+                        self.sched.schedule(i, cycle + 1, cycle);
+                    }
+                    Some(hint) => self.sched.schedule(i, hint, cycle),
+                }
+            }
+
+            // A consumer may pop at most one beat per wire per cycle (and
+            // may decline): while any of its input wires holds beats, the
+            // component decides via `backlog_event` when the next pop could
+            // happen (the default: right away). Opaque components get the
+            // conservative whole-pool version of the same rule. Skipped
+            // outright when the component is already booked for the next
+            // cycle — the strongest answer backlog could produce.
+            if self.sched.scheduled[i] != cycle + 1 {
+                let backlog = if self.sched.is_opaque[i] {
+                    self.pool.total_in_flight() > 0
+                } else {
+                    self.sched.consume[i]
+                        .iter()
+                        .any(|&(slot, wire)| self.pool.slot_len(slot, wire) > 0)
+                };
+                if backlog {
+                    match self.components[i].backlog_event(cycle + 1) {
+                        None => {}
+                        Some(hint) if hint <= cycle => {
+                            self.record_violation(i, cycle, hint, ViolationKind::StaleHint);
+                            self.sched.schedule(i, cycle + 1, cycle);
+                        }
+                        Some(hint) => self.sched.schedule(i, hint, cycle),
+                    }
+                }
+            }
+
+            i += 1;
+        }
+        self.pool.set_owner(None);
+        self.pool.set_recording(false);
+        debug_assert_eq!(self.sched.due_count, 0, "due component not visited");
+
+        self.cycle = cycle + 1;
+        self.stats.ticks_executed += 1;
+        self.stats.component_ticks += ticked;
+        self.stats.component_skips += n as u64 - ticked;
+
+        // Roll the next-cycle fast path into the dirty-set.
+        let next_list = std::mem::take(&mut self.sched.next_list);
+        for &j in &next_list {
+            let j = j as usize;
+            self.sched.next_flags[j] = false;
+            self.sched.mark_due(j);
+        }
+        let mut next_list = next_list;
+        next_list.clear();
+        self.sched.next_list = next_list;
     }
 }
 
@@ -356,5 +982,171 @@ mod tests {
         let (sim, ..) = build();
         let s = format!("{sim:?}");
         assert!(s.contains("components: 2"));
+    }
+
+    /// Step-kernel and event-kernel accounting both cover every cycle.
+    #[test]
+    fn component_tick_accounting_is_exhaustive() {
+        let (mut sim, ..) = build();
+        sim.run(50);
+        let s = sim.kernel_stats();
+        assert_eq!(s.cycles_total(), 50);
+        assert_eq!(s.component_ticks + s.component_skips, 50 * 2);
+
+        let (mut slow, ..) = build();
+        slow.set_kernel_mode(KernelMode::Step);
+        slow.run(50);
+        let s = slow.kernel_stats();
+        assert_eq!(s.ticks_executed, 50);
+        assert_eq!(s.cycles_skipped, 0);
+        assert_eq!(s.component_ticks, 50 * 2);
+        assert_eq!(s.component_skips, 0);
+    }
+
+    /// Mixed driving — explicit steps between event-driven runs — stays
+    /// consistent: state and cycle match an all-stepped twin.
+    #[test]
+    fn step_and_run_interleave() {
+        let (mut a, _pa, ca) = build();
+        let (mut b, _pb, cb) = build();
+        a.run(3);
+        a.step();
+        a.run(6);
+        for _ in 0..10 {
+            b.step();
+        }
+        assert_eq!(a.cycle(), b.cycle());
+        assert_eq!(
+            a.component::<Consumer>(ca).unwrap().received,
+            b.component::<Consumer>(cb).unwrap().received
+        );
+    }
+
+    /// A quiescent predicate target at an otherwise-skipped cycle: the
+    /// plain run_until may jump past it, the clamped variant must not.
+    #[test]
+    fn run_until_clamped_observes_boundary() {
+        struct Sleeper;
+        impl Component for Sleeper {
+            fn tick(&mut self, _ctx: &mut TickCtx<'_>) {}
+            fn next_event(&self, _cycle: Cycle) -> Option<Cycle> {
+                None
+            }
+        }
+        let mut sim = Sim::new();
+        sim.add(Sleeper);
+        // Nothing ever happens: the event kernel jumps straight to the
+        // target, so a `cycle == 500` predicate never observes 500…
+        assert!(!sim.run_until(1_000, |s| s.cycle() == 500));
+        assert_eq!(sim.cycle(), 1_000);
+        // …while the clamped variant lands on the boundary exactly.
+        let mut sim = Sim::new();
+        sim.add(Sleeper);
+        assert!(sim.run_until_clamped(1_000, 500, |s| s.cycle() == 500));
+        assert_eq!(sim.cycle(), 500);
+        let stats = sim.kernel_stats();
+        assert!(stats.cycles_skipped >= 499, "boundary reached by jumping");
+    }
+
+    /// A component whose `next_event` under-reports (returns a stale hint)
+    /// is detected in debug builds and corrected, not silently degraded.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn stale_hint_is_reported_and_corrected() {
+        struct StaleHinter {
+            ticks: u64,
+        }
+        impl Component for StaleHinter {
+            fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+                self.ticks += 1;
+            }
+            fn name(&self) -> &str {
+                "stale-hinter"
+            }
+            fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+                // Deliberately broken: always claims a wake in the past.
+                Some(cycle.saturating_sub(1))
+            }
+        }
+        let mut sim = Sim::new();
+        let id = sim.add(StaleHinter { ticks: 0 });
+        sim.run(10);
+        // Exactness is preserved: the component still ticked every cycle.
+        assert_eq!(sim.component::<StaleHinter>(id).unwrap().ticks, 10);
+        let violations = sim.contract_violations();
+        assert!(!violations.is_empty(), "stale hint must be reported");
+        assert_eq!(violations[0].kind, ViolationKind::StaleHint);
+        assert_eq!(violations[0].name, "stale-hinter");
+        assert!(violations[0].to_string().contains("stale"));
+    }
+
+    /// Coupled shared state (an `Rc<RefCell<…>>` side channel) stays exact
+    /// under the event kernel when declared via `Sim::couple`.
+    #[test]
+    fn coupled_shared_state_matches_stepping() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        type Shared = Rc<RefCell<u64>>;
+
+        /// Writes to shared state at one fixed cycle, then sleeps forever.
+        struct Writer {
+            shared: Shared,
+            at: Cycle,
+        }
+        impl Component for Writer {
+            fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+                if ctx.cycle == self.at {
+                    *self.shared.borrow_mut() = ctx.cycle;
+                }
+            }
+            fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+                (cycle <= self.at).then_some(self.at)
+            }
+        }
+
+        /// Sleeps until woken; samples the shared state every tick.
+        struct Reader {
+            shared: Shared,
+            samples: Vec<(Cycle, u64)>,
+        }
+        impl Component for Reader {
+            fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+                self.samples.push((ctx.cycle, *self.shared.borrow()));
+            }
+            fn next_event(&self, _cycle: Cycle) -> Option<Cycle> {
+                None
+            }
+        }
+
+        let run = |mode: KernelMode| {
+            let shared: Shared = Rc::new(RefCell::new(0));
+            let mut sim = Sim::new();
+            sim.set_kernel_mode(mode);
+            let writer = sim.add(Writer {
+                shared: Rc::clone(&shared),
+                at: 400,
+            });
+            let reader = sim.add(Reader {
+                shared: Rc::clone(&shared),
+                samples: Vec::new(),
+            });
+            sim.couple(writer, reader);
+            sim.run(1_000);
+            let reader = sim.component::<Reader>(reader).unwrap();
+            // Drop cycle-0 samples (run-start tick-all); keep the rest.
+            reader
+                .samples
+                .iter()
+                .filter(|(c, _)| *c > 0)
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        let fast = run(KernelMode::Event);
+        // The reader saw the write: it was woken at the writer's cycle.
+        assert!(
+            fast.iter().any(|&(c, v)| c == 400 && v == 400),
+            "coupled reader must observe the write at its cycle: {fast:?}"
+        );
     }
 }

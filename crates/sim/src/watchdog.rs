@@ -85,6 +85,13 @@ impl Component for Watchdog {
         }
     }
 
+    fn backlog_event(&self, _cycle: Cycle) -> Option<Cycle> {
+        // Beats parked in flight do not move `total_pushes`; the opaque
+        // push-wakes plus the threshold hint above cover every transition,
+        // so backlog alone never requires a tick.
+        None
+    }
+
     fn on_fast_forward(&mut self, _from: Cycle, to: Cycle) {
         // Reconcile the per-cycle idle counter to what the elided ticks
         // (the last at cycle `to - 1`) would have left behind. No push can

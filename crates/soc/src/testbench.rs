@@ -302,7 +302,15 @@ impl Testbench {
             .map(|&id| sim.component::<RealmUnit>(id).expect("realm added").regs())
             .collect();
         let guard = BusGuard::new(RealmRegFile::new(unit_regs));
-        sim.add(MmioSubordinate::new(guard, CFG_BASE, CFG_SIZE, cfg_port));
+        let mmio = sim.add(MmioSubordinate::new(guard, CFG_BASE, CFG_SIZE, cfg_port));
+        // The register file and the REALM units share state outside the wire
+        // graph (`Rc<RefCell<RegState>>`), which the event kernel cannot see.
+        // Declaring the coupling flushes each unit before an MMIO tick (stats
+        // reads observe reconciled counters) and wakes it afterwards (config
+        // writes take effect immediately, even if the unit was asleep).
+        for &id in realm_ids.iter().flatten() {
+            sim.couple(mmio, id);
+        }
 
         // Protocol monitors, attached last so functional component indices
         // are identical with monitors on or off. Each manager's upstream

@@ -77,6 +77,13 @@ pub struct DmaModel {
     reads_in_flight: Vec<Transfer>,
     write_queue: VecDeque<Transfer>,
     write_state: Option<WriteState>,
+    /// Whether the last tick's AW/W/AR push attempt hit a full wire. A full
+    /// wire only drains via a consumer pop, and pops wake sleeping
+    /// components, so a blocked engine can sleep instead of retrying every
+    /// cycle — the refinement that lets a budget-throttled DMA quiesce.
+    aw_blocked: bool,
+    w_blocked: bool,
+    ar_blocked: bool,
     b_outstanding: u64,
     transfers_completed: u64,
     bytes_read: u64,
@@ -109,6 +116,9 @@ impl DmaModel {
             reads_in_flight: Vec::new(),
             write_queue: VecDeque::new(),
             write_state: None,
+            aw_blocked: false,
+            w_blocked: false,
+            ar_blocked: false,
             b_outstanding: 0,
             transfers_completed: 0,
             bytes_read: 0,
@@ -184,6 +194,12 @@ impl DmaModel {
 
 impl Component for DmaModel {
     fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        // Recomputed below at each push attempt; an unattempted channel is
+        // unblocked by definition (its gate is tracked by `next_event`).
+        self.aw_blocked = false;
+        self.w_blocked = false;
+        self.ar_blocked = false;
+
         // Collect read data, demultiplexed by transaction ID.
         if let Some(r) = ctx.pool.pop(self.port.r, ctx.cycle) {
             if let Some(idx) = self.reads_in_flight.iter().position(|t| t.id == r.id) {
@@ -202,26 +218,29 @@ impl Component for DmaModel {
         if ctx.cycle >= self.cfg.start_cycle
             && self.more_reads_allowed()
             && self.reads_in_flight.len() < self.cfg.outstanding
-            && ctx.pool.can_push(self.port.ar, ctx.cycle)
         {
-            let (src, dst) = self.route(self.issued_reads);
-            let id = self.free_ids.pop().expect("in-flight below outstanding");
-            let ar = ArBeat::new(
-                id,
-                src,
-                BurstLen::new(self.cfg.burst_beats).expect("validated in new"),
-                BurstSize::bus64(),
-                BurstKind::Incr,
-            );
-            debug_assert!(ar.validate().is_ok(), "DMA burst must be legal: {ar:?}");
-            ctx.pool.push(self.port.ar, ctx.cycle, ar);
-            self.reads_in_flight.push(Transfer {
-                id,
-                dst,
-                expected_beats: self.cfg.burst_beats,
-                data: Vec::with_capacity(self.cfg.burst_beats as usize),
-            });
-            self.issued_reads += 1;
+            if ctx.pool.can_push(self.port.ar, ctx.cycle) {
+                let (src, dst) = self.route(self.issued_reads);
+                let id = self.free_ids.pop().expect("in-flight below outstanding");
+                let ar = ArBeat::new(
+                    id,
+                    src,
+                    BurstLen::new(self.cfg.burst_beats).expect("validated in new"),
+                    BurstSize::bus64(),
+                    BurstKind::Incr,
+                );
+                debug_assert!(ar.validate().is_ok(), "DMA burst must be legal: {ar:?}");
+                ctx.pool.push(self.port.ar, ctx.cycle, ar);
+                self.reads_in_flight.push(Transfer {
+                    id,
+                    dst,
+                    expected_beats: self.cfg.burst_beats,
+                    data: Vec::with_capacity(self.cfg.burst_beats as usize),
+                });
+                self.issued_reads += 1;
+            } else {
+                self.ar_blocked = true;
+            }
         }
 
         // Write engine: one write burst streaming at a time.
@@ -243,6 +262,7 @@ impl Component for DmaModel {
                     ctx.pool.push(self.port.aw, ctx.cycle, aw);
                     Some(WriteState::Stream { data, next: 0 })
                 } else {
+                    self.aw_blocked = true;
                     Some(WriteState::IssueAw { aw, data })
                 }
             }
@@ -262,6 +282,7 @@ impl Component for DmaModel {
                         })
                     }
                 } else {
+                    self.w_blocked = true;
                     Some(WriteState::Stream { data, next })
                 }
             }
@@ -284,16 +305,32 @@ impl Component for DmaModel {
     }
 
     fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
-        // A write burst is queued or mid-stream: wants to push now.
-        if self.write_state.is_some() || !self.write_queue.is_empty() {
-            return Some(cycle);
+        // The write engine wants to push — but if its last attempt hit a
+        // full wire, only a consumer pop can change that, and pops wake
+        // sleepers, so a blocked engine need not spin.
+        match &self.write_state {
+            Some(WriteState::IssueAw { .. }) if !self.aw_blocked => return Some(cycle),
+            Some(WriteState::Stream { .. }) if !self.w_blocked => return Some(cycle),
+            Some(_) => {}
+            None => {
+                if !self.write_queue.is_empty() {
+                    // Promoting a queued transfer into the engine is itself
+                    // a state change.
+                    return Some(cycle);
+                }
+            }
         }
         // An issue slot is open and more reads are wanted; before the start
-        // window the engine sleeps until `start_cycle`.
-        if self.more_reads_allowed() && self.reads_in_flight.len() < self.cfg.outstanding {
+        // window the engine sleeps until `start_cycle`, and behind a full
+        // AR wire it sleeps until the pop that drains it.
+        if self.more_reads_allowed()
+            && self.reads_in_flight.len() < self.cfg.outstanding
+            && !self.ar_blocked
+        {
             return Some(self.cfg.start_cycle.max(cycle));
         }
-        // Blocked on R/B beats (or fully drained): purely reactive.
+        // Blocked on wire capacity or R/B beats (or fully drained): purely
+        // reactive.
         None
     }
 }
