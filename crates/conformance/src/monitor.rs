@@ -16,7 +16,7 @@ use axi4::{ArBeat, AwBeat, BBeat, ProtocolError, RBeat, TxnId, WBeat};
 use axi_sim::{AxiBundle, ChannelPool, Component, ComponentId, Cycle, Sim, TickCtx};
 
 /// The AXI4 protocol rules a [`ProtocolMonitor`] enforces.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Rule {
     /// AW burst parameters violate the AXI4 burst rules (length, size,
     /// WRAP/FIXED constraints, exclusive-access limits).
@@ -176,6 +176,9 @@ pub struct ProtocolMonitor {
     bundle: AxiBundle,
     violations: Vec<Violation>,
     violations_dropped: u64,
+    // Exact per-rule observation counts, unaffected by the MAX_VIOLATIONS
+    // retention bound — the rule axis of the coverage signature.
+    rule_hits: BTreeMap<Rule, u64>,
     counters: PortCounters,
     // Outstanding writes in AW order. W carries no ID in AXI4 and this
     // workspace issues AW before its W burst, so data beats attach to the
@@ -209,6 +212,7 @@ impl ProtocolMonitor {
             bundle,
             violations: Vec::new(),
             violations_dropped: 0,
+            rule_hits: BTreeMap::new(),
             counters: PortCounters::default(),
             writes: VecDeque::new(),
             pending_b: BTreeMap::new(),
@@ -268,7 +272,16 @@ impl ProtocolMonitor {
         self.outstanding() == 0
     }
 
+    /// Exact per-rule observation counts (not subject to the
+    /// `MAX_VIOLATIONS` retention bound on stored records).
+    pub fn rule_hits(&self) -> &BTreeMap<Rule, u64> {
+        &self.rule_hits
+    }
+
     fn record(&mut self, violation: Violation) {
+        // Count before the retention bound so rule_hits stays exact even
+        // when the stored-record list saturates.
+        *self.rule_hits.entry(violation.rule).or_insert(0) += 1;
         if self.violations.len() < MAX_VIOLATIONS {
             self.violations.push(violation);
         } else {
@@ -503,5 +516,23 @@ impl Component for ProtocolMonitor {
     // require a monitor tick.
     fn backlog_event(&self, _cycle: Cycle) -> Option<Cycle> {
         None
+    }
+
+    fn coverage(&self, map: &mut axi_sim::CoverageMap) {
+        // Rule coverage: which of the 12 protocol rules this port has
+        // *observed firing*, exact counts. Channel-activity keys record
+        // which request/response shapes the port carried at all — error
+        // responses get their own key since a DECERR path is behaviour a
+        // clean run never exercises.
+        let prefix = format!("conf.{}", self.name);
+        for (rule, hits) in &self.rule_hits {
+            map.add(format!("{prefix}.rule.{}", rule.label()), *hits);
+        }
+        map.add(format!("{prefix}.aw"), self.counters.aw_bursts);
+        map.add(format!("{prefix}.ar"), self.counters.ar_bursts);
+        map.add(format!("{prefix}.w"), self.counters.w_beats);
+        map.add(format!("{prefix}.r"), self.counters.r_beats);
+        map.add(format!("{prefix}.b"), self.counters.b_resps);
+        map.add(format!("{prefix}.err"), self.counters.err_resps);
     }
 }

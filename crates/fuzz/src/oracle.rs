@@ -1,0 +1,219 @@
+//! The differential bandwidth-bound oracle.
+//!
+//! The paper's reservation guarantee: a feasible configuration grants
+//! every regulated manager at least its budget `e` per period `P` once
+//! backlogged. For the rig's strictly single-outstanding scripted
+//! managers that guarantee converts into an *additive completion-time
+//! bound*: every cycle of a manager's run falls into one of a handful of
+//! buckets, each individually bounded —
+//!
+//! - **scripted idle**: `Wait` ops, exactly `waits` cycles;
+//! - **budget-gated**: cycles spent isolated with the budget depleted.
+//!   The budget replenishes in full on the period grid and a fragment
+//!   may start whenever budget remains, so each depletion stretch lasts
+//!   under one period and consumed a full budget — at most
+//!   `ceil(D / e) + 1` stretches for `D` demanded bytes
+//!   ([`realm_lint::drain_bound_cycles`]);
+//! - **own transport**: per-op round-trip latency through REALM →
+//!   crossbar → memory (the direct path measures 4–8 cycles; the
+//!   constant below is a generous multiple), plus per-beat streaming
+//!   and per-fragment re-arbitration overhead;
+//! - **interference**: cycles another manager holds a shared resource.
+//!   Round-robin arbitration at fragment granularity means each foreign
+//!   beat/fragment/op blocks this manager O(1) cycles at each of the
+//!   finitely many shared channels.
+//!
+//! Sum the buckets, add fixed slack, and any feasible simulated run that
+//! finishes *later* than the sum exposes a real bug — in the simulator,
+//! the regulator, or the bound itself. Infeasible configurations
+//! (lint's `budget-infeasible` / `budget-oversubscribed`) carry no
+//! guarantee and are not checked.
+
+use crate::rig::RunOutcome;
+use crate::spec::SystemSpec;
+
+/// Per-op round-trip allowance in cycles (direct path is 4–8; doubled
+/// hops plus queueing stay well under this).
+const PER_OP: u64 = 48;
+/// Per-own-beat streaming allowance.
+const PER_BEAT: u64 = 4;
+/// Per-own-fragment re-arbitration allowance.
+const PER_FRAG: u64 = 8;
+/// Interference allowance per foreign beat / fragment / op.
+const FOREIGN_BEAT: u64 = 8;
+const FOREIGN_FRAG: u64 = 16;
+const FOREIGN_OP: u64 = 32;
+/// Fixed slack: pipeline fill, period-grid misalignment, rounding.
+const SLACK: u64 = 1024;
+
+/// The oracle's verdict on one manager.
+#[derive(Clone, Copy, Debug)]
+pub struct ManagerCheck {
+    /// Manager index in the spec.
+    pub manager: usize,
+    /// Analytical completion-cycle bound.
+    pub bound: u64,
+    /// Simulated completion cycle.
+    pub finish: u64,
+    /// `finish <= bound` — the guarantee held.
+    pub ok: bool,
+}
+
+/// The oracle's verdict on one run.
+#[derive(Clone, Debug, Default)]
+pub struct OracleVerdict {
+    /// `true` when lint's budget rules declared the spec feasible (the
+    /// precondition for any check below).
+    pub feasible: bool,
+    /// One entry per *checked* manager: regulated managers with at least
+    /// one transfer, in a feasible system.
+    pub checked: Vec<ManagerCheck>,
+}
+
+impl OracleVerdict {
+    /// Checks that held.
+    pub fn passed(&self) -> usize {
+        self.checked.iter().filter(|c| c.ok).count()
+    }
+
+    /// Checks that failed — real bugs, every one.
+    pub fn violations(&self) -> Vec<ManagerCheck> {
+        self.checked.iter().filter(|c| !c.ok).copied().collect()
+    }
+}
+
+/// The analytical completion-cycle bound for manager `index` of `spec`,
+/// or `None` when no bound applies (unregulated, or no transfers).
+pub fn completion_bound(spec: &SystemSpec, index: usize) -> Option<u64> {
+    let mgr = &spec.managers[index];
+    let own = mgr.profile();
+    if own.transfers == 0 {
+        return None;
+    }
+    let budget_term = realm_lint::drain_bound_cycles(own.bytes, mgr.budget, mgr.period)?;
+    let mut bound = own
+        .wait_cycles
+        .checked_add(budget_term)?
+        .checked_add(own.transfers.checked_mul(PER_OP)?)?
+        .checked_add(own.beats.checked_mul(PER_BEAT)?)?
+        .checked_add(own.fragments.checked_mul(PER_FRAG)?)?
+        .checked_add(SLACK)?;
+    for (j, other) in spec.managers.iter().enumerate() {
+        if j == index {
+            continue;
+        }
+        let theirs = other.profile();
+        bound = bound
+            .checked_add(theirs.beats.checked_mul(FOREIGN_BEAT)?)?
+            .checked_add(theirs.fragments.checked_mul(FOREIGN_FRAG)?)?
+            .checked_add(theirs.transfers.checked_mul(FOREIGN_OP)?)?
+            .checked_add(theirs.wait_cycles)?;
+    }
+    Some(bound)
+}
+
+/// Runs the differential check: for every regulated manager of a
+/// feasible spec, the simulated completion cycle must not exceed the
+/// analytical bound.
+pub fn check(spec: &SystemSpec, outcome: &RunOutcome) -> OracleVerdict {
+    let feasible = spec.feasible();
+    let mut verdict = OracleVerdict {
+        feasible,
+        checked: Vec::new(),
+    };
+    if !feasible {
+        return verdict;
+    }
+    for (i, result) in outcome.managers.iter().enumerate() {
+        let Some(bound) = completion_bound(spec, i) else {
+            continue;
+        };
+        // A manager that never completed its script charges the run's
+        // full final cycle, so a hang surfaces as a visible violation.
+        let expected = spec.managers[i].profile().transfers as usize;
+        let finish = if result.completions < expected {
+            outcome.cycle
+        } else {
+            result
+                .finish
+                .expect("transfers > 0 means completions exist")
+        };
+        verdict.checked.push(ManagerCheck {
+            manager: i,
+            bound,
+            finish,
+            ok: finish <= bound,
+        });
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rig::run_spec;
+    use crate::spec::{ManagerSpec, SystemSpec};
+
+    fn regulated(seed: u64, budget: u64, period: u64) -> ManagerSpec {
+        let mut m = ManagerSpec::baseline(seed);
+        m.budget = budget;
+        m.period = period;
+        m
+    }
+
+    #[test]
+    fn bound_holds_on_a_feasible_single_manager() {
+        let spec = SystemSpec {
+            managers: vec![regulated(0xFEED, 512, 256)],
+        };
+        assert!(spec.feasible());
+        let out = run_spec(&spec);
+        assert!(out.clean(), "{}", out.conformance);
+        let verdict = check(&spec, &out);
+        assert_eq!(verdict.checked.len(), 1);
+        assert!(
+            verdict.violations().is_empty(),
+            "bound must hold: {:?}",
+            verdict.checked
+        );
+    }
+
+    #[test]
+    fn infeasible_specs_are_gated_off() {
+        let spec = SystemSpec {
+            managers: vec![regulated(1, 9000, 1000)],
+        };
+        assert!(!spec.feasible());
+        let out = run_spec(&spec);
+        let verdict = check(&spec, &out);
+        assert!(!verdict.feasible);
+        assert!(verdict.checked.is_empty());
+    }
+
+    #[test]
+    fn unregulated_managers_carry_no_bound() {
+        let spec = SystemSpec::baseline(2);
+        assert!(spec.feasible(), "no reservations, trivially feasible");
+        let out = run_spec(&spec);
+        let verdict = check(&spec, &out);
+        assert!(verdict.feasible);
+        assert!(verdict.checked.is_empty(), "nothing regulated to check");
+    }
+
+    #[test]
+    fn bound_holds_under_interference() {
+        let spec = SystemSpec {
+            managers: vec![regulated(3, 1024, 512), ManagerSpec::baseline(4)],
+        };
+        assert!(spec.feasible());
+        let out = run_spec(&spec);
+        assert!(out.clean(), "{}", out.conformance);
+        let verdict = check(&spec, &out);
+        assert_eq!(verdict.checked.len(), 1, "only the regulated manager");
+        assert!(
+            verdict.violations().is_empty(),
+            "bound must absorb interference: {:?}",
+            verdict.checked
+        );
+    }
+}

@@ -1,0 +1,381 @@
+//! Fuzzable system specifications: N scripted managers, each behind its
+//! own REALM unit, sharing one memory through a crossbar.
+//!
+//! A [`SystemSpec`] is the campaign's genome — small, validated, and
+//! deterministically serializable, so corpus entries check into
+//! `tests/corpus/` as plain text and replay bit-identically.
+
+use axi4::Addr;
+use axi_realm::{DesignConfig, RegionConfig, RuntimeConfig};
+use axi_traffic::{FuzzSpec, Op};
+
+/// Base address of the single shared memory window every rig maps.
+pub const WINDOW_BASE: Addr = Addr::new(0x8000_0000);
+/// Size of the shared memory window in bytes.
+pub const WINDOW_SIZE: u64 = 64 * 1024;
+/// Upper bound on managers per system (the campaign's topology axis).
+pub const MAX_MANAGERS: usize = 4;
+/// Upper bound on generated ops per manager — keeps every run short.
+pub const MAX_OPS: usize = 48;
+/// Upper bound on burst length in beats.
+pub const MAX_BEATS: u16 = 32;
+/// Upper bound on a `Wait` op's idle gap in cycles.
+pub const MAX_WAIT: u64 = 16;
+/// Upper bound on a regulation period in cycles. Together with the
+/// minimum budget (one bus beat) this caps a run's drain time, so a
+/// fixed simulation-cycle cap suffices for every valid spec.
+pub const MAX_PERIOD: u64 = 1024;
+/// Minimum budget when regulated: one 64-bit bus beat.
+pub const MIN_BUDGET: u64 = 8;
+
+/// Traffic and regulation parameters for one manager.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ManagerSpec {
+    /// RNG seed for the generated script.
+    pub seed: u64,
+    /// Ops in the script (1..=[`MAX_OPS`]).
+    pub ops: usize,
+    /// Maximum burst length in beats (1..=[`MAX_BEATS`]).
+    pub max_beats: u16,
+    /// Maximum idle gap in cycles (0 disables waits).
+    pub max_wait: u64,
+    /// 8-aligned offset of the manager's traffic window within the
+    /// shared memory window.
+    pub base_off: u64,
+    /// Traffic-window size in bytes (>= 4096, fits inside the window).
+    pub win_size: u64,
+    /// REALM fragmentation granularity in beats (1..=256).
+    pub frag_len: u16,
+    /// Budget in bytes per period; 0 = unregulated.
+    pub budget: u64,
+    /// Replenish period in cycles; 0 = unregulated.
+    pub period: u64,
+}
+
+impl ManagerSpec {
+    /// A small unregulated baseline manager.
+    pub fn baseline(seed: u64) -> Self {
+        Self {
+            seed,
+            ops: 8,
+            max_beats: 8,
+            max_wait: 4,
+            base_off: 0,
+            win_size: WINDOW_SIZE,
+            frag_len: 256,
+            budget: 0,
+            period: 0,
+        }
+    }
+
+    /// `true` if this manager carries a bandwidth reservation.
+    pub fn regulated(&self) -> bool {
+        self.budget > 0 && self.period > 0
+    }
+
+    /// Checks every invariant the rig and generators rely on.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1..=MAX_OPS).contains(&self.ops) {
+            return Err(format!("ops {} outside 1..={MAX_OPS}", self.ops));
+        }
+        if !(1..=MAX_BEATS).contains(&self.max_beats) {
+            return Err(format!(
+                "max_beats {} outside 1..={MAX_BEATS}",
+                self.max_beats
+            ));
+        }
+        if self.max_wait > MAX_WAIT {
+            return Err(format!("max_wait {} above {MAX_WAIT}", self.max_wait));
+        }
+        if !self.base_off.is_multiple_of(8) {
+            return Err(format!("base_off {} not 8-aligned", self.base_off));
+        }
+        if self.win_size < 4096 {
+            return Err(format!("win_size {} below one 4 KiB page", self.win_size));
+        }
+        if self.base_off + self.win_size > WINDOW_SIZE {
+            return Err(format!(
+                "window [{}, {}) leaves the {WINDOW_SIZE} B shared window",
+                self.base_off,
+                self.base_off + self.win_size
+            ));
+        }
+        if !(1..=256).contains(&self.frag_len) {
+            return Err(format!("frag_len {} outside 1..=256", self.frag_len));
+        }
+        match (self.budget, self.period) {
+            (0, 0) => {}
+            (b, p) if b >= MIN_BUDGET && (1..=MAX_PERIOD).contains(&p) => {}
+            (b, p) => {
+                return Err(format!(
+                    "regulation ({b} B / {p} cyc) must be (0, 0) or \
+                     (>={MIN_BUDGET}, 1..={MAX_PERIOD})"
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// The script generator this manager drives.
+    pub fn fuzz_spec(&self) -> FuzzSpec {
+        let mut spec = FuzzSpec::new(Addr::new(WINDOW_BASE.raw() + self.base_off), self.win_size)
+            .with_ops(self.ops)
+            .with_max_beats(self.max_beats);
+        spec.max_wait = self.max_wait;
+        spec
+    }
+
+    /// The generated script (pure in the spec).
+    pub fn script(&self) -> Vec<Op> {
+        self.fuzz_spec().generate(self.seed)
+    }
+
+    /// The REALM runtime configuration for this manager's unit: region 0
+    /// regulates the whole shared window with this spec's reservation.
+    pub fn runtime(&self, design: &DesignConfig) -> RuntimeConfig {
+        let mut runtime = RuntimeConfig::open(design.num_regions);
+        runtime.frag_len = self.frag_len;
+        runtime.regions[0] = RegionConfig {
+            base: WINDOW_BASE,
+            size: WINDOW_SIZE,
+            budget_max: self.budget,
+            period: self.period,
+        };
+        runtime
+    }
+
+    /// Aggregate shape of the generated traffic, for the analytical bound.
+    pub fn profile(&self) -> TrafficProfile {
+        let mut profile = TrafficProfile::default();
+        for op in self.script() {
+            match op {
+                Op::Wait(cycles) => profile.wait_cycles += cycles,
+                Op::Read(ar) => profile.count_burst(u64::from(ar.len.beats()), self.frag_len),
+                Op::Write(txn) => {
+                    profile.count_burst(txn.data().len() as u64, self.frag_len);
+                }
+            }
+        }
+        profile
+    }
+}
+
+/// Aggregate shape of one manager's traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficProfile {
+    /// Transfer ops (reads + writes).
+    pub transfers: u64,
+    /// Total data beats across all bursts.
+    pub beats: u64,
+    /// Total payload bytes (beats x 8 on the 64-bit bus).
+    pub bytes: u64,
+    /// Total scripted idle cycles.
+    pub wait_cycles: u64,
+    /// Upper bound on REALM fragments: `ceil(beats / frag_len)` per burst.
+    pub fragments: u64,
+}
+
+impl TrafficProfile {
+    fn count_burst(&mut self, beats: u64, frag_len: u16) {
+        self.transfers += 1;
+        self.beats += beats;
+        self.bytes += beats * 8;
+        self.fragments += beats.div_ceil(u64::from(frag_len));
+    }
+}
+
+/// A complete fuzzable system: 1..=[`MAX_MANAGERS`] managers sharing one
+/// memory window through a crossbar, each behind its own REALM unit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SystemSpec {
+    /// Per-manager traffic and regulation parameters.
+    pub managers: Vec<ManagerSpec>,
+}
+
+impl SystemSpec {
+    /// A single-manager baseline system.
+    pub fn baseline(seed: u64) -> Self {
+        Self {
+            managers: vec![ManagerSpec::baseline(seed)],
+        }
+    }
+
+    /// Checks system-level and per-manager invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1..=MAX_MANAGERS).contains(&self.managers.len()) {
+            return Err(format!(
+                "{} managers outside 1..={MAX_MANAGERS}",
+                self.managers.len()
+            ));
+        }
+        for (i, mgr) in self.managers.iter().enumerate() {
+            mgr.validate().map_err(|e| format!("manager {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// The lint system model of the rig this spec builds: one shared
+    /// window served at the 64-bit bus rate, one REALM realm per manager,
+    /// crossbar ID space sized like the rig's.
+    pub fn model(&self) -> realm_lint::SystemModel {
+        let design = DesignConfig::cheshire();
+        let mut model = realm_lint::SystemModel::new()
+            .window("mem", WINDOW_BASE, WINDOW_SIZE)
+            .bandwidth("mem", 8)
+            .id_space(15, self.managers.len());
+        for (i, mgr) in self.managers.iter().enumerate() {
+            model = model.realm(format!("m{i}.realm"), design, mgr.runtime(&design));
+        }
+        model
+    }
+
+    /// The feasibility half of the differential oracle: `true` when the
+    /// budget-arithmetic rules find nothing — every reservation fits its
+    /// window (`e <= P * W`) and the reservations jointly fit the service
+    /// rate (`sum e_i / P_i <= W`). Only then does the paper's
+    /// min-granted-bandwidth guarantee apply.
+    pub fn feasible(&self) -> bool {
+        realm_lint::analyze_budgets(&self.model())
+            .diagnostics()
+            .is_empty()
+    }
+
+    /// Deterministic text form, one `manager` line per manager — the
+    /// `tests/corpus/` on-disk format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# realm-fuzz system spec v1\n");
+        for m in &self.managers {
+            out.push_str(&format!(
+                "manager seed={:#x} ops={} max_beats={} max_wait={} base_off={} \
+                 win={} frag={} budget={} period={}\n",
+                m.seed,
+                m.ops,
+                m.max_beats,
+                m.max_wait,
+                m.base_off,
+                m.win_size,
+                m.frag_len,
+                m.budget,
+                m.period
+            ));
+        }
+        out
+    }
+
+    /// Parses the [`SystemSpec::to_text`] format (and validates).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        fn field(map: &[(&str, &str)], key: &str) -> Result<u64, String> {
+            let raw = map
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| format!("missing field `{key}`"))?;
+            let parsed = match raw.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => raw.parse(),
+            };
+            parsed.map_err(|e| format!("field `{key}`: {e}"))
+        }
+        let mut managers = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut tokens = line.split_whitespace();
+            match tokens.next() {
+                Some("manager") => {}
+                other => return Err(format!("expected `manager`, got {other:?}")),
+            }
+            let pairs: Vec<(&str, &str)> = tokens
+                .map(|t| t.split_once('=').ok_or_else(|| format!("bad token `{t}`")))
+                .collect::<Result<_, _>>()?;
+            managers.push(ManagerSpec {
+                seed: field(&pairs, "seed")?,
+                ops: field(&pairs, "ops")? as usize,
+                max_beats: field(&pairs, "max_beats")? as u16,
+                max_wait: field(&pairs, "max_wait")?,
+                base_off: field(&pairs, "base_off")?,
+                win_size: field(&pairs, "win")?,
+                frag_len: field(&pairs, "frag")? as u16,
+                budget: field(&pairs, "budget")?,
+                period: field(&pairs, "period")?,
+            });
+        }
+        let spec = Self { managers };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_validates_and_roundtrips() {
+        let spec = SystemSpec::baseline(0xA11CE);
+        spec.validate().expect("baseline is valid");
+        let text = spec.to_text();
+        let back = SystemSpec::parse(&text).expect("roundtrip parses");
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let mut bad = SystemSpec::baseline(1);
+        bad.managers[0].base_off = 3;
+        assert!(bad.validate().is_err(), "unaligned base_off");
+
+        let mut bad = SystemSpec::baseline(1);
+        bad.managers[0].budget = 4;
+        bad.managers[0].period = 100;
+        assert!(bad.validate().is_err(), "budget below one beat");
+
+        let mut bad = SystemSpec::baseline(1);
+        bad.managers[0].win_size = WINDOW_SIZE + 4096;
+        assert!(bad.validate().is_err(), "window overflows shared window");
+
+        let mut bad = SystemSpec::baseline(1);
+        bad.managers = vec![];
+        assert!(bad.validate().is_err(), "no managers");
+    }
+
+    #[test]
+    fn feasibility_matches_the_paper_arithmetic() {
+        // 8 B/cycle window: e = P * W exactly is feasible...
+        let mut spec = SystemSpec::baseline(2);
+        spec.managers[0].budget = 8 * 1000;
+        spec.managers[0].period = 1000;
+        assert!(spec.feasible(), "budget exactly at capacity is feasible");
+        // ...one byte beyond is not (checked in exact arithmetic).
+        spec.managers[0].budget = 8 * 1000 + 8;
+        assert!(!spec.feasible(), "budget above capacity is infeasible");
+        // Two managers jointly oversubscribing trip the aggregate rule
+        // even though each reservation fits on its own.
+        let mut spec = SystemSpec {
+            managers: vec![ManagerSpec::baseline(3), ManagerSpec::baseline(4)],
+        };
+        for m in &mut spec.managers {
+            m.budget = 5 * 1000;
+            m.period = 1000;
+        }
+        assert!(!spec.feasible(), "5+5 B/cycle oversubscribes 8 B/cycle");
+    }
+
+    #[test]
+    fn profile_counts_script_shape() {
+        let spec = ManagerSpec::baseline(0xBEEF);
+        let profile = spec.profile();
+        let script = spec.script();
+        assert_eq!(
+            profile.transfers as usize,
+            script
+                .iter()
+                .filter(|op| !matches!(op, Op::Wait(_)))
+                .count()
+        );
+        assert_eq!(profile.bytes, profile.beats * 8);
+        assert!(profile.fragments >= profile.transfers);
+    }
+}

@@ -67,6 +67,6 @@ mod system;
 
 pub use diag::{Diagnostic, Report, Severity};
 pub use gate::{apply, enabled_by_env, verbose_by_env};
-pub use rules::analyze;
+pub use rules::{analyze, analyze_budgets, drain_bound_cycles};
 pub use scan::{scan_source, scan_workspace, violations_to_json, Violation};
 pub use system::{AddrWindow, RealmSpec, SystemModel};

@@ -359,6 +359,48 @@ fn check_regions(model: &SystemModel, report: &mut Report) {
     }
 }
 
+/// Runs only the budget-arithmetic rules (`budget-infeasible`,
+/// `budget-oversubscribed`) over `model` — the feasibility half of the
+/// differential bandwidth-bound oracle.
+///
+/// A configuration is *feasible* exactly when this report is empty: every
+/// reservation fits its window's service capacity (`e ≤ P · W`) and the
+/// reservations jointly fit the service rate (`Σ e_i / P_i ≤ W`, checked
+/// in exact rational arithmetic). When feasible, the paper's guarantee
+/// applies — each regulated manager must be *granted* at least its budget
+/// per period once backlogged — and a simulated run that undershoots the
+/// resulting completion-time bound is a real bug in either the simulator
+/// or the bound (see `realm-fuzz`).
+pub fn analyze_budgets(model: &SystemModel) -> Report {
+    let mut report = Report::new();
+    check_budgets(model, &mut report);
+    report
+}
+
+/// The analytical worst-case cycle count for a *backlogged* regulated
+/// manager to be granted `demand` bytes under a feasible reservation of
+/// `budget` bytes per `period` cycles, counted from the period in which
+/// the backlog forms.
+///
+/// Derivation: the budget replenishes to its full value on the period
+/// grid and a fragment may start whenever any budget remains, so every
+/// *complete* period that begins with backlog drains at least
+/// `min(budget, remaining)` bytes. The backlog may form mid-period
+/// (worth at most one extra period) and the final grant completes within
+/// the period it starts in — hence `(ceil(demand / budget) + 1) · period`
+/// periods-worth of cycles suffice for the grants alone. Transport
+/// latency downstream of the regulator is *not* included; callers add
+/// their own path-latency terms.
+///
+/// Returns `None` for unregulated configurations (`budget == 0` or
+/// `period == 0`), where no reservation — and thus no bound — exists.
+pub fn drain_bound_cycles(demand: u64, budget: u64, period: u64) -> Option<u64> {
+    if budget == 0 || period == 0 {
+        return None;
+    }
+    Some((demand.div_ceil(budget) + 1).saturating_mul(period))
+}
+
 /// `budget-infeasible` / `budget-oversubscribed`: the paper's bandwidth
 /// reservation gives each manager `e_i` bytes per period `P_i`; a single
 /// reservation exceeding what the subordinate can serve in one period

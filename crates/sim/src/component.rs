@@ -2,6 +2,7 @@
 
 use std::any::Any;
 
+use crate::coverage::CoverageMap;
 use crate::pool::ChannelPool;
 use crate::topology::PortDecl;
 use crate::Cycle;
@@ -129,6 +130,18 @@ pub trait Component: Any {
     /// the default is a no-op.
     fn on_fast_forward(&mut self, from: Cycle, to: Cycle) {
         let _ = (from, to);
+    }
+
+    /// Exports this component's coverage counters into `map` (see
+    /// [`Sim::coverage`](crate::Sim::coverage)).
+    ///
+    /// Implementations should emit dotted keys prefixed with the instance
+    /// name and only re-read counters the component already maintains —
+    /// the hook is called after (or between) runs, never on the per-cycle
+    /// hot path, and must not mutate behaviour. The default exports
+    /// nothing, which keeps legacy components coverage-opaque.
+    fn coverage(&self, map: &mut CoverageMap) {
+        let _ = map;
     }
 }
 

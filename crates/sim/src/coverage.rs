@@ -1,0 +1,136 @@
+//! Post-run coverage harvesting for guided fuzzing.
+//!
+//! A [`CoverageMap`] is a flat, deterministic `key -> count` table filled
+//! from counters components already maintain during a run (arbiter grants,
+//! protocol-rule observations, wire activity). Harvesting is pull-based:
+//! [`Sim::coverage`](crate::Sim::coverage) walks every component's
+//! [`Component::coverage`](crate::Component::coverage) hook after (or
+//! during) a run, so the hot simulation path pays nothing for coverage —
+//! the counters are the same ones diagnostics and reports read.
+//!
+//! The *signature* of a run is the sorted set of keys with a nonzero
+//! count. A campaign driver treats a seed that produces previously unseen
+//! keys as having discovered new behaviour, regardless of the counts.
+
+use std::collections::BTreeMap;
+
+/// A deterministic `key -> count` coverage table.
+///
+/// Keys are dotted paths naming the behaviour observed, e.g.
+/// `xbar2x1.m0.ar.win` (manager 0 won an AR grant),
+/// `conf.mgr.rule.AW_BURST_ILLEGAL` (a monitor rule fired), or
+/// `edge.AW[3]` (topology wire 3 on the AW channel carried a beat).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    counts: BTreeMap<String, u64>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` observations of `key`. Zero-count observations are
+    /// dropped so the signature only contains behaviour that happened.
+    pub fn add(&mut self, key: impl Into<String>, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(key.into()).or_insert(0) += n;
+    }
+
+    /// Records a single observation of `key`.
+    pub fn hit(&mut self, key: impl Into<String>) {
+        self.add(key, 1);
+    }
+
+    /// The count recorded for `key` (zero if never observed).
+    pub fn count(&self, key: &str) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct keys observed.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The underlying sorted `key -> count` table.
+    pub fn counts(&self) -> &BTreeMap<String, u64> {
+        &self.counts
+    }
+
+    /// The coverage signature: every observed key, sorted.
+    pub fn signature(&self) -> Vec<&str> {
+        self.counts.keys().map(String::as_str).collect()
+    }
+
+    /// A stable 64-bit hash of the signature (FNV-1a over the sorted
+    /// keys) — a compact corpus-dedup token. Counts are deliberately
+    /// excluded: two runs exercising the same behaviours with different
+    /// intensities share a signature.
+    pub fn signature_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for key in self.counts.keys() {
+            for byte in key.bytes().chain([0xff]) {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Folds another map's counts into this one.
+    pub fn merge(&mut self, other: &CoverageMap) {
+        for (key, n) in &other.counts {
+            self.add(key.clone(), *n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_counts_never_enter_the_signature() {
+        let mut map = CoverageMap::new();
+        map.add("a.b", 0);
+        assert!(map.is_empty());
+        map.hit("a.b");
+        map.add("a.c", 3);
+        assert_eq!(map.count("a.b"), 1);
+        assert_eq!(map.count("a.c"), 3);
+        assert_eq!(map.signature(), vec!["a.b", "a.c"]);
+    }
+
+    #[test]
+    fn signature_hash_ignores_counts_but_not_keys() {
+        let mut a = CoverageMap::new();
+        a.hit("x");
+        a.add("y", 7);
+        let mut b = CoverageMap::new();
+        b.add("x", 100);
+        b.hit("y");
+        assert_eq!(a.signature_hash(), b.signature_hash());
+        b.hit("z");
+        assert_ne!(a.signature_hash(), b.signature_hash());
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = CoverageMap::new();
+        a.add("k", 2);
+        let mut b = CoverageMap::new();
+        b.add("k", 3);
+        b.hit("only.b");
+        a.merge(&b);
+        assert_eq!(a.count("k"), 5);
+        assert_eq!(a.count("only.b"), 1);
+    }
+}

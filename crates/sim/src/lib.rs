@@ -43,6 +43,7 @@
 mod arb;
 mod bundle;
 mod component;
+mod coverage;
 mod pool;
 mod sim;
 mod topology;
@@ -54,7 +55,8 @@ mod wire;
 pub use arb::RoundRobin;
 pub use bundle::{AxiBundle, BundleCapacity};
 pub use component::{Component, TickCtx};
-pub use pool::{Channel, ChannelPool, PushRefusal, WireId};
+pub use coverage::CoverageMap;
+pub use pool::{Channel, ChannelPool, PushRefusal, WireActivity, WireId};
 pub use sim::{ComponentId, ContractViolation, KernelMode, KernelStats, Sim, ViolationKind};
 pub use topology::{PortDecl, PortDir, TopoComponent, TopoWire, Topology};
 pub use trace::{TraceChannel, TraceEvent, TracePayload, TraceProbe};

@@ -165,6 +165,19 @@ impl fmt::Display for PushRefusal {
 /// bump the overflow counter.
 const MAX_REFUSALS: usize = 256;
 
+/// Lifetime throughput of one wire, keyed the same way as
+/// [`TopoWire`](crate::TopoWire) — the coverage-harvest view of the pool
+/// (see [`ChannelPool::wire_activity`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireActivity {
+    /// Channel label: `"AW"`, `"W"`, `"B"`, `"AR"`, or `"R"`.
+    pub channel: &'static str,
+    /// Allocation index within the channel.
+    pub index: usize,
+    /// Beats ever accepted onto the wire.
+    pub pushes: u64,
+}
+
 /// Owns every wire in a simulated system and hands out typed [`WireId`]
 /// handles.
 ///
@@ -357,6 +370,26 @@ impl ChannelPool {
                 channel: T::LABEL,
                 index,
                 capacity: w.capacity(),
+            })
+        }
+        rows(&self.aw)
+            .chain(rows(&self.w))
+            .chain(rows(&self.b))
+            .chain(rows(&self.ar))
+            .chain(rows(&self.r))
+            .collect()
+    }
+
+    /// Throughput of every allocated wire, channel by channel in
+    /// AW/W/B/AR/R order — the wire side of a coverage harvest (see
+    /// [`Sim::coverage`](crate::Sim::coverage)). A wire with a nonzero
+    /// push count is a topology edge the run actually exercised.
+    pub fn wire_activity(&self) -> Vec<WireActivity> {
+        fn rows<T: Channel>(wires: &[Wire<T>]) -> impl Iterator<Item = WireActivity> + '_ {
+            wires.iter().enumerate().map(|(index, w)| WireActivity {
+                channel: T::LABEL,
+                index,
+                pushes: w.stats().total_pushed,
             })
         }
         rows(&self.aw)

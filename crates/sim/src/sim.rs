@@ -402,6 +402,27 @@ impl Sim {
         crate::Topology::collect(&self.components, &self.pool)
     }
 
+    /// Harvests the run's coverage: every component's
+    /// [`Component::coverage`](crate::Component::coverage) export, plus an
+    /// `edge.{channel}[{index}]` key for each pool wire that carried at
+    /// least one beat (the lint-topology edges the run exercised).
+    ///
+    /// Pull-based and side-effect free — callable between runs or after
+    /// completion without perturbing the simulation.
+    pub fn coverage(&self) -> crate::CoverageMap {
+        let mut map = crate::CoverageMap::new();
+        for component in &self.components {
+            component.coverage(&mut map);
+        }
+        for wire in self.pool.wire_activity() {
+            map.add(
+                format!("edge.{}[{}]", wire.channel, wire.index),
+                wire.pushes,
+            );
+        }
+        map
+    }
+
     /// Advances the simulation by one cycle, ticking every component once
     /// (the reference kernel). Interleaves exactly with event-driven runs:
     /// components a previous run left fast-forwarded are reconciled here.

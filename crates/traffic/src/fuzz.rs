@@ -7,11 +7,13 @@
 //! under any oracle (conformance monitors, data checks, watchdogs) is
 //! reproduced bit-identically from its printed seed.
 //!
-//! [`shrink`] then reduces a failing script to a minimal reproducer by
-//! greedy delta debugging: repeatedly delete chunks of shrinking size while
-//! the caller's oracle still reports failure. The oracle decides what
-//! "failing" means; this module never runs a simulation itself, which keeps
-//! the traffic crate independent of any checker.
+//! [`shrink`] then reduces a failing script to a minimal reproducer in two
+//! phases: greedy delta debugging first (repeatedly delete chunks of
+//! shrinking size while the caller's oracle still reports failure), then
+//! parameter minimization over the surviving ops (burst lengths and wait
+//! durations step toward 1 while the failure persists). The oracle decides
+//! what "failing" means; this module never runs a simulation itself, which
+//! keeps the traffic crate independent of any checker.
 
 use axi4::{Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, TxnId, WriteTxn};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -122,11 +124,17 @@ impl FuzzSpec {
 /// Greedily shrinks a failing script to a locally minimal reproducer.
 ///
 /// `still_fails` must return `true` when the given script still triggers
-/// the original failure. Chunks of decreasing size (half, quarter, …, one
-/// op) are deleted as long as the failure persists; the loop ends when no
-/// single op can be removed. The result is 1-minimal: removing any one
-/// remaining op makes the failure disappear (assuming a deterministic
-/// oracle).
+/// the original failure. Two phases:
+///
+/// 1. **Structural** delta debugging: chunks of decreasing size (half,
+///    quarter, …, one op) are deleted as long as the failure persists,
+///    until no single op can be removed — the surviving op *set* is
+///    1-minimal (assuming a deterministic oracle).
+/// 2. **Parameter** minimization: each surviving op's magnitudes (burst
+///    length in beats, wait duration in cycles) step toward 1 — jump to
+///    1, halve, decrement — keeping every step the oracle still accepts
+///    as failing. Addresses and IDs are preserved, and a shortened burst
+///    stays legal (same start, strictly contained footprint).
 ///
 /// The input must itself fail; callers should check
 /// `still_fails(script)` first and only shrink genuine failures.
@@ -165,7 +173,72 @@ pub fn shrink<F: FnMut(&[Op]) -> bool>(script: &[Op], mut still_fails: F) -> Vec
             break;
         }
     }
+    minimize_params(&mut current, &mut still_fails);
     current
+}
+
+/// Candidate smaller values for a magnitude `n > 1`, most aggressive
+/// first: 1, n/2, n-1 (deduplicated, all in `1..n`).
+fn smaller(n: u64) -> Vec<u64> {
+    let mut vals = Vec::new();
+    for v in [1, n / 2, n.saturating_sub(1)] {
+        if (1..n).contains(&v) && !vals.contains(&v) {
+            vals.push(v);
+        }
+    }
+    vals
+}
+
+/// Smaller-parameter variants of one op, most aggressive first.
+fn param_candidates(op: &Op) -> Vec<Op> {
+    match op {
+        Op::Wait(n) => smaller(*n).into_iter().map(Op::Wait).collect(),
+        Op::Read(ar) => smaller(u64::from(ar.len.beats()))
+            .into_iter()
+            .map(|beats| {
+                let mut shorter = *ar;
+                shorter.len = BurstLen::new(beats as u16).expect("1..n stays legal");
+                Op::Read(shorter)
+            })
+            .collect(),
+        Op::Write(txn) => smaller(u64::from(txn.aw().len.beats()))
+            .into_iter()
+            .map(|beats| {
+                let (mut aw, mut data) = txn.clone().into_parts();
+                aw.len = BurstLen::new(beats as u16).expect("1..n stays legal");
+                data.truncate(beats as usize);
+                data.last_mut().expect("beats >= 1").last = true;
+                Op::Write(WriteTxn::new(aw, data).expect("shortened burst stays legal"))
+            })
+            .collect(),
+    }
+}
+
+/// Phase 2 of [`shrink`]: greedily lowers each op's magnitudes while the
+/// oracle still fails. Every accepted step strictly decreases one
+/// magnitude, so the pass terminates; the outer loop re-sweeps until a
+/// full pass accepts nothing (oracles may couple ops).
+fn minimize_params<F: FnMut(&[Op]) -> bool>(current: &mut [Op], still_fails: &mut F) {
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for i in 0..current.len() {
+            loop {
+                let accepted = param_candidates(&current[i]).into_iter().find(|cand| {
+                    let mut candidate = current.to_vec();
+                    candidate[i] = cand.clone();
+                    still_fails(&candidate)
+                });
+                match accepted {
+                    Some(cand) => {
+                        current[i] = cand;
+                        progress = true;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +306,68 @@ mod tests {
         };
         let minimal = shrink(&script, |s| is_bad(s));
         assert_eq!(minimal.len(), 2);
+    }
+
+    #[test]
+    fn shrink_minimizes_parameters_after_structure() {
+        // Failure = the script reads from the window's upper half. The
+        // structural phase alone kept the culprit read with its original
+        // burst length; the parameter phase must shrink it to one beat.
+        let half = 0x8000_0000 + 32 * 1024;
+        let script = spec().with_ops(40).generate(3);
+        let is_bad = |s: &[Op]| {
+            s.iter()
+                .any(|op| matches!(op, Op::Read(ar) if ar.addr.raw() >= half))
+        };
+        // Precondition: this seed's culprit read is a multi-beat burst, so
+        // the parameter phase has real work to do.
+        let culprit_beats: Vec<u16> = script
+            .iter()
+            .filter_map(|op| match op {
+                Op::Read(ar) if ar.addr.raw() >= half => Some(ar.len.beats()),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            culprit_beats.iter().any(|&b| b > 1),
+            "seed must generate a multi-beat upper-half read (got {culprit_beats:?})"
+        );
+        let minimal = shrink(&script, |s| is_bad(s));
+        assert_eq!(minimal.len(), 1, "structural phase keeps one culprit");
+        let Op::Read(ar) = &minimal[0] else {
+            panic!("culprit must be a read, got {:?}", minimal[0]);
+        };
+        assert!(ar.addr.raw() >= half);
+        assert_eq!(
+            ar.len.beats(),
+            1,
+            "parameter phase must shrink the surviving burst to one beat"
+        );
+    }
+
+    #[test]
+    fn shrink_minimizes_wait_durations() {
+        // Failure = total wait time >= 5 cycles. Structure keeps some Wait
+        // ops; parameters must then descend to the smallest failing values.
+        let script = vec![
+            Op::Wait(40),
+            Op::Read(ArBeat::new(
+                TxnId::new(0),
+                Addr::new(0x8000_0000),
+                BurstLen::new(4).unwrap(),
+                BurstSize::bus64(),
+                BurstKind::Incr,
+            )),
+            Op::Wait(30),
+        ];
+        let total_wait = |s: &[Op]| {
+            s.iter()
+                .map(|op| if let Op::Wait(n) = op { *n } else { 0 })
+                .sum::<u64>()
+        };
+        let minimal = shrink(&script, |s| total_wait(s) >= 5);
+        assert_eq!(minimal.len(), 1, "one wait suffices");
+        assert_eq!(total_wait(&minimal), 5, "wait shrinks to the threshold");
     }
 
     #[test]
