@@ -14,10 +14,10 @@
 //! ```
 
 use cheshire_soc::experiments::{
-    fragmentation_sweep_points, single_source, with_fragmentation, without_reservation,
-    DEFAULT_ACCESSES,
+    fragmentation_sweep_points, llc_regulation, single_source, with_fragmentation,
+    without_reservation, DEFAULT_ACCESSES,
 };
-use cheshire_soc::RunResult;
+use cheshire_soc::{Regulation, RunResult, Testbench, TestbenchConfig};
 use realm_bench::{run_sweep, ExperimentReport, Row};
 
 /// One sweep point of Fig. 6a.
@@ -87,7 +87,17 @@ fn main() {
     if let Err(e) = report.write_json("results/fig6a.json") {
         eprintln!("could not write results/fig6a.json: {e}");
     }
-    if let Err(e) = outcome.write_kernel_baseline("BENCH_kernel.json", "fig6a") {
+    // The kernel baseline also records the island partition of the system
+    // being measured (Pass C, regulated contended shape as in the frag
+    // sweep points); construction alone suffices, no run needed.
+    let mut cfg = TestbenchConfig::single_source(accesses);
+    cfg.dma = Some(TestbenchConfig::worst_case_dma());
+    cfg.core_regulation = Regulation::Realm(llc_regulation(1, 0, 0));
+    cfg.dma_regulation = Regulation::Realm(llc_regulation(1, 0, 0));
+    let partition = Testbench::new(cfg).partition();
+    if let Err(e) =
+        outcome.write_kernel_baseline_with_partition("BENCH_kernel.json", "fig6a", Some(&partition))
+    {
         eprintln!("could not write BENCH_kernel.json: {e}");
     }
 }

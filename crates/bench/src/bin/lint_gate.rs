@@ -1,6 +1,8 @@
-//! CI gate: runs the elaboration-time analyzer (realm-lint Pass A) over
-//! every experiment configuration the suite ships and writes a combined
-//! machine-readable report.
+//! CI gate: runs the elaboration-time analyzer (realm-lint Pass A) and
+//! the static dependence analysis (Pass C) over every experiment
+//! configuration the suite ships and writes a combined machine-readable
+//! report, including each system's island partition and evaluation
+//! schedule.
 //!
 //! ```text
 //! cargo run --release -p realm-bench --bin lint_gate [-- OUTPUT.json]
@@ -100,15 +102,21 @@ fn main() -> ExitCode {
         // written either way.
         let tb = Testbench::new(cfg);
         let report = tb.lint_report();
+        let partition = tb.partition();
         total_errors += report.error_count();
         println!(
-            "lint_gate: {name}: {} error(s), {} warning(s)",
+            "lint_gate: {name}: {} error(s), {} warning(s); {} island(s), \
+             largest {}, schedule depth {}",
             report.error_count(),
-            report.warning_count()
+            report.warning_count(),
+            partition.island_count(),
+            partition.largest_island(),
+            partition.depth
         );
         entries.push(format!(
-            "{{\"system\":\"{name}\",\"report\":{}}}",
-            report.to_json()
+            "{{\"system\":\"{name}\",\"report\":{},\"partition\":{}}}",
+            report.to_json(),
+            partition.to_json()
         ));
     }
 

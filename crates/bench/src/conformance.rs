@@ -55,8 +55,22 @@ impl MonitorRig {
         }
     }
 
-    /// Panics with the full report if any monitor saw a violation.
+    /// Panics with the full report if any monitor saw a violation. The
+    /// access sanitizer's verdict (`REALM_SANITIZE=1`) is checked even
+    /// when the rig itself is disabled: an undeclared wire access is a
+    /// port-declaration bug regardless of whether protocol monitors run.
     pub fn assert_clean(&self, sim: &Sim) {
+        let san = sim.sanitizer_violations();
+        assert!(
+            san.is_empty(),
+            "access sanitizer recorded {} violation(s) ({} dropped beyond the cap):\n{}",
+            san.len(),
+            sim.sanitizer_violations_dropped(),
+            san.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
         if self.enabled {
             ConformanceReport::collect(sim, &self.monitors, &self.scoreboard).assert_clean();
         }

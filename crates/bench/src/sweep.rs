@@ -131,6 +131,26 @@ impl<R> SweepOutcome<R> {
         path: P,
         experiment: &str,
     ) -> std::io::Result<()> {
+        self.write_kernel_baseline_with_partition(path, experiment, None)
+    }
+
+    /// Like [`SweepOutcome::write_kernel_baseline`], with the system's
+    /// static dependence partition (Pass C of `realm-lint`) summarized in
+    /// a `partition` row: component count, island count, largest island,
+    /// and zero-latency schedule depth. The partition is a property of the
+    /// simulated system, not of the machine, but it rides along here so
+    /// the kernel baseline records how much island-level parallelism the
+    /// measured system exposes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_kernel_baseline_with_partition<P: AsRef<std::path::Path>>(
+        &self,
+        path: P,
+        experiment: &str,
+        partition: Option<&realm_lint::Partition>,
+    ) -> std::io::Result<()> {
         use crate::json::Json;
         let num = Json::Num;
         // Counters are emitted as JSON integers (`Json::Int`), never as
@@ -153,7 +173,7 @@ impl<R> SweepOutcome<R> {
                 ])
             })
             .collect();
-        let doc = Json::Obj(vec![
+        let mut doc = vec![
             ("experiment".to_owned(), Json::Str(experiment.to_owned())),
             ("threads".to_owned(), int(self.threads as u64)),
             ("wall_ms".to_owned(), num(self.wall.as_secs_f64() * 1e3)),
@@ -164,8 +184,19 @@ impl<R> SweepOutcome<R> {
             ("component_skips".to_owned(), int(self.component_skips())),
             ("wire_events".to_owned(), int(self.wire_events())),
             ("points".to_owned(), Json::Arr(points)),
-        ]);
-        std::fs::write(path, doc.pretty())
+        ];
+        if let Some(p) = partition {
+            doc.push((
+                "partition".to_owned(),
+                Json::Obj(vec![
+                    ("components".to_owned(), int(p.names.len() as u64)),
+                    ("islands".to_owned(), int(p.island_count() as u64)),
+                    ("largest_island".to_owned(), int(p.largest_island() as u64)),
+                    ("schedule_depth".to_owned(), int(p.depth as u64)),
+                ]),
+            ));
+        }
+        std::fs::write(path, Json::Obj(doc).pretty())
     }
 }
 

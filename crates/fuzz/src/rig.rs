@@ -48,13 +48,18 @@ pub struct RunOutcome {
     pub coverage: CoverageMap,
     /// Kernel throughput counters.
     pub kernel: KernelStats,
+    /// Access-sanitizer violations recorded during the run (including any
+    /// dropped beyond the in-sim cap). Always zero unless the process runs
+    /// with `REALM_SANITIZE=1`.
+    pub sanitizer: usize,
 }
 
 impl RunOutcome {
-    /// `true` when the run drained and no monitor or scoreboard rule
-    /// fired — the baseline pass criterion before the bandwidth oracle.
+    /// `true` when the run drained, no monitor or scoreboard rule fired,
+    /// and the access sanitizer (when armed) saw only declared accesses —
+    /// the baseline pass criterion before the bandwidth oracle.
     pub fn clean(&self) -> bool {
-        self.finished && self.conformance.is_clean()
+        self.finished && self.conformance.is_clean() && self.sanitizer == 0
     }
 }
 
@@ -110,6 +115,8 @@ pub fn run_spec(spec: &SystemSpec) -> RunOutcome {
         managers,
         coverage: sim.coverage(),
         kernel: sim.kernel_stats(),
+        sanitizer: sim.sanitizer_violations().len()
+            + usize::try_from(sim.sanitizer_violations_dropped()).unwrap_or(usize::MAX),
     }
 }
 

@@ -22,8 +22,21 @@
 //! | `budget-infeasible` | warning | one reservation exceeds `P · W` |
 //! | `budget-oversubscribed` | warning | `Σ eᵢ/Pᵢ` exceeds the service rate `W` |
 //! | `zero-latency-cycle` | error | declared combinational couplings form a loop |
+//! | `couple-redundant` | warning | couple duplicates an existing wire edge |
+//! | `couple-merges-islands` | info | couple alone bridges two otherwise-independent islands |
+//! | `dependence-unreachable` | warning | no dependence edge reaches the component |
 //!
 //! ¹ demoted to warning when opaque (port-less) components are present.
+//!
+//! **Pass C — static dependence analysis.** The last three rules come from
+//! [`analyze_deps`] (run automatically by [`analyze`]), which builds the
+//! full intra-cycle dependence graph — wire edges from port declarations,
+//! couple edges from [`Sim::couple`](axi_sim::Sim::couple), comb edges
+//! from the system model — and computes a [`Partition`]: the island
+//! decomposition (independently steppable connected components, executed
+//! by the `REALM_KERNEL=islands` kernel and enforced at runtime by the
+//! `REALM_SANITIZE=1` access sanitizer) and a deterministic static
+//! evaluation schedule with its zero-latency depth.
 //!
 //! Feasibility findings are warnings by design: the paper's own Fig. 6b
 //! configuration over-subscribes the LLC deliberately (reservations of
@@ -63,10 +76,12 @@ pub mod diag;
 mod gate;
 mod rules;
 mod scan;
+mod sched;
 mod system;
 
 pub use diag::{Diagnostic, Report, Severity};
 pub use gate::{apply, enabled_by_env, verbose_by_env};
 pub use rules::{analyze, analyze_budgets, drain_bound_cycles};
 pub use scan::{scan_source, scan_workspace, violations_to_json, Violation};
+pub use sched::{analyze_deps, DepEdge, DepEdgeKind, Partition};
 pub use system::{AddrWindow, RealmSpec, SystemModel};

@@ -56,8 +56,10 @@ pub use arb::RoundRobin;
 pub use bundle::{AxiBundle, BundleCapacity};
 pub use component::{Component, TickCtx};
 pub use coverage::CoverageMap;
-pub use pool::{Channel, ChannelPool, PushRefusal, WireActivity, WireId};
-pub use sim::{ComponentId, ContractViolation, KernelMode, KernelStats, Sim, ViolationKind};
+pub use pool::{Channel, ChannelPool, PushRefusal, SanitizerKind, WireActivity, WireId};
+pub use sim::{
+    ComponentId, ContractViolation, KernelMode, KernelStats, SanitizerViolation, Sim, ViolationKind,
+};
 pub use topology::{PortDecl, PortDir, TopoComponent, TopoWire, Topology};
 pub use trace::{TraceChannel, TraceEvent, TracePayload, TraceProbe};
 pub use vcd::vcd_dump;

@@ -127,6 +127,55 @@ pub(crate) struct WireEvent {
     pub push: bool,
 }
 
+/// What an access-sanitizer check caught (see
+/// [`SanitizerViolation`](crate::SanitizerViolation)).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SanitizerKind {
+    /// A component pushed onto a wire it does not declare with
+    /// [`PortDir::Drive`](crate::PortDir::Drive).
+    UndeclaredPush,
+    /// A component popped a wire it does not declare with
+    /// [`PortDir::Consume`](crate::PortDir::Consume).
+    UndeclaredPop,
+    /// A sleeping component turned out to be due without any declared wire
+    /// or couple edge having woken it — it reacted to state outside its
+    /// declared dependence edges (the missed-wake cross-check; `channel`
+    /// and `wire` are placeholders for this kind).
+    UndeclaredWake,
+}
+
+/// Declared-access tables the pool checks pushes and pops against while
+/// the sanitizer is armed. Built by the sim from [`Component::ports`]
+/// (see [`crate::Component`]) — the same declarations the static
+/// dependence analyzer consumes, so a run that stays sanitizer-clean has
+/// runtime behaviour within its statically declared dependence graph.
+#[derive(Debug, Default)]
+pub(crate) struct SanitizerTables {
+    /// First flat wire index per channel slot.
+    pub slot_base: [usize; CHANNEL_SLOTS],
+    /// Total wires across all channels (row stride).
+    pub total_wires: usize,
+    /// `component * total_wires + flat_wire` → declared `Drive`.
+    pub drive: Vec<bool>,
+    /// `component * total_wires + flat_wire` → declared `Consume`.
+    pub consume: Vec<bool>,
+    /// Port-less components: exempt — they declare nothing by design and
+    /// the dependence graph already treats them conservatively.
+    pub opaque: Vec<bool>,
+}
+
+/// One raw sanitizer hit, recorded by the pool mid-tick and resolved into
+/// a named [`SanitizerViolation`](crate::SanitizerViolation) by the sim
+/// after the cycle.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RawSanViolation {
+    pub component: usize,
+    pub cycle: Cycle,
+    pub channel: &'static str,
+    pub wire: usize,
+    pub kind: SanitizerKind,
+}
+
 /// The structured record of a refused [`ChannelPool::push`]: who pushed,
 /// where, when, and why. Replaces the kernel's former hard panic so a
 /// misbehaving component turns into a diagnosable conformance finding
@@ -206,6 +255,10 @@ pub struct ChannelPool {
     // recording on; drained after every tick to derive wakes.
     events: Vec<WireEvent>,
     recording: bool,
+    // Access-sanitizer tables (`None` = sanitizer off, the default; checks
+    // cost one `is_some` branch per successful push/pop when off).
+    san: Option<SanitizerTables>,
+    san_hits: Vec<RawSanViolation>,
 }
 
 impl ChannelPool {
@@ -285,6 +338,9 @@ impl ChannelPool {
                     push: true,
                 });
             }
+            if self.san.is_some() {
+                self.san_check(T::SLOT, T::LABEL, id.index, cycle, true);
+            }
         }
         result
     }
@@ -336,6 +392,9 @@ impl ChannelPool {
                     wire: id.index,
                     push: false,
                 });
+            }
+            if self.san.is_some() {
+                self.san_check(T::SLOT, T::LABEL, id.index, cycle, false);
             }
         }
         beat
@@ -438,6 +497,65 @@ impl ChannelPool {
             "push counter out of sync with per-wire stats"
         );
         self.total_pushed
+    }
+
+    /// Arms (or disarms, with `None`) the access sanitizer. While armed,
+    /// every successful push and pop performed inside a component tick is
+    /// checked against the tables; mismatches are recorded, never blocked —
+    /// the sanitizer observes, results stay exact.
+    pub(crate) fn set_sanitizer(&mut self, tables: Option<SanitizerTables>) {
+        self.san = tables;
+        if self.san.is_none() {
+            self.san_hits.clear();
+        }
+    }
+
+    /// Checks one successful access against the declared-access tables.
+    /// Accesses outside any tick (`owner == None` — construction, direct
+    /// harness pokes between runs) are not attributable and not checked.
+    fn san_check(
+        &mut self,
+        slot: usize,
+        channel: &'static str,
+        wire: usize,
+        cycle: Cycle,
+        push: bool,
+    ) {
+        let Some(owner) = self.owner else { return };
+        let Some(tables) = self.san.as_ref() else {
+            return;
+        };
+        // Out-of-table owners (components added after the tables were
+        // built) and opaque components are exempt.
+        if tables.opaque.get(owner).copied().unwrap_or(true) {
+            return;
+        }
+        let flat = owner * tables.total_wires + tables.slot_base[slot] + wire;
+        let table = if push { &tables.drive } else { &tables.consume };
+        if table.get(flat).copied().unwrap_or(false) {
+            return;
+        }
+        self.san_hits.push(RawSanViolation {
+            component: owner,
+            cycle,
+            channel,
+            wire,
+            kind: if push {
+                SanitizerKind::UndeclaredPush
+            } else {
+                SanitizerKind::UndeclaredPop
+            },
+        });
+    }
+
+    /// `true` if any sanitizer hit is waiting to be drained (O(1)).
+    pub(crate) fn has_san_hits(&self) -> bool {
+        !self.san_hits.is_empty()
+    }
+
+    /// Moves all recorded sanitizer hits into `out`, oldest first.
+    pub(crate) fn drain_san_hits_into(&mut self, out: &mut Vec<RawSanViolation>) {
+        out.append(&mut self.san_hits);
     }
 
     /// Turns the push/pop event log on or off (event-kernel use). Turning

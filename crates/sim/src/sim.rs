@@ -18,11 +18,15 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 use std::fmt;
 
+use crate::pool::{
+    channel_slot, ChannelPool, RawSanViolation, SanitizerKind, SanitizerTables, WireEvent,
+    CHANNEL_SLOTS,
+};
+
 use crate::component::{Component, TickCtx};
-use crate::pool::{channel_slot, ChannelPool, WireEvent, CHANNEL_SLOTS};
 use crate::topology::PortDir;
 use crate::Cycle;
 
@@ -75,13 +79,31 @@ pub enum KernelMode {
     /// Reference kernel: tick every component every cycle. Selected by
     /// `REALM_KERNEL=step` for differential runs.
     Step,
+    /// Island kernel: tick every component every cycle, but walk the
+    /// statically computed dependence islands (see
+    /// [`Topology::islands`](crate::Topology::islands)) island by island
+    /// instead of the flat registration order. Islands are independent by
+    /// construction — no shared wire, couple, or declared endpoint crosses
+    /// one — so the reordering is unobservable and results stay
+    /// bit-identical to [`KernelMode::Step`]; each island could equally be
+    /// stepped by its own worker once component storage is `Send` (the
+    /// arena refactor). Selected by `REALM_KERNEL=islands`.
+    Islands,
 }
 
 fn kernel_mode_from_env() -> KernelMode {
     match std::env::var("REALM_KERNEL").as_deref() {
         Ok("step") | Ok("stepped") | Ok("cycle") => KernelMode::Step,
+        Ok("islands") | Ok("island") => KernelMode::Islands,
         _ => KernelMode::Event,
     }
+}
+
+fn sanitize_from_env() -> bool {
+    matches!(
+        std::env::var("REALM_SANITIZE").as_deref(),
+        Ok("1") | Ok("true") | Ok("on")
+    )
 }
 
 /// How a [`ContractViolation`] was detected.
@@ -128,6 +150,53 @@ impl fmt::Display for ContractViolation {
             "cycle {:>8}: {} from component #{} ({}): hint {}",
             self.cycle, what, self.component, self.name, self.hint
         )
+    }
+}
+
+/// An undeclared cross-component access caught by the runtime access
+/// sanitizer (`REALM_SANITIZE=1`, see [`Sim::sanitizer_violations`]): a
+/// push, pop, or wake that the component's declared ports and couples do
+/// not account for. The access itself is never blocked — results stay
+/// exact — but each record is a dependence edge missing from the static
+/// graph, i.e. a component the island partition and the event kernel's
+/// wake bookkeeping may be reasoning about incorrectly.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SanitizerViolation {
+    /// Registration index of the offending component.
+    pub component: usize,
+    /// Its [`Component::name`] at detection time.
+    pub name: String,
+    /// The cycle of the undeclared access.
+    pub cycle: Cycle,
+    /// Channel label of the touched wire (`"-"` for
+    /// [`SanitizerKind::UndeclaredWake`], which has no wire).
+    pub channel: &'static str,
+    /// Pool-internal wire index (0 for `UndeclaredWake`).
+    pub wire: usize,
+    /// What kind of undeclared access.
+    pub kind: SanitizerKind,
+}
+
+impl fmt::Display for SanitizerViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            SanitizerKind::UndeclaredPush => write!(
+                f,
+                "cycle {:>8}: undeclared push on {}[{}] by component #{} ({})",
+                self.cycle, self.channel, self.wire, self.component, self.name
+            ),
+            SanitizerKind::UndeclaredPop => write!(
+                f,
+                "cycle {:>8}: undeclared pop on {}[{}] by component #{} ({})",
+                self.cycle, self.channel, self.wire, self.component, self.name
+            ),
+            SanitizerKind::UndeclaredWake => write!(
+                f,
+                "cycle {:>8}: undeclared wake of component #{} ({}): \
+                 due without any declared edge having woken it",
+                self.cycle, self.component, self.name
+            ),
+        }
     }
 }
 
@@ -291,16 +360,33 @@ pub struct Sim {
     /// `on_fast_forward`. Invariant between advances: `synced_to[i] <=
     /// cycle + 1`, equal to `cycle + 1` right after component `i` ticks.
     synced_to: Vec<Cycle>,
-    /// `(source, dependent)` pairs from [`Sim::couple`].
+    /// `(source, dependent)` pairs from [`Sim::couple`], in declaration
+    /// order; `couple_set` is the membership index keeping `couple` O(log n).
     couples: Vec<(usize, usize)>,
+    couple_set: BTreeSet<(usize, usize)>,
     sched: Scheduler,
     violations: Vec<ContractViolation>,
     violations_dropped: u64,
+    /// Access sanitizer (`REALM_SANITIZE=1`): when on, pool taps check
+    /// every in-tick push/pop against the declared ports and the missed-
+    /// wake poll runs in every build.
+    sanitize: bool,
+    /// `(components, wires)` the pool's sanitizer tables were built for.
+    san_signature: Option<(usize, usize)>,
+    san_violations: Vec<SanitizerViolation>,
+    san_violations_dropped: u64,
+    san_scratch: Vec<RawSanViolation>,
+    /// Island partition for [`KernelMode::Islands`] plus the
+    /// `(components, wires, couples)` signature it was computed for.
+    islands: Vec<Vec<usize>>,
+    islands_signature: Option<(usize, usize, usize)>,
 }
 
 impl Sim {
     /// Creates an empty simulator at cycle 0. The kernel honours the
-    /// `REALM_KERNEL` environment variable (`step` forces cycle stepping).
+    /// `REALM_KERNEL` environment variable (`step` forces cycle stepping,
+    /// `islands` the island-ordered stepper); `REALM_SANITIZE=1` arms the
+    /// access sanitizer.
     pub fn new() -> Self {
         Self {
             pool: ChannelPool::new(),
@@ -310,9 +396,17 @@ impl Sim {
             mode: kernel_mode_from_env(),
             synced_to: Vec::new(),
             couples: Vec::new(),
+            couple_set: BTreeSet::new(),
             sched: Scheduler::default(),
             violations: Vec::new(),
             violations_dropped: 0,
+            sanitize: sanitize_from_env(),
+            san_signature: None,
+            san_violations: Vec::new(),
+            san_violations_dropped: 0,
+            san_scratch: Vec::new(),
+            islands: Vec::new(),
+            islands_signature: None,
         }
     }
 
@@ -342,7 +436,10 @@ impl Sim {
     pub fn couple(&mut self, source: ComponentId, dependent: ComponentId) {
         assert!(source.0 < self.components.len(), "unknown source");
         assert!(dependent.0 < self.components.len(), "unknown dependent");
-        if source != dependent && !self.couples.contains(&(source.0, dependent.0)) {
+        // `couples` keeps declaration order (the kernel's wake tables are
+        // order-sensitive); the set makes the duplicate check O(log n)
+        // instead of a linear scan per call.
+        if source != dependent && self.couple_set.insert((source.0, dependent.0)) {
             self.couples.push((source.0, dependent.0));
         }
     }
@@ -394,12 +491,53 @@ impl Sim {
         self.violations_dropped
     }
 
+    /// Whether the runtime access sanitizer is armed (from
+    /// `REALM_SANITIZE=1` or [`Sim::set_sanitize`]).
+    pub fn sanitize_enabled(&self) -> bool {
+        self.sanitize
+    }
+
+    /// Arms or disarms the access sanitizer (the default comes from
+    /// `REALM_SANITIZE`). While armed, every in-tick wire push/pop is
+    /// checked against the component's declared ports, and the missed-wake
+    /// poll runs in release builds too; accesses are never blocked, so
+    /// results are bit-identical with the sanitizer on or off.
+    pub fn set_sanitize(&mut self, on: bool) {
+        self.sanitize = on;
+        self.san_signature = None;
+        if !on {
+            self.pool.set_sanitizer(None);
+        }
+    }
+
+    /// Undeclared accesses the sanitizer caught so far (bounded retention;
+    /// see [`Sim::sanitizer_violations_dropped`]). Always empty while the
+    /// sanitizer is off. A system whose declarations match its behaviour
+    /// keeps this empty — that is the runtime proof behind the static
+    /// island partition.
+    pub fn sanitizer_violations(&self) -> &[SanitizerViolation] {
+        &self.san_violations
+    }
+
+    /// Sanitizer violations beyond the retention bound, counted not stored.
+    pub fn sanitizer_violations_dropped(&self) -> u64 {
+        self.san_violations_dropped
+    }
+
     /// A static snapshot of the system's structure — every component with
     /// its declared wire endpoints plus every allocated wire — for
     /// elaboration-time analysis before the first cycle runs (see the
     /// `realm-lint` crate).
     pub fn topology(&self) -> crate::Topology {
-        crate::Topology::collect(&self.components, &self.pool)
+        crate::Topology::collect(&self.components, &self.pool, &self.couples)
+    }
+
+    /// The system's island partition: connected components of the
+    /// undirected dependence graph (shared wires + couples), each a group
+    /// that can be stepped independently of the others. Convenience
+    /// wrapper over [`Topology::islands`](crate::Topology::islands).
+    pub fn partition(&self) -> Vec<Vec<usize>> {
+        self.topology().islands()
     }
 
     /// Harvests the run's coverage: every component's
@@ -427,23 +565,148 @@ impl Sim {
     /// (the reference kernel). Interleaves exactly with event-driven runs:
     /// components a previous run left fast-forwarded are reconciled here.
     pub fn step(&mut self) {
+        self.ensure_sanitizer();
         let cycle = self.cycle;
-        for (index, component) in self.components.iter_mut().enumerate() {
-            if self.synced_to[index] < cycle {
-                component.on_fast_forward(self.synced_to[index], cycle);
-            }
-            self.synced_to[index] = cycle + 1;
-            self.pool.set_owner(Some(index));
-            let mut ctx = TickCtx {
-                cycle,
-                pool: &mut self.pool,
-            };
-            component.tick(&mut ctx);
+        for index in 0..self.components.len() {
+            self.tick_component(index, cycle);
         }
         self.pool.set_owner(None);
         self.cycle += 1;
         self.stats.ticks_executed += 1;
         self.stats.component_ticks += self.components.len() as u64;
+        self.drain_sanitizer();
+    }
+
+    /// Advances one cycle under the island kernel: every component ticks,
+    /// but the walk goes island by island (each island's members in
+    /// registration order) instead of flat registration order. Because no
+    /// wire, couple, or declared endpoint crosses an island boundary, the
+    /// islands cannot observe each other's intra-cycle ordering and the
+    /// result is bit-identical to [`Sim::step`] — the runtime cash-in of
+    /// the static dependence analysis (CI-gated on all experiments).
+    fn step_islands(&mut self) {
+        self.ensure_islands();
+        self.ensure_sanitizer();
+        let cycle = self.cycle;
+        let islands = std::mem::take(&mut self.islands);
+        for island in &islands {
+            for &index in island {
+                self.tick_component(index, cycle);
+            }
+        }
+        self.islands = islands;
+        self.pool.set_owner(None);
+        self.cycle += 1;
+        self.stats.ticks_executed += 1;
+        self.stats.component_ticks += self.components.len() as u64;
+        self.drain_sanitizer();
+    }
+
+    /// Reconciles and ticks one component at `cycle` (stepping kernels).
+    fn tick_component(&mut self, index: usize, cycle: Cycle) {
+        if self.synced_to[index] < cycle {
+            self.components[index].on_fast_forward(self.synced_to[index], cycle);
+        }
+        self.synced_to[index] = cycle + 1;
+        self.pool.set_owner(Some(index));
+        let mut ctx = TickCtx {
+            cycle,
+            pool: &mut self.pool,
+        };
+        self.components[index].tick(&mut ctx);
+    }
+
+    /// Recomputes the island partition if the topology changed.
+    fn ensure_islands(&mut self) {
+        let signature = (
+            self.components.len(),
+            self.pool.wire_count(),
+            self.couples.len(),
+        );
+        if self.islands_signature != Some(signature) {
+            self.islands = self.topology().islands();
+            self.islands_signature = Some(signature);
+        }
+    }
+
+    /// Rebuilds the pool's sanitizer tables if the sanitizer is armed and
+    /// the topology changed since they were last built. O(1) when nothing
+    /// changed; a no-op entirely when the sanitizer is off.
+    fn ensure_sanitizer(&mut self) {
+        if !self.sanitize {
+            return;
+        }
+        let signature = (self.components.len(), self.pool.wire_count());
+        if self.san_signature == Some(signature) {
+            return;
+        }
+        let counts = self.pool.wire_counts();
+        let mut slot_base = [0usize; CHANNEL_SLOTS];
+        let mut total_wires = 0;
+        for (slot, &wires) in counts.iter().enumerate() {
+            slot_base[slot] = total_wires;
+            total_wires += wires;
+        }
+        let n = self.components.len();
+        let mut tables = SanitizerTables {
+            slot_base,
+            total_wires,
+            drive: vec![false; n * total_wires],
+            consume: vec![false; n * total_wires],
+            opaque: vec![false; n],
+        };
+        for (i, component) in self.components.iter().enumerate() {
+            let ports = component.ports();
+            if ports.is_empty() {
+                tables.opaque[i] = true;
+                continue;
+            }
+            for port in ports {
+                let Some(slot) = channel_slot(port.channel) else {
+                    continue;
+                };
+                if port.wire >= counts[slot] {
+                    continue; // dangling declaration; realm-lint reports it
+                }
+                let flat = i * total_wires + slot_base[slot] + port.wire;
+                match port.dir {
+                    PortDir::Drive => tables.drive[flat] = true,
+                    PortDir::Consume => tables.consume[flat] = true,
+                    PortDir::Observe => {}
+                }
+            }
+        }
+        self.pool.set_sanitizer(Some(tables));
+        self.san_signature = Some(signature);
+    }
+
+    /// Resolves raw pool sanitizer hits into named, bounded records.
+    fn drain_sanitizer(&mut self) {
+        if !self.pool.has_san_hits() {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.san_scratch);
+        self.pool.drain_san_hits_into(&mut scratch);
+        for raw in scratch.drain(..) {
+            self.record_san_violation(raw);
+        }
+        self.san_scratch = scratch;
+    }
+
+    fn record_san_violation(&mut self, raw: RawSanViolation) {
+        if self.san_violations.len() < MAX_VIOLATIONS {
+            let name = self.components[raw.component].name().to_owned();
+            self.san_violations.push(SanitizerViolation {
+                component: raw.component,
+                name,
+                cycle: raw.cycle,
+                channel: raw.channel,
+                wire: raw.wire,
+                kind: raw.kind,
+            });
+        } else {
+            self.san_violations_dropped += 1;
+        }
     }
 
     /// The instance name of the component registered at `index`, if any —
@@ -493,14 +756,17 @@ impl Sim {
         clamp: Option<Cycle>,
     ) -> bool {
         let target = self.cycle + max_cycles;
-        if self.mode == KernelMode::Step {
+        if self.mode != KernelMode::Event {
             while self.cycle < target {
                 if let Some(done) = done.as_mut() {
                     if done(self) {
                         return true;
                     }
                 }
-                self.step();
+                match self.mode {
+                    KernelMode::Islands => self.step_islands(),
+                    _ => self.step(),
+                }
             }
             return match done {
                 Some(done) => done(self),
@@ -556,6 +822,7 @@ impl Sim {
     /// outside (direct `component_mut` access, pool pushes between runs)
     /// exactly as the stepping kernel would see it.
     fn prepare_run(&mut self) {
+        self.ensure_sanitizer();
         let signature = (
             self.components.len(),
             self.pool.wire_count(),
@@ -709,11 +976,13 @@ impl Sim {
         }
     }
 
-    /// Debug-build safety net: a sleeping component whose `next_event`
-    /// claims it is due right now was missed by the wake bookkeeping — an
-    /// under-reporting hint or an undeclared dependency. Record it and wake
-    /// the component so results stay exact anyway.
-    #[cfg(debug_assertions)]
+    /// Safety net (debug builds always; release builds with the sanitizer
+    /// armed): a sleeping component whose `next_event` claims it is due
+    /// right now was missed by the wake bookkeeping — an under-reporting
+    /// hint or an undeclared dependency. Record it and wake the component
+    /// so results stay exact anyway. With the sanitizer armed the miss is
+    /// additionally a [`SanitizerKind::UndeclaredWake`]: the component
+    /// reacted to state no declared wire or couple edge carries.
     fn poll_missed_wakes(&mut self) {
         let cycle = self.cycle;
         for i in 0..self.components.len() {
@@ -723,6 +992,15 @@ impl Sim {
             if let Some(hint) = self.components[i].next_event(cycle) {
                 if hint <= cycle {
                     self.record_violation(i, cycle, hint, ViolationKind::MissedWake);
+                    if self.sanitize {
+                        self.record_san_violation(RawSanViolation {
+                            component: i,
+                            cycle,
+                            channel: "-",
+                            wire: 0,
+                            kind: SanitizerKind::UndeclaredWake,
+                        });
+                    }
                     self.sched.mark_due(i);
                 }
             }
@@ -733,8 +1011,9 @@ impl Sim {
     /// order, turns their wire activity into wakes, and re-arms their
     /// `next_event` hints.
     fn process_cycle(&mut self) {
-        #[cfg(debug_assertions)]
-        self.poll_missed_wakes();
+        if cfg!(debug_assertions) || self.sanitize {
+            self.poll_missed_wakes();
+        }
 
         let cycle = self.cycle;
         let n = self.components.len();
@@ -850,6 +1129,7 @@ impl Sim {
         }
         self.pool.set_owner(None);
         self.pool.set_recording(false);
+        self.drain_sanitizer();
         debug_assert_eq!(self.sched.due_count, 0, "due component not visited");
 
         self.cycle = cycle + 1;
@@ -890,6 +1170,7 @@ impl fmt::Debug for Sim {
 mod tests {
     use super::*;
     use crate::pool::WireId;
+    use crate::topology::PortDecl;
     use axi4::WBeat;
 
     struct Producer {
@@ -909,6 +1190,9 @@ mod tests {
         fn name(&self) -> &str {
             "producer"
         }
+        fn ports(&self) -> Vec<PortDecl> {
+            vec![PortDecl::new("W", self.out.index(), PortDir::Drive)]
+        }
     }
 
     struct Consumer {
@@ -924,6 +1208,9 @@ mod tests {
         }
         fn name(&self) -> &str {
             "consumer"
+        }
+        fn ports(&self) -> Vec<PortDecl> {
+            vec![PortDecl::new("W", self.input.index(), PortDir::Consume)]
         }
     }
 
@@ -1168,6 +1455,308 @@ mod tests {
         assert!(
             fast.iter().any(|&(c, v)| c == 400 && v == 400),
             "coupled reader must observe the write at its cycle: {fast:?}"
+        );
+    }
+
+    struct Nop;
+    impl Component for Nop {
+        fn tick(&mut self, _ctx: &mut TickCtx<'_>) {}
+    }
+
+    /// Registering couples stays cheap at scale and keeps declaration
+    /// order; duplicates and self-couples are ignored.
+    #[test]
+    fn couple_dedup_scales_and_keeps_order() {
+        let mut sim = Sim::new();
+        let ids: Vec<_> = (0..101).map(|_| sim.add(Nop)).collect();
+        let mut expected = Vec::new();
+        for &a in &ids {
+            for &b in &ids {
+                if a != b {
+                    sim.couple(a, b);
+                    expected.push((a.index(), b.index()));
+                }
+            }
+        }
+        // Re-register every pair (all duplicates) plus self-couples.
+        for &a in &ids {
+            for &b in &ids {
+                sim.couple(a, b);
+            }
+        }
+        let topo = sim.topology();
+        assert_eq!(topo.couples.len(), 101 * 100, "10100 distinct couples");
+        assert_eq!(topo.couples, expected, "declaration order preserved");
+    }
+
+    /// Deliberately broken hinter: always claims a wake in the past, so
+    /// every processed cycle records a stale-hint violation.
+    struct AlwaysStale;
+    impl Component for AlwaysStale {
+        fn tick(&mut self, _ctx: &mut TickCtx<'_>) {}
+        fn name(&self) -> &str {
+            "always-stale"
+        }
+        fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+            Some(cycle.saturating_sub(1))
+        }
+    }
+
+    /// Violations beyond the retention bound are counted, not stored.
+    #[test]
+    fn contract_violations_beyond_cap_are_counted() {
+        let mut sim = Sim::new();
+        sim.add(AlwaysStale);
+        sim.run(MAX_VIOLATIONS as u64 + 50);
+        assert_eq!(sim.contract_violations().len(), MAX_VIOLATIONS);
+        assert!(
+            sim.contract_violations_dropped() >= 1,
+            "overflow must be counted, got {}",
+            sim.contract_violations_dropped()
+        );
+    }
+
+    /// An early predicate exit out of `run_until_clamped` must not lose
+    /// the violation reports accumulated before the exit.
+    #[test]
+    fn stale_hint_reports_survive_clamped_early_exit() {
+        let mut sim = Sim::new();
+        sim.add(AlwaysStale);
+        let fired = sim.run_until_clamped(1_000, 500, |s| s.cycle() >= 5);
+        assert!(fired);
+        assert!(sim.cycle() >= 5 && sim.cycle() < 1_000, "early exit");
+        let violations = sim.contract_violations();
+        assert!(
+            !violations.is_empty(),
+            "stale-hint reports must survive the early exit"
+        );
+        assert!(violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::StaleHint));
+    }
+
+    /// Two producer/consumer pairs on disjoint wires: in registration order
+    /// `[pa, ca, pb, cb]` the dependence graph splits into two islands.
+    fn build_pairs() -> (Sim, ComponentId, ComponentId) {
+        let mut sim = Sim::new();
+        let wa = sim.pool_mut().new_wire::<WBeat>(2);
+        let wb = sim.pool_mut().new_wire::<WBeat>(2);
+        sim.add(Producer {
+            out: wa,
+            sent: 0,
+            limit: 5,
+        });
+        let ca = sim.add(Consumer {
+            input: wa,
+            received: Vec::new(),
+        });
+        sim.add(Producer {
+            out: wb,
+            sent: 0,
+            limit: 7,
+        });
+        let cb = sim.add(Consumer {
+            input: wb,
+            received: Vec::new(),
+        });
+        (sim, ca, cb)
+    }
+
+    #[test]
+    fn independent_pairs_form_two_islands() {
+        let (sim, ..) = build_pairs();
+        assert_eq!(sim.partition(), vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    /// The island kernel's island-major walk is unobservable: results are
+    /// bit-identical to flat stepping and to the event kernel, including
+    /// when registration order interleaves the islands (so the walk really
+    /// does reorder ticks across island boundaries).
+    #[test]
+    fn islands_kernel_matches_stepping() {
+        let observe = |mode: KernelMode| {
+            let (mut sim, ca, cb) = build_pairs();
+            sim.set_kernel_mode(mode);
+            sim.run(25);
+            (
+                sim.cycle(),
+                sim.component::<Consumer>(ca).unwrap().received.clone(),
+                sim.component::<Consumer>(cb).unwrap().received.clone(),
+            )
+        };
+        assert_eq!(observe(KernelMode::Islands), observe(KernelMode::Step));
+        assert_eq!(observe(KernelMode::Islands), observe(KernelMode::Event));
+
+        // Interleaved registration: islands {0,2} and {1,3}, so the island
+        // walk ticks 0,2 then 1,3 — a genuine reorder vs. flat stepping.
+        let observe_interleaved = |mode: KernelMode| {
+            let mut sim = Sim::new();
+            let wa = sim.pool_mut().new_wire::<WBeat>(2);
+            let wb = sim.pool_mut().new_wire::<WBeat>(2);
+            sim.add(Producer {
+                out: wa,
+                sent: 0,
+                limit: 5,
+            });
+            sim.add(Producer {
+                out: wb,
+                sent: 0,
+                limit: 7,
+            });
+            let ca = sim.add(Consumer {
+                input: wa,
+                received: Vec::new(),
+            });
+            let cb = sim.add(Consumer {
+                input: wb,
+                received: Vec::new(),
+            });
+            if mode == KernelMode::Islands {
+                assert_eq!(sim.partition(), vec![vec![0, 2], vec![1, 3]]);
+            }
+            sim.set_kernel_mode(mode);
+            sim.run(25);
+            (
+                sim.component::<Consumer>(ca).unwrap().received.clone(),
+                sim.component::<Consumer>(cb).unwrap().received.clone(),
+            )
+        };
+        assert_eq!(
+            observe_interleaved(KernelMode::Islands),
+            observe_interleaved(KernelMode::Step)
+        );
+    }
+
+    /// Declares one wire, touches another: the armed sanitizer flags both
+    /// the push and the pop, with names resolved.
+    struct Rogue {
+        declared: WireId<WBeat>,
+        actual: WireId<WBeat>,
+    }
+    impl Component for Rogue {
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            if ctx.pool.can_push(self.actual, ctx.cycle) {
+                ctx.pool.push(self.actual, ctx.cycle, WBeat::full(9, false));
+            }
+            ctx.pool.pop(self.actual, ctx.cycle);
+        }
+        fn name(&self) -> &str {
+            "rogue"
+        }
+        fn ports(&self) -> Vec<PortDecl> {
+            vec![
+                PortDecl::new("W", self.declared.index(), PortDir::Drive),
+                PortDecl::new("W", self.declared.index(), PortDir::Consume),
+            ]
+        }
+    }
+
+    #[test]
+    fn sanitizer_flags_undeclared_accesses() {
+        let mut sim = Sim::new();
+        let declared = sim.pool_mut().new_wire::<WBeat>(2);
+        let actual = sim.pool_mut().new_wire::<WBeat>(2);
+        sim.add(Rogue { declared, actual });
+        sim.set_sanitize(true);
+        assert!(sim.sanitize_enabled());
+        sim.run(4);
+        let violations = sim.sanitizer_violations();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.kind == SanitizerKind::UndeclaredPush
+                    && v.channel == "W"
+                    && v.wire == actual.index()),
+            "push on the undeclared wire must be flagged: {violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.kind == SanitizerKind::UndeclaredPop),
+            "pop on the undeclared wire must be flagged: {violations:?}"
+        );
+        assert_eq!(violations[0].name, "rogue");
+        assert!(violations[0].to_string().contains("undeclared"));
+    }
+
+    /// Off by default: the same rogue records nothing; and a system whose
+    /// declarations match its behaviour stays clean with the sanitizer on.
+    #[test]
+    fn sanitizer_default_off_and_declared_traffic_is_clean() {
+        let mut sim = Sim::new();
+        let declared = sim.pool_mut().new_wire::<WBeat>(2);
+        let actual = sim.pool_mut().new_wire::<WBeat>(2);
+        sim.add(Rogue { declared, actual });
+        sim.run(4);
+        assert!(sim.sanitizer_violations().is_empty());
+
+        let (mut sim, ..) = build();
+        sim.set_sanitize(true);
+        sim.run(20);
+        assert!(
+            sim.sanitizer_violations().is_empty(),
+            "declared producer/consumer must be sanitizer-clean: {:?}",
+            sim.sanitizer_violations()
+        );
+        assert_eq!(sim.sanitizer_violations_dropped(), 0);
+    }
+
+    /// A component whose wake hint secretly watches shared state that no
+    /// couple declares: the armed sanitizer reports the undeclared wake
+    /// (in release builds too — this is the missed-wake poll, promoted
+    /// from a debug-only check).
+    #[test]
+    fn sanitizer_reports_undeclared_wake() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        type Shared = Rc<RefCell<bool>>;
+
+        struct Setter {
+            shared: Shared,
+            at: Cycle,
+        }
+        impl Component for Setter {
+            fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+                if ctx.cycle == self.at {
+                    *self.shared.borrow_mut() = true;
+                }
+            }
+            fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+                (cycle <= self.at).then_some(self.at)
+            }
+        }
+
+        struct Latcher {
+            shared: Shared,
+        }
+        impl Component for Latcher {
+            fn tick(&mut self, _ctx: &mut TickCtx<'_>) {}
+            fn name(&self) -> &str {
+                "latcher"
+            }
+            fn next_event(&self, cycle: Cycle) -> Option<Cycle> {
+                self.shared.borrow().then_some(cycle)
+            }
+        }
+
+        let shared: Shared = Rc::new(RefCell::new(false));
+        let mut sim = Sim::new();
+        sim.set_sanitize(true);
+        sim.add(Setter {
+            shared: Rc::clone(&shared),
+            at: 10,
+        });
+        let latcher = sim.add(Latcher {
+            shared: Rc::clone(&shared),
+        });
+        sim.add(Nop); // heartbeat: keeps every cycle processed
+        sim.run(20);
+        assert!(
+            sim.sanitizer_violations()
+                .iter()
+                .any(|v| v.kind == SanitizerKind::UndeclaredWake && v.component == latcher.index()),
+            "undeclared wake must be flagged: {:?}",
+            sim.sanitizer_violations()
         );
     }
 }

@@ -545,11 +545,35 @@ impl Testbench {
     }
 
     /// Panics with a full report if any monitor saw a violation. A no-op
-    /// when monitors are disabled.
+    /// when monitors are disabled — except for the access sanitizer
+    /// (`REALM_SANITIZE=1`), whose verdict is independent of the monitor
+    /// rig: an undeclared access is a declaration bug whether or not
+    /// protocol monitors are watching.
     pub fn assert_conformance(&self) {
+        let san = self.sim.sanitizer_violations();
+        assert!(
+            san.is_empty(),
+            "access sanitizer recorded {} violation(s) ({} dropped beyond the cap):\n{}",
+            san.len(),
+            self.sim.sanitizer_violations_dropped(),
+            san.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
         if self.monitors_enabled() {
             self.conformance_report().assert_clean();
         }
+    }
+
+    /// The static dependence partition of this system (Pass C of
+    /// `realm-lint`): island decomposition, evaluation schedule, and edge
+    /// census. The Cheshire testbench is deliberately one island — the
+    /// crossbar wires every manager to every subordinate — so the value
+    /// here is the schedule/edge census and the regression that the
+    /// partition never silently fragments.
+    pub fn partition(&self) -> realm_lint::Partition {
+        realm_lint::analyze_deps(&self.sim.topology(), &self.lint_model()).0
     }
 
     /// Snapshots the run into a [`RunResult`].

@@ -8,7 +8,7 @@ use axi4::{Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, SubordinateId, 
 use axi_conformance::ProtocolMonitor;
 use axi_mem::{MemoryConfig, MemoryModel};
 use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
-use axi_sim::{AxiBundle, BundleCapacity, Component, ComponentId, Sim, TraceProbe};
+use axi_sim::{AxiBundle, BundleCapacity, Component, ComponentId, KernelMode, Sim, TraceProbe};
 use axi_traffic::{FuzzSpec, Op, ScriptedManager};
 use axi_xbar::{AddressMap, Crossbar};
 use cheshire_soc::{Testbench, TestbenchConfig};
@@ -303,19 +303,24 @@ proptest! {
 
         let mut fast = build_contended_rig(scripts(), frag_len, budget, period);
         let mut slow = build_contended_rig(scripts(), frag_len, budget, period);
+        let mut islands = build_contended_rig(scripts(), frag_len, budget, period);
 
         fast.sim.run(cycles);
         for _ in 0..cycles {
             slow.sim.step();
         }
+        islands.sim.set_kernel_mode(KernelMode::Islands);
+        islands.sim.run(cycles);
 
         let a = observe_contended(&fast);
         let b = observe_contended(&slow);
-        prop_assert_eq!(a, b, "event kernel diverged from stepping");
+        prop_assert_eq!(&a, &b, "event kernel diverged from stepping");
+        let c = observe_contended(&islands);
+        prop_assert_eq!(&a, &c, "islands kernel diverged from the event kernel");
 
         // Monitors must be clean in absolute terms, not merely identical —
         // otherwise "both kernels see the same violation" would pass.
-        for rig in [&fast, &slow] {
+        for rig in [&fast, &slow, &islands] {
             for &id in &rig.monitors {
                 let mon = rig.sim.component::<ProtocolMonitor>(id).expect("monitor");
                 prop_assert!(mon.is_clean(), "{}: {:?}", mon.name(), mon.violations());
@@ -327,8 +332,10 @@ proptest! {
         // accounted for exactly once.
         prop_assert_eq!(format!("{:?}", fast.sim.contract_violations()), "[]");
         prop_assert_eq!(format!("{:?}", slow.sim.contract_violations()), "[]");
+        prop_assert_eq!(format!("{:?}", islands.sim.contract_violations()), "[]");
         prop_assert_eq!(fast.sim.kernel_stats().cycles_total(), cycles);
         prop_assert_eq!(slow.sim.kernel_stats().cycles_total(), cycles);
+        prop_assert_eq!(islands.sim.kernel_stats().cycles_total(), cycles);
     }
 }
 
@@ -404,9 +411,24 @@ fn testbench_run_matches_stepping() {
     for _ in 0..CYCLES {
         slow.sim_mut().step();
     }
+    // The islands kernel steps the partition island-major within each
+    // cycle; the full testbench is one island, so this exercises exactly
+    // the serial tick order and must stay bit-identical too.
+    let mut isl = Testbench::new(config());
+    isl.sim_mut().set_kernel_mode(KernelMode::Islands);
+    isl.run(CYCLES);
 
     let a = fast.result();
     let b = slow.result();
+    let c = isl.result();
+    assert_eq!(a.cycles, c.cycles);
+    assert_eq!(a.core_accesses, c.core_accesses);
+    assert_eq!(a.dma_bytes, c.dma_bytes);
+    assert_eq!(a.llc_beats, c.llc_beats);
+    assert_eq!(
+        format!("{:?}", a.core_latency),
+        format!("{:?}", c.core_latency)
+    );
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.core_accesses, b.core_accesses);
     assert_eq!(
