@@ -1,0 +1,88 @@
+//! Appends `ChannelPool` micro-benchmark means to `BENCH_kernel.json`.
+//!
+//! Runs the four `poolbench` workloads — ring vs `VecDeque`, per-cycle vs
+//! bulk batch move — with a fixed wall-clock budget each, and writes their
+//! mean ns-per-beat under a `pool_microbench` key in the kernel baseline
+//! file (first CLI argument, `BENCH_kernel.json` by default), preserving
+//! every other key. Wall-clock is machine-dependent, which is exactly why
+//! these numbers live in the bench baseline and not in `results/*.json`.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark workload: the JSON key it reports under, and the
+/// beats-to-checksum function it times.
+type Workload = (&'static str, fn(u64) -> u64);
+
+use realm_bench::json::{parse, Json};
+use realm_bench::poolbench;
+
+/// Beats moved per timed call.
+const OPS: u64 = 4096;
+/// Measurement budget per workload.
+const BUDGET: Duration = Duration::from_millis(200);
+
+/// Mean nanoseconds per beat over as many `f(OPS)` calls as fit in
+/// [`BUDGET`], after one warmup/calibration call.
+fn measure(f: fn(u64) -> u64) -> f64 {
+    let start = Instant::now();
+    std::hint::black_box(f(OPS));
+    let per_call = start.elapsed().max(Duration::from_nanos(1));
+    let calls = (BUDGET.as_nanos() / per_call.as_nanos()).clamp(1, 1_000_000) as u64;
+    let start = Instant::now();
+    for _ in 0..calls {
+        std::hint::black_box(f(OPS));
+    }
+    start.elapsed().as_nanos() as f64 / (calls * OPS) as f64
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernel.json".to_owned());
+
+    let workloads: [Workload; 6] = [
+        ("ring_push_pop_ns_per_beat", poolbench::ring_push_pop),
+        (
+            "vecdeque_push_pop_ns_per_beat",
+            poolbench::vecdeque_push_pop,
+        ),
+        (
+            "ring_relay_per_cycle_ns_per_beat",
+            poolbench::ring_relay_per_cycle,
+        ),
+        ("ring_batch_move_ns_per_beat", poolbench::ring_batch_move),
+        (
+            "vecdeque_relay_per_cycle_ns_per_beat",
+            poolbench::vecdeque_relay_per_cycle,
+        ),
+        (
+            "vecdeque_batch_move_ns_per_beat",
+            poolbench::vecdeque_batch_move,
+        ),
+    ];
+    let mut section = vec![
+        ("ops_per_call".to_owned(), Json::Int(OPS as i64)),
+        ("batch_depth".to_owned(), Json::Int(poolbench::BATCH as i64)),
+    ];
+    for (key, f) in workloads {
+        let ns = measure(f);
+        println!("pool_microbench {key:<36} {ns:>8.2} ns/beat");
+        section.push((key.to_owned(), Json::Num(ns)));
+    }
+
+    // Merge into the existing baseline: drop any stale section, keep the
+    // rest of the document untouched.
+    let doc = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| parse(&text).ok());
+    let mut fields = match doc {
+        Some(Json::Obj(fields)) => fields
+            .into_iter()
+            .filter(|(k, _)| k != "pool_microbench")
+            .collect(),
+        _ => Vec::new(),
+    };
+    fields.push(("pool_microbench".to_owned(), Json::Obj(section)));
+    std::fs::write(&path, Json::Obj(fields).pretty()).expect("write kernel baseline");
+    println!("appended pool_microbench to {path}");
+}

@@ -7,6 +7,7 @@
 
 pub mod conformance;
 pub mod json;
+pub mod poolbench;
 pub mod report;
 pub mod sweep;
 

@@ -518,6 +518,17 @@ impl Component for ProtocolMonitor {
         None
     }
 
+    // Unbounded: the monitor's state is a pure fold over stamped tap
+    // records in push order — violations and counters come out identical
+    // whether a span of ticks is replayed beat-exact or its drains land in
+    // one batch (each record carries the cycle it was pushed, and causal
+    // channel order within a drain is preserved by `tick`). An observer
+    // also never pushes or pops, so the capacity half of the horizon
+    // contract is vacuous.
+    fn batch_horizon(&self, _cycle: Cycle, _pool: &axi_sim::ChannelPool) -> u64 {
+        u64::MAX
+    }
+
     fn coverage(&self, map: &mut axi_sim::CoverageMap) {
         // Rule coverage: which of the 12 protocol rules this port has
         // *observed firing*, exact counts. Channel-activity keys record

@@ -2,7 +2,7 @@
 //! component between a manager and the interconnect.
 
 use axi4::{fragment_read, fragment_write_header};
-use axi_sim::{AxiBundle, Component, TickCtx};
+use axi_sim::{AxiBundle, ChannelPool, Component, TickCtx};
 
 use crate::config::{DesignConfig, RuntimeConfig};
 use crate::counters::UnitStats;
@@ -144,6 +144,16 @@ impl RealmUnit {
     /// fields apply immediately, intrusive ones (enable, fragmentation
     /// length) trigger an isolate-and-drain before being adopted.
     fn sync_config(&mut self, cycle: u64) {
+        // Fast path: no pending command, no drain in progress, and the
+        // programmed configuration is already the active one. Everything
+        // below is then a no-op, and the clone it starts with is the
+        // single biggest per-tick cost of an idle unit.
+        {
+            let shared = self.regs.borrow();
+            if !shared.clear_stats && !self.reconfiguring && shared.runtime == self.active {
+                return;
+            }
+        }
         let mut shared = self.regs.borrow_mut();
         let target = shared.runtime.clone();
         let clear = std::mem::take(&mut shared.clear_stats);
@@ -178,25 +188,33 @@ impl RealmUnit {
     fn tick_bypass(&mut self, ctx: &mut TickCtx<'_>) {
         let up = self.upstream;
         let down = self.downstream;
-        if ctx.pool.peek(up.aw, ctx.cycle).is_some() && ctx.pool.can_push(down.aw, ctx.cycle) {
-            let beat = ctx.pool.pop(up.aw, ctx.cycle).expect("peeked beat");
-            ctx.pool.push(down.aw, ctx.cycle, beat);
+        // `can_push` before `pop`: popping only when the forward can land
+        // keeps the beat in place under backpressure, and skipping the
+        // separate peek avoids checking front visibility twice per channel.
+        if ctx.pool.can_push(down.aw, ctx.cycle) {
+            if let Some(beat) = ctx.pool.pop(up.aw, ctx.cycle) {
+                ctx.pool.push(down.aw, ctx.cycle, beat);
+            }
         }
-        if ctx.pool.peek(up.w, ctx.cycle).is_some() && ctx.pool.can_push(down.w, ctx.cycle) {
-            let beat = ctx.pool.pop(up.w, ctx.cycle).expect("peeked beat");
-            ctx.pool.push(down.w, ctx.cycle, beat);
+        if ctx.pool.can_push(down.w, ctx.cycle) {
+            if let Some(beat) = ctx.pool.pop(up.w, ctx.cycle) {
+                ctx.pool.push(down.w, ctx.cycle, beat);
+            }
         }
-        if ctx.pool.peek(up.ar, ctx.cycle).is_some() && ctx.pool.can_push(down.ar, ctx.cycle) {
-            let beat = ctx.pool.pop(up.ar, ctx.cycle).expect("peeked beat");
-            ctx.pool.push(down.ar, ctx.cycle, beat);
+        if ctx.pool.can_push(down.ar, ctx.cycle) {
+            if let Some(beat) = ctx.pool.pop(up.ar, ctx.cycle) {
+                ctx.pool.push(down.ar, ctx.cycle, beat);
+            }
         }
-        if ctx.pool.peek(down.b, ctx.cycle).is_some() && ctx.pool.can_push(up.b, ctx.cycle) {
-            let beat = ctx.pool.pop(down.b, ctx.cycle).expect("peeked beat");
-            ctx.pool.push(up.b, ctx.cycle, beat);
+        if ctx.pool.can_push(up.b, ctx.cycle) {
+            if let Some(beat) = ctx.pool.pop(down.b, ctx.cycle) {
+                ctx.pool.push(up.b, ctx.cycle, beat);
+            }
         }
-        if ctx.pool.peek(down.r, ctx.cycle).is_some() && ctx.pool.can_push(up.r, ctx.cycle) {
-            let beat = ctx.pool.pop(down.r, ctx.cycle).expect("peeked beat");
-            ctx.pool.push(up.r, ctx.cycle, beat);
+        if ctx.pool.can_push(up.r, ctx.cycle) {
+            if let Some(beat) = ctx.pool.pop(down.r, ctx.cycle) {
+                ctx.pool.push(up.r, ctx.cycle, beat);
+            }
         }
     }
 
@@ -218,33 +236,27 @@ impl RealmUnit {
 
     fn tick_responses(&mut self, ctx: &mut TickCtx<'_>) {
         // Read data downstream → upstream, with last-gating and charging.
-        if ctx.pool.peek(self.downstream.r, ctx.cycle).is_some()
-            && ctx.pool.can_push(self.upstream.r, ctx.cycle)
-        {
-            let r = ctx
-                .pool
-                .pop(self.downstream.r, ctx.cycle)
-                .expect("peeked beat");
-            let routed = self.read.on_response(r, ctx.cycle);
-            if let (Some(region), Some(latency)) = (routed.region, routed.completed_latency) {
-                self.monitor.record_completion(region, latency);
+        // `can_push` gates the pop so the beat stays put under upstream
+        // backpressure (no separate peek: visibility is checked once).
+        if ctx.pool.can_push(self.upstream.r, ctx.cycle) {
+            if let Some(r) = ctx.pool.pop(self.downstream.r, ctx.cycle) {
+                let routed = self.read.on_response(r, ctx.cycle);
+                if let (Some(region), Some(latency)) = (routed.region, routed.completed_latency) {
+                    self.monitor.record_completion(region, latency);
+                }
+                ctx.pool.push(self.upstream.r, ctx.cycle, routed.beat);
             }
-            ctx.pool.push(self.upstream.r, ctx.cycle, routed.beat);
         }
         // Write responses: coalesce, forward on completion.
-        if ctx.pool.peek(self.downstream.b, ctx.cycle).is_some()
-            && ctx.pool.can_push(self.upstream.b, ctx.cycle)
-        {
-            let b = ctx
-                .pool
-                .pop(self.downstream.b, ctx.cycle)
-                .expect("peeked beat");
-            let routed = self.write.on_response(b, ctx.cycle);
-            if let (Some(region), Some(latency)) = (routed.region, routed.completed_latency) {
-                self.monitor.record_completion(region, latency);
-            }
-            if let Some(beat) = routed.beat {
-                ctx.pool.push(self.upstream.b, ctx.cycle, beat);
+        if ctx.pool.can_push(self.upstream.b, ctx.cycle) {
+            if let Some(b) = ctx.pool.pop(self.downstream.b, ctx.cycle) {
+                let routed = self.write.on_response(b, ctx.cycle);
+                if let (Some(region), Some(latency)) = (routed.region, routed.completed_latency) {
+                    self.monitor.record_completion(region, latency);
+                }
+                if let Some(beat) = routed.beat {
+                    ctx.pool.push(self.upstream.b, ctx.cycle, beat);
+                }
             }
         }
     }
@@ -276,8 +288,7 @@ impl RealmUnit {
         // Write data is consumed even while isolated: it belongs to already
         // accepted transactions, which must be allowed to complete.
         if self.write.can_take_beat() {
-            if let Some(&w) = ctx.pool.peek(self.upstream.w, ctx.cycle) {
-                ctx.pool.pop(self.upstream.w, ctx.cycle);
+            if let Some(w) = ctx.pool.pop(self.upstream.w, ctx.cycle) {
                 self.write.take_beat(w);
             }
         }
@@ -469,5 +480,64 @@ impl Component for RealmUnit {
         // are constant while asleep; and a region whose budget or byte
         // counter differs from its reset value has a period-boundary wake
         // scheduled, so no stretch crosses a replenishment.
+    }
+
+    fn batch_horizon(&self, cycle: u64, pool: &ChannelPool) -> u64 {
+        // Only the transparent-wire bypass is batchable: an enabled unit
+        // makes per-cycle decisions (budgets, fragmentation, isolation)
+        // that are exactly the discrete transitions a window must exclude.
+        if self.active.enabled || self.reconfiguring {
+            return 0;
+        }
+        {
+            // A pending register command needs `sync_config` every cycle
+            // until applied.
+            let shared = self.regs.borrow();
+            if shared.clear_stats || shared.runtime != self.active {
+                return 0;
+            }
+        }
+        // The period grid advances per cycle once any region has a period;
+        // with all periods zero `BudgetMonitor::tick` is a no-op.
+        if self.monitor.regions().iter().any(|r| r.config.period > 0) {
+            return 0;
+        }
+        // Capacity bound per relay chain: the beats already queued and
+        // visible on the consumed wire, and the free slots on the driven
+        // wire. Every channel constrains — an empty channel yields zero,
+        // because a peer's in-window push would reach the per-cycle relay
+        // one cycle later but not a ring sweep sized at window start.
+        let up = self.upstream;
+        let down = self.downstream;
+        pool.relayable(up.aw, cycle)
+            .min(pool.headroom(down.aw, cycle))
+            .min(pool.relayable(up.w, cycle))
+            .min(pool.headroom(down.w, cycle))
+            .min(pool.relayable(up.ar, cycle))
+            .min(pool.headroom(down.ar, cycle))
+            .min(pool.relayable(down.b, cycle))
+            .min(pool.headroom(up.b, cycle))
+            .min(pool.relayable(down.r, cycle))
+            .min(pool.headroom(up.r, cycle))
+    }
+
+    fn batch_tick(&mut self, ctx: &mut TickCtx<'_>, window: u64) {
+        // Reached only through `batch_horizon`, i.e. in steady bypass:
+        // `sync_config` and `BudgetMonitor::tick` are no-ops, so `window`
+        // transparent-relay ticks collapse to five ring sweeps. Each sweep
+        // moves exactly `window` beats (the horizon bounded the window by
+        // every chain's `relayable`/`headroom`), with stamps, taps, and
+        // stats landing where the per-cycle ticks would have put them.
+        debug_assert!(!self.active.enabled && !self.reconfiguring);
+        let up = self.upstream;
+        let down = self.downstream;
+        ctx.pool.batch_relay(up.aw, down.aw, ctx.cycle, window);
+        ctx.pool.batch_relay(up.w, down.w, ctx.cycle, window);
+        ctx.pool.batch_relay(up.ar, down.ar, ctx.cycle, window);
+        ctx.pool.batch_relay(down.b, up.b, ctx.cycle, window);
+        ctx.pool.batch_relay(down.r, up.r, ctx.cycle, window);
+        // Everything `mirror_status` writes is unchanged by pure relaying;
+        // one trailing call matches the last per-cycle tick's mirror.
+        self.mirror_status();
     }
 }

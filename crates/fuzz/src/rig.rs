@@ -169,6 +169,13 @@ fn build(spec: &SystemSpec) -> Rig {
     let xbar_refs: Vec<&str> = xbar_sides.iter().map(String::as_str).collect();
     scoreboard = scoreboard.boundary(&xbar_refs, &["mem"]);
 
+    // Production parity with the SoC testbench: feed Pass C's beat-batching
+    // plan to the sim. Non-arena kernels ignore it; under REALM_KERNEL=arena
+    // the enabled units pin their horizons at zero, so fuzz runs exercise
+    // the window-gate machinery without a single observable changing.
+    let (partition, _) = realm_lint::analyze_deps(&sim.topology(), &spec.model());
+    sim.set_batch_plan(partition.batch_allowed);
+
     Rig {
         sim,
         mgrs,

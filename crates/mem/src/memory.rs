@@ -228,6 +228,19 @@ impl MemoryModel {
             && self.b_pending.is_empty()
     }
 
+    /// `true` if any accepted read burst is still queued (the
+    /// `reads_queued` counter mirrors the `Pending::Read` population).
+    #[inline]
+    fn reads_queued_pending(&self) -> bool {
+        self.reads_queued > 0
+    }
+
+    /// `true` if any accepted write burst is still queued.
+    #[inline]
+    fn writes_queued_pending(&self) -> bool {
+        self.writes_queued > 0
+    }
+
     fn resp_for(&mut self, addr: Addr) -> Resp {
         self.bursts_accepted += 1;
         if self.cfg.error_every > 0 && self.bursts_accepted.is_multiple_of(self.cfg.error_every) {
@@ -307,7 +320,9 @@ impl MemoryModel {
                 }
             }
         } else {
-            if self.active_read.is_none() {
+            // The queued-read/-write counters make the empty case O(1);
+            // the scan only runs when a matching burst is actually queued.
+            if self.active_read.is_none() && self.reads_queued_pending() {
                 if let Some(pos) = self
                     .pending
                     .iter()
@@ -319,7 +334,7 @@ impl MemoryModel {
                     self.activate_read(ar, ctx.cycle);
                 }
             }
-            if self.active_write.is_none() {
+            if self.active_write.is_none() && self.writes_queued_pending() {
                 if let Some(pos) = self
                     .pending
                     .iter()
@@ -432,10 +447,8 @@ impl Component for MemoryModel {
         let promote_now = if self.cfg.shared_port {
             self.active_read.is_none() && self.active_write.is_none() && !self.pending.is_empty()
         } else {
-            (self.active_read.is_none()
-                && self.pending.iter().any(|p| matches!(p, Pending::Read(_))))
-                || (self.active_write.is_none()
-                    && self.pending.iter().any(|p| matches!(p, Pending::Write(_))))
+            (self.active_read.is_none() && self.reads_queued_pending())
+                || (self.active_write.is_none() && self.writes_queued_pending())
         };
         if promote_now {
             note(cycle);

@@ -1,5 +1,6 @@
 //! Sparse byte-accurate backing store.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use axi4::Addr;
@@ -12,6 +13,12 @@ const PAGE_BYTES: u64 = 4096;
 /// zero. Word accesses operate on the 8-byte-aligned word containing the
 /// address, with strobes selecting byte lanes — matching AXI data-lane
 /// semantics on a 64-bit bus.
+///
+/// Page bodies live in a dense `Vec`; the sparse address→page mapping is a
+/// `BTreeMap` consulted once per access at most: a one-entry cache keyed
+/// on the page number short-circuits the lookup for the streaming access
+/// patterns bursts produce, and an aligned word access touches exactly one
+/// page (4096 is a multiple of 8), never eight map probes.
 ///
 /// ```
 /// use axi_mem::Storage;
@@ -26,7 +33,25 @@ const PAGE_BYTES: u64 = 4096;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Storage {
-    pages: BTreeMap<u64, Box<[u8]>>,
+    index: BTreeMap<u64, u32>,
+    pages: Vec<Box<[u8]>>,
+    // Last page touched: (page_number, dense index). Pages are never
+    // freed, so a cached index stays valid for the life of the store.
+    cache: Cell<Option<(u64, u32)>>,
+}
+
+/// Expands a byte strobe into a 64-bit lane mask (bit *i* set → byte *i*
+/// all-ones).
+#[inline]
+fn lane_mask(strb: u8) -> u64 {
+    let mut mask = 0u64;
+    let mut s = strb;
+    while s != 0 {
+        let lane = s.trailing_zeros();
+        mask |= 0xffu64 << (lane * 8);
+        s &= s - 1;
+    }
+    mask
 }
 
 impl Storage {
@@ -35,43 +60,79 @@ impl Storage {
         Self::default()
     }
 
+    /// Dense index of `page` if it is allocated, consulting the one-entry
+    /// cache before the map.
+    #[inline]
+    fn page_index(&self, page: u64) -> Option<u32> {
+        if let Some((cached_page, idx)) = self.cache.get() {
+            if cached_page == page {
+                return Some(idx);
+            }
+        }
+        let idx = *self.index.get(&page)?;
+        self.cache.set(Some((page, idx)));
+        Some(idx)
+    }
+
+    /// Dense index of `page`, allocating a zeroed page on first touch.
+    #[inline]
+    fn page_index_or_alloc(&mut self, page: u64) -> u32 {
+        if let Some(idx) = self.page_index(page) {
+            return idx;
+        }
+        let idx = self.pages.len() as u32;
+        self.pages
+            .push(vec![0u8; PAGE_BYTES as usize].into_boxed_slice());
+        self.index.insert(page, idx);
+        self.cache.set(Some((page, idx)));
+        idx
+    }
+
     /// Reads one byte; untouched memory reads as zero.
     pub fn read_byte(&self, addr: Addr) -> u8 {
         let page = addr.raw() / PAGE_BYTES;
         let offset = (addr.raw() % PAGE_BYTES) as usize;
-        self.pages.get(&page).map_or(0, |p| p[offset])
+        self.page_index(page)
+            .map_or(0, |i| self.pages[i as usize][offset])
     }
 
     /// Writes one byte, allocating the page if needed.
     pub fn write_byte(&mut self, addr: Addr, value: u8) {
         let page = addr.raw() / PAGE_BYTES;
         let offset = (addr.raw() % PAGE_BYTES) as usize;
-        let page = self
-            .pages
-            .entry(page)
-            .or_insert_with(|| vec![0u8; PAGE_BYTES as usize].into_boxed_slice());
-        page[offset] = value;
+        let idx = self.page_index_or_alloc(page);
+        self.pages[idx as usize][offset] = value;
     }
 
     /// Reads the 8-byte-aligned word containing `addr`, little-endian.
     pub fn read_word(&self, addr: Addr) -> u64 {
         let base = addr.align_down(8);
-        let mut word = 0u64;
-        for lane in 0..8 {
-            word |= u64::from(self.read_byte(base + lane)) << (lane * 8);
+        let page = base.raw() / PAGE_BYTES;
+        let offset = (base.raw() % PAGE_BYTES) as usize;
+        match self.page_index(page) {
+            Some(i) => {
+                let bytes = &self.pages[i as usize][offset..offset + 8];
+                u64::from_le_bytes(bytes.try_into().expect("word slice is 8 bytes"))
+            }
+            None => 0,
         }
-        word
     }
 
     /// Writes byte lanes of the 8-byte-aligned word containing `addr`:
     /// lane *i* of `data` is written where bit *i* of `strb` is set.
     pub fn write_word(&mut self, addr: Addr, data: u64, strb: u8) {
-        let base = addr.align_down(8);
-        for lane in 0..8u64 {
-            if strb & (1 << lane) != 0 {
-                self.write_byte(base + lane, (data >> (lane * 8)) as u8);
-            }
+        if strb == 0 {
+            return;
         }
+        let base = addr.align_down(8);
+        let page = base.raw() / PAGE_BYTES;
+        let offset = (base.raw() % PAGE_BYTES) as usize;
+        let idx = self.page_index_or_alloc(page);
+        let bytes = &mut self.pages[idx as usize][offset..offset + 8];
+        let mask = lane_mask(strb);
+        let old = u64::from_le_bytes((&*bytes).try_into().expect("word slice is 8 bytes"));
+        let merged = (old & !mask) | (data & mask);
+        bytes.copy_from_slice(&merged.to_le_bytes());
     }
 
     /// Copies a byte slice into memory starting at `addr`.
@@ -140,6 +201,29 @@ mod tests {
         let data: Vec<u8> = (0..=255).collect();
         s.load(Addr::new(0xff8), &data); // spans a page boundary
         assert_eq!(s.dump(Addr::new(0xff8), 256), data);
+        assert_eq!(s.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn strobed_writes_do_not_allocate_on_zero_strobe() {
+        let mut s = Storage::new();
+        s.write_word(Addr::new(0x9000), 0xffff, 0x00);
+        assert_eq!(s.allocated_pages(), 0);
+        assert_eq!(s.read_word(Addr::new(0x9000)), 0);
+    }
+
+    #[test]
+    fn cache_survives_interleaved_pages() {
+        let mut s = Storage::new();
+        // Alternate between two pages to exercise cache misses and hits.
+        for i in 0..16u64 {
+            s.write_word(Addr::new(0x1000 + i * 8), i, 0xff);
+            s.write_word(Addr::new(0x5000 + i * 8), !i, 0xff);
+        }
+        for i in 0..16u64 {
+            assert_eq!(s.read_word(Addr::new(0x1000 + i * 8)), i);
+            assert_eq!(s.read_word(Addr::new(0x5000 + i * 8)), !i);
+        }
         assert_eq!(s.allocated_pages(), 2);
     }
 }

@@ -22,8 +22,8 @@ use std::collections::{BTreeSet, BinaryHeap};
 use std::fmt;
 
 use crate::pool::{
-    channel_slot, ChannelPool, RawSanViolation, SanitizerKind, SanitizerTables, WireEvent,
-    CHANNEL_SLOTS,
+    channel_slot, ChannelPool, RawSanViolation, SanitizerKind, SanitizerTables, WakeTables,
+    WireEvent, CHANNEL_SLOTS,
 };
 
 use crate::component::{Component, TickCtx};
@@ -59,9 +59,18 @@ pub struct KernelStats {
     /// `component_ticks + component_skips == cycles_total() * n_components`
     /// holds for a run driven by one kernel throughout.
     pub component_skips: u64,
-    /// Successful wire pushes and pops the event kernel translated into
-    /// wakes (0 under the stepping kernel, which needs none).
+    /// Successful wire pushes and pops the event or arena kernel
+    /// translated into wakes (0 under the stepping kernel, which needs
+    /// none). Beats moved by a batched transfer count one push and one pop
+    /// each, exactly as their per-cycle execution would have.
     pub wire_events: u64,
+    /// Beats moved by batched transfers ([`ChannelPool::batch_relay`])
+    /// instead of per-cycle ticks. Each batched beat is still one beat
+    /// moved — `wire_events` includes them — this counter reports how many
+    /// rode a bulk window.
+    pub batched_beats: u64,
+    /// Batch windows the arena kernel executed (each covering ≥ 2 cycles).
+    pub batch_windows: u64,
 }
 
 impl KernelStats {
@@ -89,12 +98,25 @@ pub enum KernelMode {
     /// stepped by its own worker once component storage is `Send` (the
     /// arena refactor). Selected by `REALM_KERNEL=islands`.
     Islands,
+    /// Compiled-schedule kernel: components are pinned to *schedule
+    /// positions* (island-major registration order, at most 64), every
+    /// per-cycle set is a single `u64` mask, and wire activity reaches the
+    /// scheduler through the pool's wake-mask accumulators instead of an
+    /// event log — no heap, no per-event allocation. On top of the mask
+    /// scheduler it runs beat-batched transfers: when every due component
+    /// can stream ahead ([`Component::batch_horizon`]) and no sleeping
+    /// component wakes inside the window, queued beats move in bulk ring
+    /// copies ([`ChannelPool::batch_relay`]) instead of per-cycle virtual
+    /// ticks. Selected by `REALM_KERNEL=arena`; systems with more than 64
+    /// components fall back to the event kernel.
+    Arena,
 }
 
 fn kernel_mode_from_env() -> KernelMode {
     match std::env::var("REALM_KERNEL").as_deref() {
         Ok("step") | Ok("stepped") | Ok("cycle") => KernelMode::Step,
         Ok("islands") | Ok("island") => KernelMode::Islands,
+        Ok("arena") | Ok("compiled") => KernelMode::Arena,
         _ => KernelMode::Event,
     }
 }
@@ -322,6 +344,44 @@ impl Scheduler {
     }
 }
 
+/// The arena kernel's compiled schedule and mask scheduler. Components are
+/// addressed by *schedule position* — island-major registration order, at
+/// most 64 — so every per-cycle set (due now, due next, opaque) is one
+/// `u64` and translating wire activity into wakes is a couple of ORs
+/// against the pool's accumulators instead of a walk over an event log.
+#[derive(Default)]
+struct ArenaSched {
+    /// `order[pos]` = registration index of the component ticked at
+    /// schedule position `pos`.
+    order: Vec<u32>,
+    /// Positions of opaque (port-less) components: woken by any
+    /// event-bearing tick, exactly like the event kernel's opaque list.
+    opaque_mask: u64,
+    /// Per position: declared Consume wires as `(slot, wire)`.
+    consume: Vec<Vec<(usize, usize)>>,
+    /// Per position: coupled dependents, as schedule positions.
+    dependents: Vec<Vec<u32>>,
+    /// Per position: non-observer endpoints of every wire the component
+    /// drives or consumes (its own bit included). A batch window requires
+    /// every such peer to be due — batched activity on the shared wire
+    /// would otherwise have to wake a sleeping peer mid-window.
+    peers: Vec<u64>,
+    /// Positions due at the cycle being processed.
+    due: u64,
+    /// Positions due at the immediately following cycle (the fast path
+    /// back-to-back beat streams ride without touching `wake_at`).
+    due_next: u64,
+    /// Per position: earliest pending far wake (`>= cycle + 2`; `NEVER` =
+    /// none). Only the component's own hints land here — wire wakes always
+    /// go through the masks.
+    wake_at: Vec<Cycle>,
+    /// Lower bound on `min(wake_at)`; may be stale after a discarded wake
+    /// and is re-derived exactly on every merge scan.
+    wake_min: Cycle,
+    /// `(components, wires, couples)` the schedule was compiled for.
+    signature: (usize, usize, usize),
+}
+
 /// A cycle-accurate simulator: a [`ChannelPool`] plus an ordered list of
 /// components.
 ///
@@ -380,6 +440,12 @@ pub struct Sim {
     /// `(components, wires, couples)` signature it was computed for.
     islands: Vec<Vec<usize>>,
     islands_signature: Option<(usize, usize, usize)>,
+    /// Compiled schedule + mask scheduler for [`KernelMode::Arena`].
+    arena: ArenaSched,
+    /// Per registration index: whether the batching plan allows this
+    /// component to stream through batch windows (see
+    /// [`Sim::set_batch_plan`]). Empty = no plan = no batching.
+    batch_allowed: Vec<bool>,
 }
 
 impl Sim {
@@ -407,6 +473,8 @@ impl Sim {
             san_scratch: Vec::new(),
             islands: Vec::new(),
             islands_signature: None,
+            arena: ArenaSched::default(),
+            batch_allowed: Vec::new(),
         }
     }
 
@@ -756,7 +824,10 @@ impl Sim {
         clamp: Option<Cycle>,
     ) -> bool {
         let target = self.cycle + max_cycles;
-        if self.mode != KernelMode::Event {
+        // Arena needs one mask bit per component; larger systems fall back
+        // to the event kernel, which shares its observable semantics.
+        let arena = self.mode == KernelMode::Arena && self.components.len() <= 64;
+        if matches!(self.mode, KernelMode::Step | KernelMode::Islands) {
             while self.cycle < target {
                 if let Some(done) = done.as_mut() {
                     if done(self) {
@@ -772,6 +843,9 @@ impl Sim {
                 Some(done) => done(self),
                 None => false,
             };
+        }
+        if arena {
+            return self.drive_arena(target, done, clamp);
         }
 
         self.prepare_run();
@@ -823,6 +897,11 @@ impl Sim {
     /// exactly as the stepping kernel would see it.
     fn prepare_run(&mut self) {
         self.ensure_sanitizer();
+        // A previous arena run may have left wake masks armed; the event
+        // kernel derives wakes from the event log instead.
+        if self.pool.wake_armed() {
+            self.pool.set_wake_tables(None);
+        }
         let signature = (
             self.components.len(),
             self.pool.wire_count(),
@@ -1147,6 +1226,473 @@ impl Sim {
         let mut next_list = next_list;
         next_list.clear();
         self.sched.next_list = next_list;
+    }
+
+    /// Installs the batching plan: `allowed[i]` says whether the component
+    /// registered at index `i` may stream through batch windows (see
+    /// [`Component::batch_horizon`]). The plan comes from static analysis —
+    /// `realm-lint` marks a component batchable only when every wire it
+    /// drives or consumes is an uncontended point-to-point path — so the
+    /// kernel never has to second-guess a horizon's wire footprint. An
+    /// empty plan (the default) disables batching entirely.
+    pub fn set_batch_plan(&mut self, allowed: Vec<bool>) {
+        self.batch_allowed = allowed;
+    }
+
+    /// The installed batching plan (empty = batching off).
+    pub fn batch_plan(&self) -> &[bool] {
+        &self.batch_allowed
+    }
+
+    /// The arena-kernel driver behind [`Sim::drive`]: mask scheduler plus
+    /// batch windows. Bit-identical to the event and stepping kernels in
+    /// every observable.
+    fn drive_arena<F: FnMut(&Sim) -> bool>(
+        &mut self,
+        target: Cycle,
+        mut done: Option<&mut F>,
+        clamp: Option<Cycle>,
+    ) -> bool {
+        self.prepare_arena_run();
+        let n = self.components.len() as u64;
+        loop {
+            if let Some(done) = done.as_mut() {
+                self.flush_all(self.cycle);
+                if done(self) {
+                    return true;
+                }
+            }
+            if self.cycle >= target {
+                break;
+            }
+            if self.arena.wake_min <= self.cycle {
+                self.merge_far_wakes();
+            }
+            if self.arena.due != 0 {
+                // Windows only in predicate-free runs: `run_until` checks
+                // its predicate before every processed cycle, and a window
+                // advancing several cycles at once could overshoot the
+                // exact stop cycle a stepped run would report.
+                if done.is_none() && !self.batch_allowed.is_empty() {
+                    if let Some(window) = self.batch_window(target, clamp) {
+                        self.run_batch_window(window);
+                        continue;
+                    }
+                }
+                self.process_cycle_arena();
+                continue;
+            }
+            // Nothing due: jump to the earliest pending far wake, bounded
+            // by the run target and the clamp.
+            let next = self.arena.wake_min.min(target);
+            let jump = match clamp {
+                Some(boundary) if boundary > self.cycle => next.min(boundary),
+                _ => next,
+            };
+            debug_assert!(jump > self.cycle, "jump must make progress");
+            self.stats.cycles_skipped += jump - self.cycle;
+            self.stats.component_skips += (jump - self.cycle) * n;
+            self.stats.fast_forwards += 1;
+            self.cycle = jump;
+        }
+        self.flush_all(self.cycle);
+        match done {
+            Some(done) => done(self),
+            None => false,
+        }
+    }
+
+    /// Recompiles the schedule if the topology changed, arms the pool's
+    /// wake masks, and marks every component due — the same all-due
+    /// re-synchronisation the event kernel performs at run start.
+    fn prepare_arena_run(&mut self) {
+        self.ensure_sanitizer();
+        let signature = (
+            self.components.len(),
+            self.pool.wire_count(),
+            self.couples.len(),
+        );
+        if self.arena.signature != signature || !self.pool.wake_armed() {
+            self.rebuild_arena();
+            self.arena.signature = signature;
+        }
+        let n = self.components.len();
+        let all = if n >= 64 { !0u64 } else { (1u64 << n) - 1 };
+        self.arena.due = all;
+        // Beats pushed from outside any run become visible one cycle in:
+        // give every component a look at both of the first two cycles.
+        self.arena.due_next = if self.pool.total_in_flight() > 0 {
+            all
+        } else {
+            0
+        };
+        for at in &mut self.arena.wake_at {
+            *at = NEVER;
+        }
+        self.arena.wake_min = NEVER;
+        self.pool.set_recording(false);
+        self.pool.begin_actor(u32::MAX);
+        // Wake accumulation from pushes between runs carries no information
+        // beyond the all-due start; drop it along with its event count.
+        let _ = self.pool.take_wakes();
+        let _ = self.pool.take_wake_events();
+    }
+
+    /// Compiles the island-major schedule and the per-wire wake masks.
+    fn rebuild_arena(&mut self) {
+        let n = self.components.len();
+        assert!(n <= 64, "arena kernel supports at most 64 components");
+        // Island-major order: each island's members in registration order —
+        // the islands kernel's walk, whose reordering is unobservable.
+        let islands = self.topology().islands();
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        for island in &islands {
+            order.extend(island.iter().map(|&i| i as u32));
+        }
+        debug_assert_eq!(order.len(), n, "partition must cover every component");
+        let mut pos_of = vec![0u32; n];
+        for (pos, &i) in order.iter().enumerate() {
+            pos_of[i as usize] = pos as u32;
+        }
+
+        let counts = self.pool.wire_counts();
+        let mut slot_base = [0usize; CHANNEL_SLOTS];
+        let mut total_wires = 0;
+        for (slot, &wires) in counts.iter().enumerate() {
+            slot_base[slot] = total_wires;
+            total_wires += wires;
+        }
+        let mut all = vec![0u64; total_wires];
+        let mut active = vec![0u64; total_wires]; // drive/consume endpoints
+        let mut opaque_mask = 0u64;
+        let mut consume = vec![Vec::new(); n];
+        let mut touched = vec![Vec::new(); n]; // non-observe flats per position
+        for (i, component) in self.components.iter().enumerate() {
+            let pos = pos_of[i] as usize;
+            let bit = 1u64 << pos;
+            let ports = component.ports();
+            if ports.is_empty() {
+                opaque_mask |= bit;
+                continue;
+            }
+            for port in ports {
+                let Some(slot) = channel_slot(port.channel) else {
+                    continue;
+                };
+                if port.wire >= counts[slot] {
+                    continue; // dangling declaration; realm-lint reports it
+                }
+                let flat = slot_base[slot] + port.wire;
+                all[flat] |= bit;
+                match port.dir {
+                    PortDir::Drive => {
+                        active[flat] |= bit;
+                        touched[pos].push(flat);
+                    }
+                    PortDir::Consume => {
+                        active[flat] |= bit;
+                        touched[pos].push(flat);
+                        let key = (slot, port.wire);
+                        if !consume[pos].contains(&key) {
+                            consume[pos].push(key);
+                        }
+                    }
+                    PortDir::Observe => {}
+                }
+            }
+        }
+        // Observe-only endpoints: excluded from pop wakes (their ticks only
+        // drain taps, which fill on pushes) and deferrable across batch
+        // windows (tap records carry their own cycle stamps).
+        let obs: Vec<u64> = all.iter().zip(&active).map(|(a, act)| a & !act).collect();
+        let peers: Vec<u64> = touched
+            .iter()
+            .map(|flats| flats.iter().fold(0u64, |acc, &f| acc | active[f]))
+            .collect();
+        let mut dependents = vec![Vec::new(); n];
+        for &(source, dependent) in &self.couples {
+            let (sp, dp) = (pos_of[source] as usize, pos_of[dependent]);
+            if !dependents[sp].contains(&dp) {
+                dependents[sp].push(dp);
+            }
+        }
+        self.arena.order = order;
+        self.arena.opaque_mask = opaque_mask;
+        self.arena.consume = consume;
+        self.arena.dependents = dependents;
+        self.arena.peers = peers;
+        self.arena.wake_at = vec![NEVER; n];
+        self.arena.wake_min = NEVER;
+        self.pool.set_wake_tables(Some(Box::new(WakeTables {
+            slot_base,
+            all,
+            obs,
+        })));
+    }
+
+    /// Pulls far wakes that have come due into the due mask and re-derives
+    /// the exact minimum (the stored one may be a stale lower bound).
+    fn merge_far_wakes(&mut self) {
+        let cycle = self.cycle;
+        let mut min = NEVER;
+        for (pos, at) in self.arena.wake_at.iter_mut().enumerate() {
+            if *at <= cycle {
+                self.arena.due |= 1u64 << pos;
+                *at = NEVER;
+            } else if *at < min {
+                min = *at;
+            }
+        }
+        self.arena.wake_min = min;
+    }
+
+    /// Books a wake for the component at schedule position `pos`.
+    fn arena_schedule(&mut self, pos: usize, bit: u64, at: Cycle, current: Cycle) {
+        if at == current + 1 {
+            self.arena.due_next |= bit;
+        } else if at < self.arena.wake_at[pos] {
+            self.arena.wake_at[pos] = at;
+            if at < self.arena.wake_min {
+                self.arena.wake_min = at;
+            }
+        }
+    }
+
+    /// The arena twin of [`Sim::poll_missed_wakes`], over the due mask.
+    fn poll_missed_wakes_arena(&mut self) {
+        let cycle = self.cycle;
+        for pos in 0..self.components.len() {
+            if self.arena.due & (1u64 << pos) != 0 {
+                continue;
+            }
+            let i = self.arena.order[pos] as usize;
+            if let Some(hint) = self.components[i].next_event(cycle) {
+                if hint <= cycle {
+                    self.record_violation(i, cycle, hint, ViolationKind::MissedWake);
+                    if self.sanitize {
+                        self.record_san_violation(RawSanViolation {
+                            component: i,
+                            cycle,
+                            channel: "-",
+                            wire: 0,
+                            kind: SanitizerKind::UndeclaredWake,
+                        });
+                    }
+                    self.arena.due |= 1u64 << pos;
+                }
+            }
+        }
+    }
+
+    /// Executes one cycle under the mask scheduler: exactly the event
+    /// kernel's wake semantics, with every set a `u64` and wire activity
+    /// read from the pool's accumulators.
+    fn process_cycle_arena(&mut self) {
+        if cfg!(debug_assertions) || self.sanitize {
+            self.poll_missed_wakes_arena();
+        }
+        let cycle = self.cycle;
+        let n = self.components.len();
+        let mut due = std::mem::take(&mut self.arena.due);
+        let mut ticked: u64 = 0;
+        while due != 0 {
+            let pos = due.trailing_zeros() as usize;
+            due &= due - 1;
+            let bit = 1u64 << pos;
+            let i = self.arena.order[pos] as usize;
+
+            // Shared-state couplings: reconcile each dependent before this
+            // tick reads or writes the shared state (see process_cycle).
+            for k in 0..self.arena.dependents[pos].len() {
+                let dp = self.arena.dependents[pos][k] as usize;
+                let d = self.arena.order[dp] as usize;
+                let to = if dp < pos { cycle + 1 } else { cycle };
+                self.flush_component(d, to);
+            }
+
+            self.flush_component(i, cycle);
+            self.synced_to[i] = cycle + 1;
+            // Any pending far wake is superseded by the re-arm below; the
+            // stored minimum may go stale-low, which the merge scan fixes.
+            self.arena.wake_at[pos] = NEVER;
+            self.pool.set_owner(Some(i));
+            self.pool.begin_actor(pos as u32);
+            let mut ctx = TickCtx {
+                cycle,
+                pool: &mut self.pool,
+            };
+            self.components[i].tick(&mut ctx);
+            ticked += 1;
+
+            // Wire activity → wakes, accumulated by the pool as masks.
+            let (now, next, any) = self.pool.take_wakes();
+            due |= now;
+            self.arena.due_next |= next;
+            if any && self.arena.opaque_mask != 0 {
+                // Opaque components: due now for later positions, next
+                // cycle always — the event kernel's combined opaque wake.
+                due |= self.arena.opaque_mask & !(bit | (bit - 1));
+                self.arena.due_next |= self.arena.opaque_mask & !bit;
+            }
+
+            // Coupled dependents observe the write next cycle, or this
+            // cycle if they tick after the writer.
+            for k in 0..self.arena.dependents[pos].len() {
+                let dp = self.arena.dependents[pos][k];
+                if (dp as usize) > pos {
+                    due |= 1u64 << dp;
+                } else {
+                    self.arena.due_next |= 1u64 << dp;
+                }
+            }
+
+            // Re-arm the wake hint unless already booked for next cycle.
+            if self.arena.due_next & bit == 0 {
+                match self.components[i].next_event(cycle + 1) {
+                    None => {}
+                    Some(hint) if hint <= cycle => {
+                        self.record_violation(i, cycle, hint, ViolationKind::StaleHint);
+                        self.arena.due_next |= bit;
+                    }
+                    Some(hint) => self.arena_schedule(pos, bit, hint, cycle),
+                }
+            }
+            // Parked backlog on Consume wires keeps the consumer live.
+            if self.arena.due_next & bit == 0 {
+                let backlog = if self.arena.opaque_mask & bit != 0 {
+                    self.pool.total_in_flight() > 0
+                } else {
+                    self.arena.consume[pos]
+                        .iter()
+                        .any(|&(slot, wire)| self.pool.slot_len(slot, wire) > 0)
+                };
+                if backlog {
+                    match self.components[i].backlog_event(cycle + 1) {
+                        None => {}
+                        Some(hint) if hint <= cycle => {
+                            self.record_violation(i, cycle, hint, ViolationKind::StaleHint);
+                            self.arena.due_next |= bit;
+                        }
+                        Some(hint) => self.arena_schedule(pos, bit, hint, cycle),
+                    }
+                }
+            }
+        }
+        self.pool.set_owner(None);
+        self.stats.wire_events += self.pool.take_wake_events();
+        self.drain_sanitizer();
+
+        self.cycle = cycle + 1;
+        self.stats.ticks_executed += 1;
+        self.stats.component_ticks += ticked;
+        self.stats.component_skips += n as u64 - ticked;
+        self.arena.due = std::mem::take(&mut self.arena.due_next);
+    }
+
+    /// Decides whether a batch window can start at the current cycle and
+    /// how long it may run. `Some(w)` (with `w >= 2`) requires:
+    ///
+    /// - every due component is plan-approved and reports a batch horizon
+    ///   covering `w` cycles;
+    /// - every non-observer peer on any wire a due component touches is
+    ///   itself due (a sleeping drive/consume peer would be woken mid-
+    ///   window by the batched activity — per-cycle execution must handle
+    ///   that, so the window is refused);
+    /// - every opaque component is due (any event wakes them);
+    /// - no due component has coupled dependents (shared-state writes are
+    ///   per-cycle by definition);
+    /// - no sleeping component's far wake, the run target, or the clamp
+    ///   boundary lands inside the window.
+    fn batch_window(&mut self, target: Cycle, clamp: Option<Cycle>) -> Option<u64> {
+        let cycle = self.cycle;
+        let due = self.arena.due;
+        // Pending next-cycle dues (the all-due second look after a run
+        // start with beats in flight) must be honoured per cycle — a
+        // window would jump straight past them.
+        if self.arena.due_next != 0 {
+            return None;
+        }
+        if self.arena.opaque_mask & !due != 0 {
+            return None;
+        }
+        let mut bound = self.arena.wake_min.min(target);
+        if let Some(boundary) = clamp {
+            if boundary > cycle {
+                bound = bound.min(boundary);
+            }
+        }
+        if bound < cycle + 2 {
+            return None;
+        }
+        let mut window = bound - cycle;
+        let mut m = due;
+        while m != 0 {
+            let pos = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let i = self.arena.order[pos] as usize;
+            if !self.batch_allowed.get(i).copied().unwrap_or(false)
+                || !self.arena.dependents[pos].is_empty()
+                || self.arena.peers[pos] & !due != 0
+            {
+                return None;
+            }
+            let horizon = self.components[i].batch_horizon(cycle, &self.pool);
+            if horizon < 2 {
+                return None;
+            }
+            window = window.min(horizon);
+            if window < 2 {
+                return None;
+            }
+        }
+        Some(window)
+    }
+
+    /// Executes one batch window of `window` cycles: every due component's
+    /// [`Component::batch_tick`] covers the whole span, component-major.
+    /// Horizons are capacity-bounded (a producer never outruns the free
+    /// slots it saw at window start, a consumer never outruns the beats
+    /// already queued), so component-major execution is beat-for-beat
+    /// identical to the cycle-major interleaving.
+    fn run_batch_window(&mut self, window: u64) {
+        let cycle = self.cycle;
+        let n = self.components.len() as u64;
+        let due = std::mem::take(&mut self.arena.due);
+        let mut m = due;
+        let mut ticked: u64 = 0;
+        while m != 0 {
+            let pos = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let i = self.arena.order[pos] as usize;
+            self.flush_component(i, cycle);
+            self.synced_to[i] = cycle + window;
+            self.arena.wake_at[pos] = NEVER;
+            self.pool.set_owner(Some(i));
+            self.pool.begin_actor(pos as u32);
+            let mut ctx = TickCtx {
+                cycle,
+                pool: &mut self.pool,
+            };
+            self.components[i].batch_tick(&mut ctx, window);
+            ticked += 1;
+        }
+        self.pool.set_owner(None);
+        // Post-window wakes are conservative: every participant plus every
+        // position the window's wire activity touched is due at the first
+        // cycle after the window. Extra ticks mirror the stepping kernel.
+        let (now, next, any) = self.pool.take_wakes();
+        self.arena.due = due | now | next;
+        if any {
+            self.arena.due |= self.arena.opaque_mask;
+        }
+        self.stats.wire_events += self.pool.take_wake_events();
+        self.stats.batched_beats += self.pool.take_batched_beats();
+        self.stats.batch_windows += 1;
+        self.drain_sanitizer();
+        self.cycle = cycle + window;
+        self.stats.ticks_executed += window;
+        self.stats.component_ticks += ticked * window;
+        self.stats.component_skips += (n - ticked) * window;
     }
 }
 
@@ -1758,5 +2304,283 @@ mod tests {
             "undeclared wake must be flagged: {:?}",
             sim.sanitizer_violations()
         );
+    }
+
+    // --- Batch windows (beat-batched transfers, `DESIGN.md` §8) ---------
+    //
+    // A three-stage pipeline with honest capacity-bounded horizons:
+    //
+    //   BatchProducer → w1 → BatchRelay → w2 → BatchConsumer
+    //
+    // The relay and consumer hold off until `start_at`, letting the
+    // producer build queue depth; once everyone runs, the occupancies are
+    // steady (one push + one pop per wire per cycle), so windows form
+    // repeatedly. Every horizon is bounded by `relayable`/`headroom` at
+    // window start, which is exactly what makes component-major window
+    // execution equal to the cycle-major interleaving.
+
+    struct BatchProducer {
+        out: WireId<WBeat>,
+        sent: u64,
+        limit: u64,
+    }
+    impl Component for BatchProducer {
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            if self.sent < self.limit && ctx.pool.can_push(self.out, ctx.cycle) {
+                ctx.pool
+                    .push(self.out, ctx.cycle, WBeat::full(self.sent, false));
+                self.sent += 1;
+            }
+        }
+        fn name(&self) -> &str {
+            "bproducer"
+        }
+        fn ports(&self) -> Vec<PortDecl> {
+            vec![PortDecl::new("W", self.out.index(), PortDir::Drive)]
+        }
+        fn batch_horizon(&self, cycle: Cycle, pool: &ChannelPool) -> u64 {
+            // One push per cycle: bounded by the output headroom at window
+            // start and by the beats left before the completion transition.
+            pool.headroom(self.out, cycle).min(self.limit - self.sent)
+        }
+        // Default `batch_tick` (per-cycle replay) — the window still
+        // collapses the *relay's* beats into one ring sweep.
+    }
+
+    struct BatchRelay {
+        input: WireId<WBeat>,
+        out: WireId<WBeat>,
+        start_at: Cycle,
+    }
+    impl Component for BatchRelay {
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            if ctx.cycle < self.start_at {
+                return;
+            }
+            if ctx.pool.can_push(self.out, ctx.cycle) {
+                if let Some(beat) = ctx.pool.pop(self.input, ctx.cycle) {
+                    ctx.pool.push(self.out, ctx.cycle, beat);
+                }
+            }
+        }
+        fn name(&self) -> &str {
+            "brelay"
+        }
+        fn ports(&self) -> Vec<PortDecl> {
+            vec![
+                PortDecl::new("W", self.input.index(), PortDir::Consume),
+                PortDecl::new("W", self.out.index(), PortDir::Drive),
+            ]
+        }
+        fn batch_horizon(&self, cycle: Cycle, pool: &ChannelPool) -> u64 {
+            if cycle < self.start_at {
+                return 0; // the start transition must land on a tick
+            }
+            pool.relayable(self.input, cycle)
+                .min(pool.headroom(self.out, cycle))
+        }
+        fn batch_tick(&mut self, ctx: &mut TickCtx<'_>, window: u64) {
+            debug_assert!(ctx.cycle >= self.start_at);
+            let moved = ctx
+                .pool
+                .batch_relay(self.input, self.out, ctx.cycle, window);
+            debug_assert_eq!(moved, window, "horizon sized the window");
+        }
+    }
+
+    struct BatchConsumer {
+        input: WireId<WBeat>,
+        start_at: Cycle,
+        received: Vec<u64>,
+    }
+    impl Component for BatchConsumer {
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            if ctx.cycle < self.start_at {
+                return;
+            }
+            if let Some(beat) = ctx.pool.pop(self.input, ctx.cycle) {
+                self.received.push(beat.data);
+            }
+        }
+        fn name(&self) -> &str {
+            "bconsumer"
+        }
+        fn ports(&self) -> Vec<PortDecl> {
+            vec![PortDecl::new("W", self.input.index(), PortDir::Consume)]
+        }
+        fn batch_horizon(&self, cycle: Cycle, pool: &ChannelPool) -> u64 {
+            if cycle < self.start_at {
+                return 0;
+            }
+            pool.relayable(self.input, cycle)
+        }
+    }
+
+    /// Builds the pipeline; `plan` installs the all-approved batching plan.
+    fn build_batch_pipeline(plan: bool, limit: u64) -> (Sim, ComponentId) {
+        let mut sim = Sim::new();
+        let w1 = sim.pool_mut().new_wire::<WBeat>(8);
+        let w2 = sim.pool_mut().new_wire::<WBeat>(8);
+        sim.add(BatchProducer {
+            out: w1,
+            sent: 0,
+            limit,
+        });
+        sim.add(BatchRelay {
+            input: w1,
+            out: w2,
+            start_at: 4,
+        });
+        let c = sim.add(BatchConsumer {
+            input: w2,
+            start_at: 6,
+            received: Vec::new(),
+        });
+        if plan {
+            sim.set_batch_plan(vec![true; 3]);
+        }
+        (sim, c)
+    }
+
+    /// Windows form on the steady backlogged pipeline, move beats through
+    /// `batch_relay`, and the result is bit-identical to flat stepping.
+    #[test]
+    fn batch_windows_form_and_match_stepping() {
+        let run = |mode: KernelMode, plan: bool| {
+            let (mut sim, c) = build_batch_pipeline(plan, 40);
+            sim.set_kernel_mode(mode);
+            sim.run(80);
+            let stats = sim.kernel_stats();
+            let received = sim.component::<BatchConsumer>(c).unwrap().received.clone();
+            (sim.cycle(), received, stats)
+        };
+        let (cycle_a, recv_a, stats_a) = run(KernelMode::Arena, true);
+        let (cycle_s, recv_s, stats_s) = run(KernelMode::Step, true);
+        assert_eq!(cycle_a, cycle_s);
+        assert_eq!(recv_a, (0..40).collect::<Vec<_>>());
+        assert_eq!(recv_a, recv_s);
+        assert!(
+            stats_a.batch_windows > 0,
+            "steady backlog must open windows: {stats_a:?}"
+        );
+        assert!(
+            stats_a.batched_beats > 0,
+            "the relay's sweeps must be accounted: {stats_a:?}"
+        );
+        // Batched beats ride in windows; both count toward neither kernel's
+        // observable results.
+        assert_eq!(stats_s.batch_windows, 0);
+        assert_eq!(stats_s.batched_beats, 0);
+        // Every cycle is accounted exactly once in the arena run too.
+        assert_eq!(stats_a.ticks_executed + stats_a.cycles_skipped, 80);
+    }
+
+    /// Without a plan the arena kernel never consults horizons: same
+    /// results, zero windows.
+    #[test]
+    fn no_plan_means_no_windows() {
+        let (mut sim, c) = build_batch_pipeline(false, 40);
+        sim.set_kernel_mode(KernelMode::Arena);
+        sim.run(80);
+        assert_eq!(sim.kernel_stats().batch_windows, 0);
+        assert_eq!(sim.kernel_stats().batched_beats, 0);
+        assert_eq!(
+            sim.component::<BatchConsumer>(c).unwrap().received,
+            (0..40).collect::<Vec<_>>()
+        );
+    }
+
+    /// A contended steady stream (occupancy one) yields horizons below
+    /// two: the window degenerates to zero-length and batching never
+    /// engages — the plan alone is not enough.
+    #[test]
+    fn zero_length_window_on_contended_path() {
+        let mut sim = Sim::new();
+        let w1 = sim.pool_mut().new_wire::<WBeat>(8);
+        let w2 = sim.pool_mut().new_wire::<WBeat>(8);
+        sim.add(BatchProducer {
+            out: w1,
+            sent: 0,
+            limit: 40,
+        });
+        // No hold-off: the relay and consumer drain from cycle zero, so
+        // every wire's occupancy stays at one beat and `relayable` never
+        // reaches the two-cycle minimum.
+        sim.add(BatchRelay {
+            input: w1,
+            out: w2,
+            start_at: 0,
+        });
+        let c = sim.add(BatchConsumer {
+            input: w2,
+            start_at: 0,
+            received: Vec::new(),
+        });
+        sim.set_batch_plan(vec![true; 3]);
+        sim.set_kernel_mode(KernelMode::Arena);
+        sim.run(80);
+        assert_eq!(
+            sim.kernel_stats().batch_windows,
+            0,
+            "occupancy-one streaming must not batch: {:?}",
+            sim.kernel_stats()
+        );
+        assert_eq!(
+            sim.component::<BatchConsumer>(c).unwrap().received,
+            (0..40).collect::<Vec<_>>()
+        );
+    }
+
+    /// A due component outside the plan vetoes the window even when every
+    /// other participant could batch.
+    #[test]
+    fn unapproved_due_component_vetoes_window() {
+        let (mut sim, c) = build_batch_pipeline(true, 40);
+        // Overwrite the plan: the relay is no longer approved.
+        sim.set_batch_plan(vec![true, false, true]);
+        sim.set_kernel_mode(KernelMode::Arena);
+        sim.run(80);
+        assert_eq!(sim.kernel_stats().batch_windows, 0);
+        assert_eq!(
+            sim.component::<BatchConsumer>(c).unwrap().received,
+            (0..40).collect::<Vec<_>>()
+        );
+    }
+
+    /// The sanitizer stays armed through batch windows: the relay's ring
+    /// sweeps land on declared wires and report nothing.
+    #[test]
+    fn batch_windows_are_sanitizer_clean() {
+        let (mut sim, _c) = build_batch_pipeline(true, 40);
+        sim.set_sanitize(true);
+        sim.set_kernel_mode(KernelMode::Arena);
+        sim.run(80);
+        assert!(sim.kernel_stats().batch_windows > 0);
+        assert!(
+            sim.sanitizer_violations().is_empty(),
+            "batched relays are declared traffic: {:?}",
+            sim.sanitizer_violations()
+        );
+    }
+
+    /// Predicate-driven runs disable windows entirely: `run_until` checks
+    /// its predicate before every processed cycle, and a window advancing
+    /// several cycles at once could overshoot the exact stop cycle a
+    /// stepped run reports. Stop cycles must stay bit-identical.
+    #[test]
+    fn run_until_disables_windows_for_exact_stop_cycles() {
+        let observe = |mode: KernelMode| {
+            let (mut sim, c) = build_batch_pipeline(true, 40);
+            sim.set_kernel_mode(mode);
+            let fired = sim.run_until(200, |s| {
+                s.component::<BatchConsumer>(c)
+                    .is_some_and(|x| x.received.len() >= 17)
+            });
+            (fired, sim.cycle(), sim.kernel_stats().batch_windows)
+        };
+        let (fired_a, cycle_a, windows_a) = observe(KernelMode::Arena);
+        let (fired_s, cycle_s, _) = observe(KernelMode::Step);
+        assert_eq!((fired_a, cycle_a), (fired_s, cycle_s));
+        assert_eq!(windows_a, 0, "predicate runs must not batch");
     }
 }

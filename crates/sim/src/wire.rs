@@ -1,6 +1,12 @@
 //! Bounded, timestamped queues modelling registered channel hops.
+//!
+//! Storage is a fixed ring buffer sized at construction: a wire never
+//! allocates after `new`, and the pool variant packs every ring of a
+//! channel into one contiguous arena (see `pool.rs`). The queue metadata
+//! (head/len/one-push-one-pop stamps/stats) lives in [`Ring`], shared
+//! between the standalone [`Wire`] and the pool's lanes so both enforce
+//! exactly the same register-per-hop semantics.
 
-use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -37,19 +43,173 @@ pub struct WireStats {
     pub full_stalls: u64,
 }
 
+/// Sentinel for "no cycle recorded yet" in [`Ring`] stamps. The simulation
+/// never reaches cycle `u64::MAX`, so the sentinel can share the `Cycle`
+/// domain and the hot-path comparisons stay branch-free integer compares.
+pub(crate) const NO_CYCLE: Cycle = Cycle::MAX;
+
+/// Queue metadata of one ring buffer: position in the backing arena plus
+/// the register-per-hop guards (one push and one pop per cycle).
+///
+/// The ring itself holds no items — callers own a slot array (`Wire` a
+/// private one, the pool one arena per channel) and ask the ring which
+/// slot to read or write. Indices are `u32`: a wire capacity beyond 4
+/// billion beats is not a simulation, it's a bug.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Ring {
+    base: u32,
+    cap: u32,
+    head: u32,
+    len: u32,
+    last_push: Cycle,
+    last_pop: Cycle,
+    stats: WireStats,
+}
+
+impl Ring {
+    /// Creates ring metadata for `capacity` slots starting at arena index
+    /// `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity wire could never
+    /// transport anything.
+    pub(crate) fn new(base: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "wire capacity must be at least 1");
+        assert!(capacity <= u32::MAX as usize, "wire capacity exceeds u32");
+        Self {
+            base: base as u32,
+            cap: capacity as u32,
+            head: 0,
+            len: 0,
+            last_push: NO_CYCLE,
+            last_pop: NO_CYCLE,
+            stats: WireStats::default(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn capacity(&self) -> usize {
+        self.cap as usize
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub(crate) fn stats(&self) -> WireStats {
+        self.stats
+    }
+
+    #[inline]
+    pub(crate) fn can_push(&self, cycle: Cycle) -> bool {
+        self.len < self.cap && self.last_push != cycle
+    }
+
+    /// `true` if the ring already accepted a beat at `cycle`.
+    #[inline]
+    pub(crate) fn pushed_at(&self, cycle: Cycle) -> bool {
+        self.last_push == cycle
+    }
+
+    /// Arena index of the slot a push would write next.
+    #[inline]
+    fn tail_slot(&self) -> usize {
+        let mut pos = self.head + self.len;
+        if pos >= self.cap {
+            pos -= self.cap;
+        }
+        (self.base + pos) as usize
+    }
+
+    /// Arena index of the current front beat (only valid if `len > 0`).
+    #[inline]
+    fn front_slot(&self) -> usize {
+        (self.base + self.head) as usize
+    }
+
+    /// Arena index of the `i`-th queued beat from the front (valid for
+    /// `i < len`).
+    #[inline]
+    pub(crate) fn nth_slot(&self, i: u32) -> usize {
+        let mut pos = self.head + i;
+        if pos >= self.cap {
+            pos -= self.cap;
+        }
+        (self.base + pos) as usize
+    }
+
+    /// Claims the tail slot for a push at `cycle`: enforces the
+    /// one-push-per-cycle and capacity guards, stamps `last_push`, bumps
+    /// stats, and returns the arena slot the caller must now fill.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] on backpressure, [`PushError::Busy`] if a beat
+    /// was already pushed this cycle.
+    #[inline]
+    pub(crate) fn try_push(&mut self, cycle: Cycle) -> Result<usize, PushError> {
+        if self.last_push == cycle {
+            return Err(PushError::Busy);
+        }
+        if self.len >= self.cap {
+            self.stats.full_stalls += 1;
+            return Err(PushError::Full);
+        }
+        let slot = self.tail_slot();
+        self.len += 1;
+        self.last_push = cycle;
+        self.stats.total_pushed += 1;
+        if self.len as usize > self.stats.high_water {
+            self.stats.high_water = self.len as usize;
+        }
+        Ok(slot)
+    }
+
+    /// Arena slot of the front beat if the one-pop-per-cycle guard allows
+    /// a pop (or peek) at `cycle`. The caller must still check the beat's
+    /// push stamp for visibility (`pushed < cycle`).
+    #[inline]
+    pub(crate) fn front_candidate(&self, cycle: Cycle) -> Option<usize> {
+        if self.len == 0 || self.last_pop == cycle {
+            None
+        } else {
+            Some(self.front_slot())
+        }
+    }
+
+    /// Commits a pop at `cycle`: advances the head and stamps `last_pop`.
+    /// Call only after `front_candidate` returned a slot whose beat is
+    /// visible.
+    #[inline]
+    pub(crate) fn commit_pop(&mut self, cycle: Cycle) {
+        self.head += 1;
+        if self.head >= self.cap {
+            self.head = 0;
+        }
+        self.len -= 1;
+        self.last_pop = cycle;
+    }
+}
+
 /// A bounded queue with register-per-hop timing: an item pushed at cycle *t*
 /// becomes visible at *t + 1*, and at most one item may be pushed and one
 /// popped per cycle.
 ///
 /// This is the kernel's model of a registered hardware FIFO between two
-/// components; see the crate docs for the rationale.
+/// components; see the crate docs for the rationale. Storage is a fixed
+/// ring buffer — no per-push allocation.
 #[derive(Clone, Debug)]
 pub struct Wire<T> {
-    queue: VecDeque<(Cycle, T)>,
-    capacity: usize,
-    last_push: Option<Cycle>,
-    last_pop: Option<Cycle>,
-    stats: WireStats,
+    slots: Vec<Option<(Cycle, T)>>,
+    ring: Ring,
     // When tapped, every accepted push is also appended here (push cycle +
     // payload) until a collector drains it — the exactly-once observation
     // stream protocol monitors are built on.
@@ -64,13 +224,12 @@ impl<T> Wire<T> {
     /// Panics if `capacity` is zero — a zero-capacity wire could never
     /// transport anything.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "wire capacity must be at least 1");
+        let ring = Ring::new(0, capacity);
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
         Self {
-            queue: VecDeque::with_capacity(capacity),
-            capacity,
-            last_push: None,
-            last_pop: None,
-            stats: WireStats::default(),
+            slots,
+            ring,
             tap: None,
         }
     }
@@ -102,7 +261,7 @@ impl<T> Wire<T> {
 
     /// Returns `true` if a push at `cycle` would be accepted.
     pub fn can_push(&self, cycle: Cycle) -> bool {
-        self.queue.len() < self.capacity && self.last_push != Some(cycle)
+        self.ring.can_push(cycle)
     }
 
     /// Pushes an item at `cycle`; it becomes visible to `pop` from
@@ -116,30 +275,19 @@ impl<T> Wire<T> {
     where
         T: Clone,
     {
-        if self.last_push == Some(cycle) {
-            return Err(PushError::Busy);
-        }
-        if self.queue.len() >= self.capacity {
-            self.stats.full_stalls += 1;
-            return Err(PushError::Full);
-        }
+        let slot = self.ring.try_push(cycle)?;
         if let Some(tap) = &mut self.tap {
             tap.push((cycle, item.clone()));
         }
-        self.queue.push_back((cycle, item));
-        self.last_push = Some(cycle);
-        self.stats.total_pushed += 1;
-        self.stats.high_water = self.stats.high_water.max(self.queue.len());
+        self.slots[slot] = Some((cycle, item));
         Ok(())
     }
 
     /// Returns a reference to the front item if one is visible at `cycle`
     /// and it has not been popped this cycle.
     pub fn peek(&self, cycle: Cycle) -> Option<&T> {
-        if self.last_pop == Some(cycle) {
-            return None;
-        }
-        match self.queue.front() {
+        let slot = self.ring.front_candidate(cycle)?;
+        match &self.slots[slot] {
             Some((pushed, item)) if *pushed < cycle => Some(item),
             _ => None,
         }
@@ -148,13 +296,11 @@ impl<T> Wire<T> {
     /// Pops the front item if one is visible at `cycle`; at most one pop
     /// succeeds per cycle.
     pub fn pop(&mut self, cycle: Cycle) -> Option<T> {
-        if self.last_pop == Some(cycle) {
-            return None;
-        }
-        match self.queue.front() {
+        let slot = self.ring.front_candidate(cycle)?;
+        match &self.slots[slot] {
             Some((pushed, _)) if *pushed < cycle => {
-                self.last_pop = Some(cycle);
-                self.queue.pop_front().map(|(_, item)| item)
+                self.ring.commit_pop(cycle);
+                self.slots[slot].take().map(|(_, item)| item)
             }
             _ => None,
         }
@@ -162,22 +308,22 @@ impl<T> Wire<T> {
 
     /// Number of items currently in flight (visible or not).
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.ring.len()
     }
 
     /// Returns `true` if no items are in flight.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.ring.is_empty()
     }
 
     /// The maximum number of in-flight items.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.ring.capacity()
     }
 
     /// Occupancy and throughput counters.
     pub fn stats(&self) -> WireStats {
-        self.stats
+        self.ring.stats()
     }
 }
 
@@ -289,5 +435,27 @@ mod tests {
             cycle += 1;
         }
         assert_eq!(out, [0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn ring_wraps_without_reordering() {
+        // Exercise head wrap-around: fill, drain, refill repeatedly on a
+        // small ring and check FIFO order survives the wrap.
+        let mut w = Wire::new(3);
+        let mut cycle = 0u64;
+        let mut expect = 0u64;
+        for round in 0..5u64 {
+            for i in 0..3 {
+                w.try_push(cycle, round * 3 + i).unwrap();
+                cycle += 1;
+            }
+            for _ in 0..3 {
+                assert_eq!(w.pop(cycle), Some(expect));
+                expect += 1;
+                cycle += 1;
+            }
+            assert!(w.is_empty());
+        }
+        assert_eq!(w.stats().total_pushed, 15);
     }
 }

@@ -340,7 +340,7 @@ impl Testbench {
             scoreboard = scoreboard.boundary(&mgr_refs, &["llc", "spm", "cfgreg"]);
         }
 
-        let tb = Self {
+        let mut tb = Self {
             sim,
             core,
             dma,
@@ -364,6 +364,14 @@ impl Testbench {
         if realm_lint::enabled_by_env() {
             realm_lint::apply("testbench", &tb.lint_report());
         }
+
+        // Beat-batching plan from the static dependence analysis (Pass C):
+        // which components sit on uncontended point-to-point paths. Fed
+        // unconditionally — it is structural permission only, consulted by
+        // the arena kernel before opening a batch window and ignored by
+        // every other kernel, so results stay bit-identical either way.
+        let (partition, _) = realm_lint::analyze_deps(&tb.sim.topology(), &tb.lint_model());
+        tb.sim.set_batch_plan(partition.batch_allowed);
         tb
     }
 

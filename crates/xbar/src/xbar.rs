@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
-use axi4::{BBeat, RBeat, Resp, SubordinateId, TxnId};
+use axi4::{BBeat, RBeat, Resp, TxnId};
 use axi_sim::{AxiBundle, Component, RoundRobin, TickCtx};
 
 use crate::map::AddressMap;
@@ -179,6 +179,9 @@ pub struct Crossbar {
     read_outstanding: Vec<Vec<u64>>,
     policy: ArbitrationPolicy,
     w_stalls: Vec<u64>,
+    /// Per subordinate: bitmask of managers requesting this cycle —
+    /// rebuilt by each arbitration pass without allocating.
+    req_scratch: Vec<u64>,
     name: String,
 }
 
@@ -256,6 +259,10 @@ impl Crossbar {
         }
         let n_mgr = mgr_ports.len();
         let n_sub = sub_ports.len();
+        assert!(
+            n_mgr <= 64,
+            "crossbar arbitration masks support at most 64 managers"
+        );
         Ok(Self {
             map,
             mgr_ports,
@@ -273,26 +280,37 @@ impl Crossbar {
             read_outstanding: vec![vec![0; n_mgr]; n_sub],
             policy,
             w_stalls: vec![0; n_sub],
+            req_scratch: vec![0; n_sub],
             name: format!("xbar{}x{}", n_mgr, n_sub),
         })
     }
 
-    /// Picks a winner among `requesting` per the arbitration policy,
-    /// advancing the round-robin pointer only under the RR policy.
-    fn pick_winner(&mut self, arb: Channel, s: usize, requesting: &[usize]) -> Option<usize> {
+    /// Picks a winner among the managers set in `requesting` (a bitmask
+    /// over manager indices) per the arbitration policy, advancing the
+    /// round-robin pointer only under the RR policy.
+    fn pick_winner(&mut self, arb: Channel, s: usize, requesting: u64) -> Option<usize> {
         match &self.policy {
             ArbitrationPolicy::RoundRobin => {
                 let rr = match arb {
                     Channel::Ar => &mut self.ar_arb[s],
                     Channel::Aw => &mut self.aw_arb[s],
                 };
-                rr.grant(|m| requesting.contains(&m))
+                rr.grant(|m| requesting & (1u64 << m) != 0)
             }
-            ArbitrationPolicy::FixedPriority(prio) => requesting
-                .iter()
-                .copied()
-                .max_by_key(|&m| (prio[m], std::cmp::Reverse(m)))
-                .or(None),
+            ArbitrationPolicy::FixedPriority(prio) => {
+                let mut best: Option<usize> = None;
+                let mut rem = requesting;
+                while rem != 0 {
+                    let m = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    // Ties on priority go to the lowest manager index, as
+                    // before (max_by_key kept the Reverse(m) minimum).
+                    if best.is_none_or(|b| prio[m] > prio[b]) {
+                        best = Some(m);
+                    }
+                }
+                best
+            }
         }
     }
 
@@ -336,12 +354,20 @@ impl Crossbar {
         self.sub_ports.len()
     }
 
-    /// Pops unmapped address beats into the error engines (one wire pop per
-    /// cycle each, like every consumer).
-    fn intake_decode_errors(&mut self, ctx: &mut TickCtx<'_>) {
+    fn arbitrate_ar(&mut self, ctx: &mut TickCtx<'_>) {
+        // Decode each manager's front AR once, bucketing requestors into
+        // per-subordinate masks — one decode per manager per cycle instead
+        // of one per manager-subordinate pair, and no allocation. Unmapped
+        // addresses divert into the error engine on the same peek (one wire
+        // pop per cycle, like every consumer).
+        self.req_scratch.iter_mut().for_each(|m| *m = 0);
+        let mut any = false;
         for m in 0..self.mgr_ports.len() {
             if let Some(ar) = ctx.pool.peek(self.mgr_ports[m].ar, ctx.cycle) {
-                if self.map.decode(ar.addr).is_none() {
+                if let Some(sub) = self.map.decode(ar.addr) {
+                    self.req_scratch[sub.index()] |= 1u64 << m;
+                    any = true;
+                } else {
                     let ar = ctx
                         .pool
                         .pop(self.mgr_ports[m].ar, ctx.cycle)
@@ -353,37 +379,17 @@ impl Crossbar {
                     self.stats[m].decode_errors += 1;
                 }
             }
-            if let Some(aw) = ctx.pool.peek(self.mgr_ports[m].aw, ctx.cycle) {
-                if self.map.decode(aw.addr).is_none() {
-                    let aw = ctx
-                        .pool
-                        .pop(self.mgr_ports[m].aw, ctx.cycle)
-                        .expect("peeked beat present");
-                    self.mgr_w_dst[m].push_back(WriteDst::DecodeErr(aw.id));
-                    self.stats[m].decode_errors += 1;
-                }
-            }
         }
-    }
-
-    fn arbitrate_ar(&mut self, ctx: &mut TickCtx<'_>) {
+        if !any {
+            return;
+        }
         for s in 0..self.sub_ports.len() {
-            let requesting: Vec<usize> = {
-                let map = &self.map;
-                let pool = &*ctx.pool;
-                let cycle = ctx.cycle;
-                (0..self.mgr_ports.len())
-                    .filter(|&m| {
-                        pool.peek(self.mgr_ports[m].ar, cycle)
-                            .is_some_and(|ar| map.decode(ar.addr) == Some(SubordinateId::new(s)))
-                    })
-                    .collect()
-            };
-            if requesting.is_empty() {
+            let requesting = self.req_scratch[s];
+            if requesting == 0 {
                 continue;
             }
             let winner = if ctx.pool.can_push(self.sub_ports[s].ar, ctx.cycle) {
-                self.pick_winner(Channel::Ar, s, &requesting)
+                self.pick_winner(Channel::Ar, s, requesting)
             } else {
                 None
             };
@@ -391,7 +397,10 @@ impl Crossbar {
             // cycle to this cycle's winner, or — when the subordinate's
             // request channel is saturated — to its most recent occupant.
             let aggressor = winner.or(self.last_ar_winner[s]);
-            for &m in &requesting {
+            let mut rem = requesting;
+            while rem != 0 {
+                let m = rem.trailing_zeros() as usize;
+                rem &= rem - 1;
                 if Some(m) != winner {
                     self.stats[m].blocked_cycles += 1;
                     if let Some(a) = aggressor {
@@ -415,28 +424,41 @@ impl Crossbar {
     }
 
     fn arbitrate_aw(&mut self, ctx: &mut TickCtx<'_>) {
+        self.req_scratch.iter_mut().for_each(|m| *m = 0);
+        let mut any = false;
+        for m in 0..self.mgr_ports.len() {
+            if let Some(aw) = ctx.pool.peek(self.mgr_ports[m].aw, ctx.cycle) {
+                if let Some(sub) = self.map.decode(aw.addr) {
+                    self.req_scratch[sub.index()] |= 1u64 << m;
+                    any = true;
+                } else {
+                    let aw = ctx
+                        .pool
+                        .pop(self.mgr_ports[m].aw, ctx.cycle)
+                        .expect("peeked beat present");
+                    self.mgr_w_dst[m].push_back(WriteDst::DecodeErr(aw.id));
+                    self.stats[m].decode_errors += 1;
+                }
+            }
+        }
+        if !any {
+            return;
+        }
         for s in 0..self.sub_ports.len() {
-            let requesting: Vec<usize> = {
-                let map = &self.map;
-                let pool = &*ctx.pool;
-                let cycle = ctx.cycle;
-                (0..self.mgr_ports.len())
-                    .filter(|&m| {
-                        pool.peek(self.mgr_ports[m].aw, cycle)
-                            .is_some_and(|aw| map.decode(aw.addr) == Some(SubordinateId::new(s)))
-                    })
-                    .collect()
-            };
-            if requesting.is_empty() {
+            let requesting = self.req_scratch[s];
+            if requesting == 0 {
                 continue;
             }
             let winner = if ctx.pool.can_push(self.sub_ports[s].aw, ctx.cycle) {
-                self.pick_winner(Channel::Aw, s, &requesting)
+                self.pick_winner(Channel::Aw, s, requesting)
             } else {
                 None
             };
             let aggressor = winner.or(self.last_aw_winner[s]);
-            for &m in &requesting {
+            let mut rem = requesting;
+            while rem != 0 {
+                let m = rem.trailing_zeros() as usize;
+                rem &= rem - 1;
                 if Some(m) != winner {
                     self.stats[m].blocked_cycles += 1;
                     if let Some(a) = aggressor {
@@ -472,13 +494,10 @@ impl Crossbar {
                     if self.w_owner[s].front() != Some(&m) {
                         continue;
                     }
-                    let beat_ready = ctx.pool.peek(self.mgr_ports[m].w, ctx.cycle).is_some();
-                    let can_fwd = ctx.pool.can_push(self.sub_ports[s].w, ctx.cycle);
-                    if beat_ready && can_fwd {
-                        let w = ctx
-                            .pool
-                            .pop(self.mgr_ports[m].w, ctx.cycle)
-                            .expect("peeked beat present");
+                    if !ctx.pool.can_push(self.sub_ports[s].w, ctx.cycle) {
+                        continue;
+                    }
+                    if let Some(w) = ctx.pool.pop(self.mgr_ports[m].w, ctx.cycle) {
                         // Writers queued behind the current owner wait for
                         // every one of its beats.
                         for &v in self.w_owner[s].iter().skip(1) {
@@ -491,7 +510,7 @@ impl Crossbar {
                             self.w_owner[s].pop_front();
                             self.mgr_w_dst[m].pop_front();
                         }
-                    } else if !beat_ready && can_fwd {
+                    } else {
                         // Reserved but idle: the owner is withholding data.
                         self.w_stalls[s] += 1;
                     }
@@ -594,7 +613,6 @@ impl Crossbar {
 
 impl Component for Crossbar {
     fn tick(&mut self, ctx: &mut TickCtx<'_>) {
-        self.intake_decode_errors(ctx);
         self.arbitrate_ar(ctx);
         self.arbitrate_aw(ctx);
         self.route_w(ctx);
@@ -717,7 +735,7 @@ mod tests {
         use axi_sim::ChannelPool;
         let mut pool = ChannelPool::new();
         let mut map = AddressMap::new();
-        map.add(axi4::Addr::new(0), 0x1000, SubordinateId::new(1))
+        map.add(axi4::Addr::new(0), 0x1000, axi4::SubordinateId::new(1))
             .unwrap();
         let mgr = vec![AxiBundle::with_defaults(&mut pool)];
         let sub = vec![AxiBundle::with_defaults(&mut pool)];

@@ -4,11 +4,17 @@
 //! same component states, same beat-level traces, same final cycle. Only
 //! the executed-tick/skipped-cycle split may differ.
 
-use axi4::{Addr, ArBeat, AwBeat, BurstKind, BurstLen, BurstSize, SubordinateId, TxnId, WriteTxn};
+use axi4::{
+    Addr, ArBeat, AwBeat, BBeat, BurstKind, BurstLen, BurstSize, RBeat, SubordinateId, TxnId,
+    WBeat, WriteTxn,
+};
 use axi_conformance::ProtocolMonitor;
 use axi_mem::{MemoryConfig, MemoryModel};
 use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
-use axi_sim::{AxiBundle, BundleCapacity, Component, ComponentId, KernelMode, Sim, TraceProbe};
+use axi_sim::{
+    AxiBundle, BundleCapacity, ChannelPool, Component, ComponentId, KernelMode, PortDecl, PortDir,
+    Sim, TickCtx, TraceProbe,
+};
 use axi_traffic::{FuzzSpec, Op, ScriptedManager};
 use axi_xbar::{AddressMap, Crossbar};
 use cheshire_soc::{Testbench, TestbenchConfig};
@@ -253,6 +259,15 @@ fn build_contended_rig(
     }
 }
 
+/// Installs the beat-batching plan on a hand-built rig exactly the way the
+/// production SoC testbench does: Pass C of the static dependence analysis
+/// decides which components may ever take part in a batch window, the
+/// per-cycle horizons do all behavioral gating at run time.
+fn install_batch_plan(sim: &mut Sim) {
+    let (partition, _) = realm_lint::analyze_deps(&sim.topology(), &realm_lint::SystemModel::new());
+    sim.set_batch_plan(partition.batch_allowed);
+}
+
 /// Everything observable about a finished contended rig, in comparable form.
 fn observe_contended(rig: &ContendedRig) -> Vec<String> {
     let mut out = vec![format!("cycle={}", rig.sim.cycle())];
@@ -304,6 +319,7 @@ proptest! {
         let mut fast = build_contended_rig(scripts(), frag_len, budget, period);
         let mut slow = build_contended_rig(scripts(), frag_len, budget, period);
         let mut islands = build_contended_rig(scripts(), frag_len, budget, period);
+        let mut arena = build_contended_rig(scripts(), frag_len, budget, period);
 
         fast.sim.run(cycles);
         for _ in 0..cycles {
@@ -311,16 +327,21 @@ proptest! {
         }
         islands.sim.set_kernel_mode(KernelMode::Islands);
         islands.sim.run(cycles);
+        arena.sim.set_kernel_mode(KernelMode::Arena);
+        install_batch_plan(&mut arena.sim);
+        arena.sim.run(cycles);
 
         let a = observe_contended(&fast);
         let b = observe_contended(&slow);
         prop_assert_eq!(&a, &b, "event kernel diverged from stepping");
         let c = observe_contended(&islands);
         prop_assert_eq!(&a, &c, "islands kernel diverged from the event kernel");
+        let d = observe_contended(&arena);
+        prop_assert_eq!(&a, &d, "arena kernel diverged from the event kernel");
 
         // Monitors must be clean in absolute terms, not merely identical —
         // otherwise "both kernels see the same violation" would pass.
-        for rig in [&fast, &slow, &islands] {
+        for rig in [&fast, &slow, &islands, &arena] {
             for &id in &rig.monitors {
                 let mon = rig.sim.component::<ProtocolMonitor>(id).expect("monitor");
                 prop_assert!(mon.is_clean(), "{}: {:?}", mon.name(), mon.violations());
@@ -333,9 +354,11 @@ proptest! {
         prop_assert_eq!(format!("{:?}", fast.sim.contract_violations()), "[]");
         prop_assert_eq!(format!("{:?}", slow.sim.contract_violations()), "[]");
         prop_assert_eq!(format!("{:?}", islands.sim.contract_violations()), "[]");
+        prop_assert_eq!(format!("{:?}", arena.sim.contract_violations()), "[]");
         prop_assert_eq!(fast.sim.kernel_stats().cycles_total(), cycles);
         prop_assert_eq!(slow.sim.kernel_stats().cycles_total(), cycles);
         prop_assert_eq!(islands.sim.kernel_stats().cycles_total(), cycles);
+        prop_assert_eq!(arena.sim.kernel_stats().cycles_total(), cycles);
     }
 }
 
@@ -388,6 +411,315 @@ fn contended_depletion_windows_match_stepping() {
     );
 }
 
+/// Batching edge case 1 — isolation trip mid-window: a regulated unit that
+/// trips isolation repeatedly must never be spanned by a batch window. An
+/// enabled unit pins its batch horizon at zero (budget decisions are
+/// per-cycle discrete transitions), so with the production plan installed
+/// the arena kernel must fall back to per-cycle execution throughout and
+/// stay bit-identical to stepping.
+#[test]
+fn isolation_trips_veto_batch_windows_and_match_stepping() {
+    let spec = FuzzSpec::new(MEM_BASE, MEM_SIZE)
+        .with_ops(24)
+        .with_max_beats(16);
+    let script = || spec.generate(77);
+    const CYCLES: u64 = 8_000;
+
+    // 256 bytes per 600-cycle period: isolation recurs all run long.
+    let mut arena = build_rig(script(), 4, 256, 600);
+    arena.sim.set_kernel_mode(KernelMode::Arena);
+    install_batch_plan(&mut arena.sim);
+    let mut slow = build_rig(script(), 4, 256, 600);
+
+    arena.sim.run(CYCLES);
+    for _ in 0..CYCLES {
+        slow.sim.step();
+    }
+    assert_eq!(observe(&arena), observe(&slow));
+    assert!(arena.sim.contract_violations().is_empty());
+
+    let realm = arena
+        .sim
+        .component::<RealmUnit>(arena.realm)
+        .expect("realm");
+    assert!(
+        realm.stats().isolated_cycles > 0,
+        "isolation never tripped: the veto claim is vacuous"
+    );
+    let ks = arena.sim.kernel_stats();
+    assert_eq!(ks.batch_windows, 0, "a window spanned an isolation trip");
+    assert_eq!(ks.batched_beats, 0);
+    assert_eq!(ks.cycles_total(), CYCLES);
+}
+
+/// Batching edge case 2 — budget exhaustion inside a would-be batch: the
+/// budget runs dry once and stays dry (period longer than the remaining
+/// run), parking beats on the upstream wires for thousands of cycles.
+/// Exactly the stretch a naive batcher would love to jump — and exactly
+/// where it must not, because replenishment/isolation accounting advances
+/// per cycle. Windows stay closed; the outcome matches stepping.
+#[test]
+fn budget_exhaustion_stays_per_cycle_under_a_batch_plan() {
+    let spec = FuzzSpec::new(MEM_BASE, MEM_SIZE)
+        .with_ops(16)
+        .with_max_beats(16);
+    let script = || spec.generate(123);
+    const CYCLES: u64 = 5_000;
+
+    // 64-byte budget, 6000-cycle period: exhausts early, never replenishes
+    // within the run.
+    let mut arena = build_rig(script(), 1, 64, 6_000);
+    arena.sim.set_kernel_mode(KernelMode::Arena);
+    install_batch_plan(&mut arena.sim);
+    let mut slow = build_rig(script(), 1, 64, 6_000);
+
+    arena.sim.run(CYCLES);
+    for _ in 0..CYCLES {
+        slow.sim.step();
+    }
+    assert_eq!(observe(&arena), observe(&slow));
+
+    let realm = arena
+        .sim
+        .component::<RealmUnit>(arena.realm)
+        .expect("realm");
+    assert!(
+        realm.stats().isolated_cycles > 0,
+        "budget never exhausted: the edge case was not exercised"
+    );
+    let ks = arena.sim.kernel_stats();
+    assert_eq!(
+        ks.batch_windows, 0,
+        "a window opened across budget exhaustion"
+    );
+    assert_eq!(ks.batched_beats, 0);
+    assert_eq!(ks.cycles_total(), CYCLES);
+}
+
+/// Batching edge case 3 — zero-length window on a contended path: two
+/// managers share one memory through the crossbar. The plan itself rejects
+/// the crossbar (it multiplexes per-channel) and the enabled units besides;
+/// steady-state wire occupancy on a live path never reaches the two-beat
+/// window minimum either. No window may open, and the arena run is
+/// bit-identical to the event kernel and stepping.
+#[test]
+fn contended_path_never_opens_a_window() {
+    let spec = FuzzSpec::new(MEM_BASE, MEM_SIZE)
+        .with_ops(20)
+        .with_max_beats(8);
+    let scripts = || [spec.generate(5), spec.generate(6)];
+    const CYCLES: u64 = 6_000;
+
+    // Generous regulation: traffic flows freely, contention does the work.
+    let mut arena = build_contended_rig(scripts(), 16, 8 * 1024, 1_000);
+    arena.sim.set_kernel_mode(KernelMode::Arena);
+    install_batch_plan(&mut arena.sim);
+    let mut slow = build_contended_rig(scripts(), 16, 8 * 1024, 1_000);
+
+    arena.sim.run(CYCLES);
+    for _ in 0..CYCLES {
+        slow.sim.step();
+    }
+    assert_eq!(observe_contended(&arena), observe_contended(&slow));
+    assert!(arena.sim.contract_violations().is_empty());
+
+    let ks = arena.sim.kernel_stats();
+    assert_eq!(ks.batch_windows, 0, "window on a contended path");
+    assert_eq!(ks.batched_beats, 0);
+    assert_eq!(ks.cycles_total(), CYCLES);
+}
+
+/// A sink that drains the request channels of one bundle, one beat per
+/// channel per cycle — the minimal downstream half of a relay chain, with
+/// an honest capacity-bounded batch horizon.
+struct RequestSink {
+    bundle: AxiBundle,
+    taken: u64,
+}
+
+impl Component for RequestSink {
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        if ctx.pool.pop(self.bundle.aw, ctx.cycle).is_some() {
+            self.taken += 1;
+        }
+        if ctx.pool.pop(self.bundle.w, ctx.cycle).is_some() {
+            self.taken += 1;
+        }
+        if ctx.pool.pop(self.bundle.ar, ctx.cycle).is_some() {
+            self.taken += 1;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "req-sink"
+    }
+
+    fn ports(&self) -> Vec<PortDecl> {
+        vec![
+            PortDecl::new("AW", self.bundle.aw.index(), PortDir::Consume),
+            PortDecl::new("W", self.bundle.w.index(), PortDir::Consume),
+            PortDecl::new("AR", self.bundle.ar.index(), PortDir::Consume),
+        ]
+    }
+
+    // One pop per consumed channel per cycle, bounded by what is already
+    // visible at the window start.
+    fn batch_horizon(&self, cycle: u64, pool: &ChannelPool) -> u64 {
+        pool.relayable(self.bundle.aw, cycle)
+            .min(pool.relayable(self.bundle.w, cycle))
+            .min(pool.relayable(self.bundle.ar, cycle))
+    }
+}
+
+fn aw_beat(k: u64) -> AwBeat {
+    AwBeat::new(
+        TxnId::new(k as u32),
+        MEM_BASE + k * 64,
+        BurstLen::ONE,
+        BurstSize::bus64(),
+        BurstKind::Incr,
+    )
+}
+
+fn ar_beat(k: u64) -> ArBeat {
+    ArBeat::new(
+        TxnId::new(k as u32),
+        MEM_BASE + k * 64,
+        BurstLen::ONE,
+        BurstSize::bus64(),
+        BurstKind::Incr,
+    )
+}
+
+/// A bypass REALM unit with backlog on every relay chain: upstream
+/// requests, downstream headroom, and downstream responses all queued at
+/// least two deep. Preloading stands in for the producer (beats stamped on
+/// consecutive cycles, exactly as a per-cycle manager would have left
+/// them), so the only components are the unit and a request sink.
+fn build_preloaded_bypass() -> (Sim, ComponentId, ComponentId, AxiBundle, AxiBundle) {
+    let mut sim = Sim::new();
+    let cap = BundleCapacity::uniform(8);
+    let up = AxiBundle::new(sim.pool_mut(), cap);
+    let down = AxiBundle::new(sim.pool_mut(), cap);
+
+    // Disabled regulation = transparent wire: the one REALM mode whose
+    // batch horizon can open (an enabled unit always reports zero).
+    let mut rt = RuntimeConfig::open(2);
+    rt.enabled = false;
+    let realm = sim.add(RealmUnit::new(DesignConfig::cheshire(), rt, up, down));
+    let sink = sim.add(RequestSink {
+        bundle: down,
+        taken: 0,
+    });
+
+    // Six requests deep upstream, four already relayed downstream, six
+    // responses waiting to flow back. Stamps advance one per beat — ring
+    // pushes reject two beats on one cycle, like the real producers they
+    // replace.
+    let pool = sim.pool_mut();
+    for k in 0..6u64 {
+        pool.push(up.aw, k, aw_beat(k));
+        pool.push(up.w, k, WBeat::full(k, k == 5));
+        pool.push(up.ar, k, ar_beat(k));
+        pool.push(down.b, k, BBeat::okay(TxnId::new(k as u32)));
+        pool.push(down.r, k, RBeat::okay(TxnId::new(k as u32), k, k == 5));
+    }
+    for k in 0..4u64 {
+        pool.push(down.aw, k, aw_beat(0x100 + k));
+        pool.push(down.w, k, WBeat::full(0x100 + k, false));
+        pool.push(down.ar, k, ar_beat(0x100 + k));
+    }
+    (sim, realm, sink, up, down)
+}
+
+/// Comparable end state of the preloaded-bypass rig: unit stats, sink
+/// drain count, and the exact residue on all ten wires.
+fn observe_bypass(
+    sim: &Sim,
+    realm: ComponentId,
+    sink: ComponentId,
+    up: AxiBundle,
+    down: AxiBundle,
+) -> String {
+    let unit = sim.component::<RealmUnit>(realm).expect("realm");
+    let drained = sim.component::<RequestSink>(sink).expect("sink").taken;
+    let pool = sim.pool();
+    format!(
+        "cycle={} stats={:?} drained={} up=[{},{},{},{},{}] down=[{},{},{},{},{}]",
+        sim.cycle(),
+        unit.stats(),
+        drained,
+        pool.len(up.aw),
+        pool.len(up.w),
+        pool.len(up.b),
+        pool.len(up.ar),
+        pool.len(up.r),
+        pool.len(down.aw),
+        pool.len(down.w),
+        pool.len(down.b),
+        pool.len(down.ar),
+        pool.len(down.r),
+    )
+}
+
+/// The positive case: with every relay chain backlogged at least two deep
+/// and nothing but a bypass unit and a sink on the path, batch windows DO
+/// open — `RealmUnit::batch_tick` moves the beats in bulk ring copies —
+/// and the end state is still bit-identical to per-cycle stepping.
+///
+/// The structural plan wants a producing component on every wire, which
+/// the preload deliberately omits, so the permission bits are set by hand;
+/// the horizons still do all the behavioral gating.
+#[test]
+fn preloaded_bypass_unit_batches_and_matches_stepping() {
+    const CYCLES: u64 = 64;
+
+    let (mut arena_sim, a_realm, a_sink, up, down) = build_preloaded_bypass();
+    arena_sim.set_kernel_mode(KernelMode::Arena);
+    arena_sim.set_batch_plan(vec![true, true]);
+    arena_sim.run(CYCLES);
+
+    let (mut step_sim, s_realm, s_sink, s_up, s_down) = build_preloaded_bypass();
+    for _ in 0..CYCLES {
+        step_sim.step();
+    }
+
+    assert_eq!(
+        observe_bypass(&arena_sim, a_realm, a_sink, up, down),
+        observe_bypass(&step_sim, s_realm, s_sink, s_up, s_down),
+    );
+    assert!(arena_sim.contract_violations().is_empty());
+    assert!(step_sim.contract_violations().is_empty());
+
+    // The point of the test: bulk windows actually ran. Expect two (a
+    // four-cycle window bounded by the sink backlog, then a two-cycle one
+    // bounded by the remaining upstream requests), moving beats on all
+    // five channels.
+    let ks = arena_sim.kernel_stats();
+    assert!(ks.batch_windows >= 2, "no bulk windows formed: {ks:?}");
+    assert!(
+        ks.batched_beats >= 20,
+        "windows formed but barely moved beats: {ks:?}"
+    );
+    let ss = step_sim.kernel_stats();
+    assert_eq!(ss.batch_windows, 0);
+    assert_eq!(ss.batched_beats, 0);
+
+    // Everything the preload parked either drained out of the sink or
+    // piled up on the unpopped upstream response wires.
+    let drained = arena_sim
+        .component::<RequestSink>(a_sink)
+        .expect("sink")
+        .taken;
+    assert_eq!(
+        drained,
+        3 * 6 + 3 * 4,
+        "every request beat reached the sink"
+    );
+    assert_eq!(arena_sim.pool().len(up.b), 6, "responses parked upstream");
+    assert_eq!(arena_sim.pool().len(up.r), 6);
+}
+
 /// The same equivalence holds for the full Cheshire-like testbench with a
 /// regulated, periodically-replenished DMA — the configuration the paper's
 /// experiments run. Stepping 30k cycles of the full SoC is slow, so this is
@@ -417,10 +749,17 @@ fn testbench_run_matches_stepping() {
     let mut isl = Testbench::new(config());
     isl.sim_mut().set_kernel_mode(KernelMode::Islands);
     isl.run(CYCLES);
+    // The arena kernel additionally carries the production batch plan
+    // (Testbench::new installs it): the regulated units veto every window,
+    // so this leg must both match and report zero batched work.
+    let mut arena = Testbench::new(config());
+    arena.sim_mut().set_kernel_mode(KernelMode::Arena);
+    arena.run(CYCLES);
 
     let a = fast.result();
     let b = slow.result();
     let c = isl.result();
+    let d = arena.result();
     assert_eq!(a.cycles, c.cycles);
     assert_eq!(a.core_accesses, c.core_accesses);
     assert_eq!(a.dma_bytes, c.dma_bytes);
@@ -429,6 +768,19 @@ fn testbench_run_matches_stepping() {
         format!("{:?}", a.core_latency),
         format!("{:?}", c.core_latency)
     );
+    assert_eq!(a.cycles, d.cycles);
+    assert_eq!(a.core_accesses, d.core_accesses);
+    assert_eq!(a.dma_bytes, d.dma_bytes);
+    assert_eq!(a.llc_beats, d.llc_beats);
+    assert_eq!(
+        format!("{:?}", a.core_latency),
+        format!("{:?}", d.core_latency)
+    );
+    assert_eq!(
+        format!("{:?}", fast.dma_realm().expect("regulated").stats()),
+        format!("{:?}", arena.dma_realm().expect("regulated").stats()),
+    );
+    assert_eq!(arena.sim().kernel_stats().batch_windows, 0);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.core_accesses, b.core_accesses);
     assert_eq!(
