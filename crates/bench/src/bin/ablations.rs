@@ -10,11 +10,14 @@
 use axi_traffic::StallPlan;
 use cheshire_soc::experiments::llc_regulation;
 use cheshire_soc::{Regulation, Testbench, TestbenchConfig, LLC_BASE};
-use realm_bench::{run_sweep, ExperimentReport, Row};
+use realm_bench::telemetry::maybe_export_registry;
+use realm_bench::{point_row, run_sweep, ExperimentReport, Row};
+use realm_telemetry::TelemetrySink;
 
 /// Write-buffer ablation: core progress with a stalling writer present,
-/// with and without a REALM unit in front of the attacker.
-fn dos_ablation() -> ExperimentReport {
+/// with and without a REALM unit in front of the attacker. Returns the
+/// report plus the merged telemetry registry of both variants.
+fn dos_ablation() -> (ExperimentReport, TelemetrySink) {
     let mut report = ExperimentReport::new(
         "Ablation A",
         "write buffer vs. stalling-writer DoS (400 core accesses, 2M-cycle cap)",
@@ -34,28 +37,36 @@ fn dos_ablation() -> ExperimentReport {
         tb.assert_conformance();
         let accesses = tb.core().completed_accesses();
         let w_stalls = tb.xbar().w_stall_cycles(0);
-        ((finished, accesses, w_stalls), tb.sim().kernel_stats())
+        (
+            (finished, accesses, w_stalls, tb.telemetry()),
+            tb.sim().kernel_stats(),
+        )
     });
-    for (&(finished, accesses, w_stalls), rt) in outcome.results.iter().zip(&outcome.runtime) {
+    let mut merged = TelemetrySink::new();
+    for ((finished, accesses, w_stalls, telemetry), rt) in
+        outcome.results.iter().zip(&outcome.runtime)
+    {
         report.push(Row::new(
             rt.label.clone(),
             vec![
-                ("core_done", f64::from(u8::from(finished))),
-                ("accesses", accesses as f64),
-                ("w_stall_cycles", w_stalls as f64),
+                ("core_done", f64::from(u8::from(*finished))),
+                ("accesses", *accesses as f64),
+                ("w_stall_cycles", *w_stalls as f64),
             ],
         ));
+        report.telemetry.push(point_row(&rt.label, telemetry));
+        merged.merge(telemetry);
     }
     report.runtime = outcome.runtime_rows();
     report.note("paper §III-A: the buffer forwards AW and W only once the data is fully contained");
     report.note(
         "shape to check: unprotected run never finishes; protected run completes with ~0 W stalls",
     );
-    report
+    (report, merged)
 }
 
 /// Throttle ablation: outstanding-transaction scaling as the budget drains.
-fn throttle_ablation() -> ExperimentReport {
+fn throttle_ablation() -> (ExperimentReport, TelemetrySink) {
     let mut report = ExperimentReport::new(
         "Ablation B",
         "throttling unit: worst-case core latency with and without budget-aware backpressure",
@@ -80,6 +91,7 @@ fn throttle_ablation() -> ExperimentReport {
         let kernel = r.kernel;
         (r, kernel)
     });
+    let mut merged = TelemetrySink::new();
     for (r, rt) in outcome.results.iter().zip(&outcome.runtime) {
         report.push(Row::new(
             rt.label.clone(),
@@ -90,15 +102,17 @@ fn throttle_ablation() -> ExperimentReport {
                 ("dma_Bpercyc", r.dma_bytes as f64 / r.cycles as f64),
             ],
         ));
+        report.telemetry.push(point_row(&rt.label, &r.telemetry));
+        merged.merge(&r.telemetry);
     }
     report.runtime = outcome.runtime_rows();
     report.note("throttling modulates backpressure before the budget expires (paper Fig. 4)");
-    report
+    (report, merged)
 }
 
 /// Splitter-bypass ablation: a single-word manager needs no splitter; the
 /// design-time option removes its area without changing behaviour.
-fn splitter_ablation() -> ExperimentReport {
+fn splitter_ablation() -> (ExperimentReport, TelemetrySink) {
     use axi_realm::area::{AreaBreakdown, AreaParams};
     let mut report = ExperimentReport::new(
         "Ablation C",
@@ -121,6 +135,7 @@ fn splitter_ablation() -> ExperimentReport {
         let kernel = r.kernel;
         (r, kernel)
     });
+    let mut merged = TelemetrySink::new();
     for ((r, rt), present) in outcome
         .results
         .iter()
@@ -139,25 +154,39 @@ fn splitter_ablation() -> ExperimentReport {
                 ("unit_kGE", area.units_ge() / 1000.0),
             ],
         ));
+        report.telemetry.push(point_row(&rt.label, &r.telemetry));
+        merged.merge(&r.telemetry);
     }
     report.runtime = outcome.runtime_rows();
     report.note(
         "paper §III-A: the splitter can be disabled at design time to reduce the area footprint",
     );
     report.note("shape to check: identical cycles/latency, smaller unit area");
-    report
+    (report, merged)
 }
 
 fn main() {
-    for (report, path) in [
-        (dos_ablation(), "results/ablation_dos.json"),
-        (throttle_ablation(), "results/ablation_throttle.json"),
-        (splitter_ablation(), "results/ablation_splitter.json"),
+    for ((report, telemetry), name, path) in [
+        (dos_ablation(), "ablation_dos", "results/ablation_dos.json"),
+        (
+            throttle_ablation(),
+            "ablation_throttle",
+            "results/ablation_throttle.json",
+        ),
+        (
+            splitter_ablation(),
+            "ablation_splitter",
+            "results/ablation_splitter.json",
+        ),
     ] {
         print!("{}", report.render());
         println!();
         if let Err(e) = report.write_json(path) {
             eprintln!("could not write {path}: {e}");
         }
+        // Three reports share one process; each gets its own registry dump
+        // (the REALM_TRACE path would be overwritten thrice, so traces are
+        // fig6a/timeline territory).
+        maybe_export_registry(name, &telemetry);
     }
 }

@@ -16,7 +16,9 @@ use axi_realm::area::{AreaBreakdown, AreaParams};
 use axi_realm::DesignConfig;
 use cheshire_soc::experiments::llc_regulation;
 use cheshire_soc::{Regulation, Testbench, TestbenchConfig};
-use realm_bench::{run_sweep, ExperimentReport, Row};
+use realm_bench::telemetry::maybe_export_registry;
+use realm_bench::{point_row, run_sweep, ExperimentReport, Row};
+use realm_telemetry::TelemetrySink;
 
 const ACCESSES: u64 = 1_000;
 const PENDING: [usize; 4] = [2, 4, 8, 16];
@@ -28,7 +30,7 @@ enum Point {
     Sized { num_pending: usize, frag_len: u16 },
 }
 
-fn run_point(point: &Point) -> (u64, u64, axi_sim::KernelStats) {
+fn run_point(point: &Point) -> (u64, u64, TelemetrySink, axi_sim::KernelStats) {
     let mut tb = match point {
         Point::Baseline => {
             let mut cfg = TestbenchConfig::single_source(ACCESSES);
@@ -52,7 +54,12 @@ fn run_point(point: &Point) -> (u64, u64, axi_sim::KernelStats) {
     assert!(tb.run_until_core_done(100_000_000), "run exceeded cap");
     tb.assert_conformance();
     let r = tb.result();
-    (r.cycles, r.core_latency.max().unwrap_or(0), r.kernel)
+    (
+        r.cycles,
+        r.core_latency.max().unwrap_or(0),
+        r.telemetry,
+        r.kernel,
+    )
 }
 
 fn main() {
@@ -70,15 +77,15 @@ fn main() {
     }
 
     let outcome = run_sweep(points, |point| {
-        let (cycles, lat_max, kernel) = run_point(point);
-        ((cycles, lat_max), kernel)
+        let (cycles, lat_max, telemetry, kernel) = run_point(point);
+        ((cycles, lat_max, telemetry), kernel)
     });
 
     let mut report = ExperimentReport::new(
         "Design space",
         "pending-transaction count vs. fragmentation: core performance and unit area",
     );
-    let (base, _) = outcome.results[0];
+    let base = outcome.results[0].0;
     let mut rest = outcome.results[1..].iter().zip(&outcome.runtime[1..]);
     for num_pending in PENDING {
         let mut params = AreaParams::cheshire();
@@ -86,18 +93,23 @@ fn main() {
         params.num_units = 1;
         let unit_kge = AreaBreakdown::evaluate(params).units_ge() / 1000.0;
         for _ in FRAGS {
-            let (&(cycles, lat_max), rt) = rest.next().expect("grid point ran");
+            let ((cycles, lat_max, _), rt) = rest.next().expect("grid point ran");
             report.push(Row::new(
                 rt.label.clone(),
                 vec![
-                    ("perf_pct", base as f64 / cycles as f64 * 100.0),
-                    ("lat_max", lat_max as f64),
+                    ("perf_pct", base as f64 / *cycles as f64 * 100.0),
+                    ("lat_max", *lat_max as f64),
                     ("unit_kGE", unit_kge),
                 ],
             ));
         }
     }
     report.runtime = outcome.runtime_rows();
+    let mut merged = TelemetrySink::new();
+    for ((_, _, telemetry), rt) in outcome.results.iter().zip(&outcome.runtime) {
+        report.telemetry.push(point_row(&rt.label, telemetry));
+        merged.merge(telemetry);
+    }
 
     report.note("pending transactions cost 729.4 GE each in the splitter (Table II)");
     report
@@ -107,4 +119,5 @@ fn main() {
     if let Err(e) = report.write_json("results/design_space.json") {
         eprintln!("could not write results/design_space.json: {e}");
     }
+    maybe_export_registry("design_space", &merged);
 }

@@ -18,7 +18,9 @@ use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
 use axi_sim::{AxiBundle, BundleCapacity, KernelStats, Sim};
 use axi_traffic::{CoreModel, CoreWorkload, DmaConfig, DmaModel};
 use axi_xbar::{AddressMap, Crossbar};
-use realm_bench::{run_sweep, ExperimentReport, MonitorRig, Row};
+use realm_bench::telemetry::maybe_export_registry;
+use realm_bench::{point_row, run_sweep, ExperimentReport, MonitorRig, Row};
+use realm_telemetry::TelemetrySink;
 
 const MEM_BASE: Addr = Addr::new(0x8000_0000);
 const MEM_SIZE: u64 = 16 << 20;
@@ -30,6 +32,7 @@ struct Outcome {
     lat_mean: f64,
     hit_rate: f64,
     writebacks: u64,
+    telemetry: TelemetrySink,
 }
 
 fn run(frag_len: Option<u16>, with_dma: bool) -> (Outcome, KernelStats) {
@@ -157,6 +160,7 @@ fn run(frag_len: Option<u16>, with_dma: bool) -> (Outcome, KernelStats) {
         lat_mean: c.latency().mean().unwrap_or(0.0),
         hit_rate: k.stats().hit_rate().unwrap_or(0.0),
         writebacks: k.stats().writebacks,
+        telemetry: sim.telemetry(),
     };
     rig.assert_clean(&sim);
     (outcome, sim.kernel_stats())
@@ -174,6 +178,7 @@ fn main() {
     points.extend([16u16, 4, 1].map(|frag| (format!("frag={frag}"), (Some(frag), true))));
     let outcome = run_sweep(points, |&(frag, with_dma)| run(frag, with_dma));
     let base_cycles = outcome.results[0].cycles;
+    let mut merged = TelemetrySink::new();
     for (o, rt) in outcome.results.iter().zip(&outcome.runtime) {
         report.push(Row::new(
             rt.label.clone(),
@@ -184,6 +189,8 @@ fn main() {
                 ("writebacks", o.writebacks as f64),
             ],
         ));
+        report.telemetry.push(point_row(&rt.label, &o.telemetry));
+        merged.merge(&o.telemetry);
     }
     report.runtime = outcome.runtime_rows();
     report.note("the core's 64 KiB working set fits the 128 KiB LLC: hits dominate once warm");
@@ -194,4 +201,5 @@ fn main() {
     if let Err(e) = report.write_json("results/extension_cache.json") {
         eprintln!("could not write results/extension_cache.json: {e}");
     }
+    maybe_export_registry("extension_cache", &merged);
 }

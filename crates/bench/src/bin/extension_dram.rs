@@ -16,7 +16,9 @@ use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
 use axi_sim::{AxiBundle, BundleCapacity, KernelStats, Sim};
 use axi_traffic::{CoreModel, CoreWorkload, DmaConfig, DmaModel};
 use axi_xbar::{AddressMap, Crossbar};
-use realm_bench::{run_sweep, ExperimentReport, MonitorRig, Row};
+use realm_bench::telemetry::maybe_export_registry;
+use realm_bench::{point_row, run_sweep, ExperimentReport, MonitorRig, Row};
+use realm_telemetry::TelemetrySink;
 
 const DRAM_BASE: Addr = Addr::new(0x8000_0000);
 const DRAM_SIZE: u64 = 16 << 20;
@@ -28,6 +30,7 @@ struct Outcome {
     lat_mean: f64,
     lat_max: u64,
     row_hit_rate: f64,
+    telemetry: TelemetrySink,
 }
 
 fn run(frag_len: Option<u16>, with_dma: bool) -> (Outcome, KernelStats) {
@@ -146,6 +149,7 @@ fn run(frag_len: Option<u16>, with_dma: bool) -> (Outcome, KernelStats) {
         lat_mean: c.latency().mean().unwrap_or(0.0),
         lat_max: c.latency().max().unwrap_or(0),
         row_hit_rate: d.stats().hit_rate().unwrap_or(0.0),
+        telemetry: sim.telemetry(),
     };
     rig.assert_clean(&sim);
     (outcome, sim.kernel_stats())
@@ -163,6 +167,7 @@ fn main() {
     points.extend([64u16, 16, 4, 1].map(|frag| (format!("frag={frag}"), (Some(frag), true))));
     let outcome = run_sweep(points, |&(frag, with_dma)| run(frag, with_dma));
     let base_cycles = outcome.results[0].cycles;
+    let mut merged = TelemetrySink::new();
     for (o, rt) in outcome.results.iter().zip(&outcome.runtime) {
         report.push(Row::new(
             rt.label.clone(),
@@ -173,6 +178,8 @@ fn main() {
                 ("row_hit_pct", o.row_hit_rate * 100.0),
             ],
         ));
+        report.telemetry.push(point_row(&rt.label, &o.telemetry));
+        merged.merge(&o.telemetry);
     }
     report.runtime = outcome.runtime_rows();
     report.note("same qualitative shape as Fig. 6a despite address-dependent DRAM timing");
@@ -186,4 +193,5 @@ fn main() {
     if let Err(e) = report.write_json("results/extension_dram.json") {
         eprintln!("could not write results/extension_dram.json: {e}");
     }
+    maybe_export_registry("extension_dram", &merged);
 }

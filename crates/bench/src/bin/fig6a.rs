@@ -15,10 +15,12 @@
 
 use cheshire_soc::experiments::{
     fragmentation_sweep_points, llc_regulation, single_source, with_fragmentation,
-    without_reservation, DEFAULT_ACCESSES,
+    without_reservation, DEFAULT_ACCESSES, MAX_CYCLES,
 };
 use cheshire_soc::{Regulation, RunResult, Testbench, TestbenchConfig};
-use realm_bench::{run_sweep, ExperimentReport, Row};
+use realm_bench::telemetry::{maybe_export_registry, maybe_export_trace};
+use realm_bench::{point_row, run_sweep, ExperimentReport, Row};
+use realm_telemetry::TelemetrySink;
 
 /// One sweep point of Fig. 6a.
 enum Point {
@@ -75,6 +77,12 @@ fn main() {
         report.push(row(&rt.label, r, base));
     }
     report.runtime = outcome.runtime_rows();
+    report.telemetry = outcome
+        .results
+        .iter()
+        .zip(&outcome.runtime)
+        .map(|(r, rt)| point_row(&rt.label, &r.telemetry))
+        .collect();
 
     report
         .note("paper: without reservation <0.7 % of single-source, min access latency 264 cycles");
@@ -87,17 +95,38 @@ fn main() {
     if let Err(e) = report.write_json("results/fig6a.json") {
         eprintln!("could not write results/fig6a.json: {e}");
     }
-    // The kernel baseline also records the island partition of the system
-    // being measured (Pass C, regulated contended shape as in the frag
-    // sweep points); construction alone suffices, no run needed.
+
+    // Full-registry dump (REALM_TELEMETRY=1) of the whole sweep.
+    let mut merged = TelemetrySink::new();
+    for r in &outcome.results {
+        merged.merge(&r.telemetry);
+    }
+    maybe_export_registry("fig6a", &merged);
+
+    // Trace-demo and kernel self-profile run: a skewed-budget shape
+    // (frag=1, period 1000, DMA at 1/5 of the core's budget) exercises
+    // budget exhaustion and isolation, so an armed REALM_TRACE yields
+    // per-manager transaction spans plus budget-exhausted instants. The
+    // same run supplies the island partition and the per-component kernel
+    // profile for BENCH_kernel.json; none of its numbers enter
+    // results/fig6a.json.
     let mut cfg = TestbenchConfig::single_source(accesses);
     cfg.dma = Some(TestbenchConfig::worst_case_dma());
-    cfg.core_regulation = Regulation::Realm(llc_regulation(1, 0, 0));
-    cfg.dma_regulation = Regulation::Realm(llc_regulation(1, 0, 0));
-    let partition = Testbench::new(cfg).partition();
-    if let Err(e) =
-        outcome.write_kernel_baseline_with_partition("BENCH_kernel.json", "fig6a", Some(&partition))
-    {
+    cfg.core_regulation = Regulation::Realm(llc_regulation(1, 8 * 1024, 1000));
+    cfg.dma_regulation = Regulation::Realm(llc_regulation(1, 8 * 1024 / 5, 1000));
+    let mut tb = Testbench::new(cfg);
+    let partition = tb.partition();
+    assert!(
+        tb.run_until_core_done(MAX_CYCLES),
+        "trace-demo run exceeded {MAX_CYCLES} cycles"
+    );
+    maybe_export_trace(&tb.telemetry());
+    if let Err(e) = outcome.write_kernel_baseline_full(
+        "BENCH_kernel.json",
+        "fig6a",
+        Some(&partition),
+        Some(&tb.sim().profile()),
+    ) {
         eprintln!("could not write BENCH_kernel.json: {e}");
     }
 }

@@ -9,7 +9,8 @@
 use cheshire_soc::experiments::{
     budget_sweep_points, single_source, with_budget, DEFAULT_ACCESSES,
 };
-use realm_bench::{run_sweep, ExperimentReport, Row};
+use realm_bench::{point_row, run_sweep, ExperimentReport, Row};
+use realm_telemetry::TelemetrySink;
 
 fn main() {
     let accesses = DEFAULT_ACCESSES;
@@ -60,6 +61,12 @@ fn main() {
         ));
     }
     report.runtime = outcome.runtime_rows();
+    report.telemetry = outcome
+        .results
+        .iter()
+        .zip(&outcome.runtime)
+        .map(|(r, rt)| point_row(&rt.label, &r.telemetry))
+        .collect();
 
     report.note(
         "paper: performance approaches the single-source ideal (>95 %) as the DMA budget shrinks",
@@ -73,4 +80,11 @@ fn main() {
     if let Err(e) = report.write_json("results/fig6b.json") {
         eprintln!("could not write results/fig6b.json: {e}");
     }
+    let mut merged = TelemetrySink::new();
+    for r in &outcome.results {
+        merged.merge(&r.telemetry);
+    }
+    // Registry only: a merged five-point sweep would interleave spans on
+    // shared unit tracks, so fig6b leaves REALM_TRACE to fig6a/timeline.
+    realm_bench::telemetry::maybe_export_registry("fig6b", &merged);
 }

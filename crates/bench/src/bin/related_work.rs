@@ -15,7 +15,9 @@ use axi_realm::{DesignConfig, RealmUnit, RegionConfig, RuntimeConfig};
 use axi_sim::{AxiBundle, BundleCapacity, ComponentId, KernelStats, Sim};
 use axi_traffic::{CoreModel, CoreWorkload, DmaConfig, DmaModel, StallPlan, StallingManager};
 use axi_xbar::{AddressMap, Crossbar};
-use realm_bench::{run_sweep, ExperimentReport, MonitorRig, Row};
+use realm_bench::telemetry::maybe_export_registry;
+use realm_bench::{point_row, run_sweep, ExperimentReport, MonitorRig, Row};
+use realm_telemetry::TelemetrySink;
 
 const LLC_BASE: Addr = Addr::new(0x8000_0000);
 const LLC_SIZE: u64 = 16 << 20;
@@ -271,19 +273,26 @@ fn main() {
             batched_beats: k1.batched_beats + k2.batched_beats,
             batch_windows: k1.batch_windows + k2.batch_windows,
         };
-        ((contended_cycles, lat_max, survived), kernel)
+        // The point's telemetry, like its kernel counters, sums both legs.
+        let mut telemetry = s.sim.telemetry();
+        telemetry.merge(&d.sim.telemetry());
+        ((contended_cycles, lat_max, survived, telemetry), kernel)
     });
-    for (&(contended_cycles, lat_max, survived), rt) in outcome.results.iter().zip(&outcome.runtime)
+    let mut merged = TelemetrySink::new();
+    for ((contended_cycles, lat_max, survived, telemetry), rt) in
+        outcome.results.iter().zip(&outcome.runtime)
     {
         report.push(Row::new(
             rt.label.clone(),
             vec![
-                ("perf_pct", base as f64 / contended_cycles as f64 * 100.0),
-                ("lat_max", lat_max as f64),
-                ("dos_survived", f64::from(u8::from(survived))),
+                ("perf_pct", base as f64 / *contended_cycles as f64 * 100.0),
+                ("lat_max", *lat_max as f64),
+                ("dos_survived", f64::from(u8::from(*survived))),
                 ("area_kGE", area_of(&rt.label)),
             ],
         ));
+        report.telemetry.push(point_row(&rt.label, telemetry));
+        merged.merge(telemetry);
     }
     report.runtime = outcome.runtime_rows();
 
@@ -296,4 +305,5 @@ fn main() {
     if let Err(e) = report.write_json("results/related_work.json") {
         eprintln!("could not write results/related_work.json: {e}");
     }
+    maybe_export_registry("related_work", &merged);
 }

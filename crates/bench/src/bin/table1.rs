@@ -102,4 +102,8 @@ fn main() {
     if let Err(e) = report.write_json("results/table1.json") {
         eprintln!("could not write results/table1.json: {e}");
     }
+    // Analytic binary: no simulator ran, so the registry is empty — the
+    // dump still appears under REALM_TELEMETRY so tooling sees a uniform
+    // file set across all experiment binaries.
+    realm_bench::telemetry::maybe_export_registry("table1", &realm_telemetry::TelemetrySink::new());
 }

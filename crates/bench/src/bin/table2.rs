@@ -109,4 +109,7 @@ fn main() {
     if let Err(e) = sweep.write_json("results/table2_evaluated.json") {
         eprintln!("could not write results/table2_evaluated.json: {e}");
     }
+    // Analytic binary: no simulator ran, so the registry is empty (see
+    // table1).
+    realm_bench::telemetry::maybe_export_registry("table2", &realm_telemetry::TelemetrySink::new());
 }

@@ -14,7 +14,7 @@
 
 use cheshire_soc::experiments::llc_regulation;
 use cheshire_soc::{Regulation, Testbench, TestbenchConfig};
-use realm_bench::{run_sweep, ExperimentReport, Row};
+use realm_bench::{maybe_export, point_row, run_sweep, ExperimentReport, Row};
 
 fn main() {
     const PERIOD: u64 = 1_000;
@@ -30,9 +30,10 @@ fn main() {
 
         let timeline = tb.run_timeline(16, PERIOD / 4); // 4 samples per period
         tb.assert_conformance();
-        (timeline, tb.sim().kernel_stats())
+        let kernel = tb.sim().kernel_stats();
+        ((timeline, tb.telemetry()), kernel)
     });
-    let timeline = &outcome.results[0];
+    let (timeline, telemetry) = &outcome.results[0];
 
     let mut report = ExperimentReport::new(
         "Timeline",
@@ -50,6 +51,7 @@ fn main() {
         ));
     }
     report.runtime = outcome.runtime_rows();
+    report.telemetry = vec![point_row("timeline", telemetry)];
     report.note("dma_reg_B concentrates in the first quarter of each period (budget duty cycle)");
     report.note("core_lat falls once the DMA budget is spent; isolation fills the remainder");
     print!("{}", report.render());
@@ -58,4 +60,7 @@ fn main() {
     if let Err(e) = report.write_json("results/timeline.json") {
         eprintln!("could not write results/timeline.json: {e}");
     }
+    // A single sequential run, so its trace is coherent: the only binary
+    // besides fig6a that honours REALM_TRACE.
+    maybe_export("timeline", telemetry);
 }

@@ -10,7 +10,9 @@ pub mod json;
 pub mod poolbench;
 pub mod report;
 pub mod sweep;
+pub mod telemetry;
 
 pub use conformance::MonitorRig;
 pub use report::{ExperimentReport, Row};
 pub use sweep::{run_sweep, PointRuntime, SweepOutcome};
+pub use telemetry::{maybe_export, point_row};

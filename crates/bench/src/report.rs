@@ -83,6 +83,16 @@ pub struct ExperimentReport {
     /// sweep harness. Deterministic, unlike wall-clock, so they live in the
     /// report; wall-clock goes to `BENCH_kernel.json` instead.
     pub runtime: Vec<Row>,
+    /// Per-point component telemetry (isolation trips, latency-histogram
+    /// bounds, …) distilled from each run's [`TelemetrySink`] registry.
+    /// Only kernel-invariant component-side signals belong here — the CI
+    /// kernel-equivalence job diffs these files across all four kernels,
+    /// and the transparency job diffs them with telemetry export on vs.
+    /// off, so the rows must not depend on `REALM_TELEMETRY`/`REALM_TRACE`
+    /// or on which kernel ran.
+    ///
+    /// [`TelemetrySink`]: realm_telemetry::TelemetrySink
+    pub telemetry: Vec<Row>,
 }
 
 impl ExperimentReport {
@@ -94,6 +104,7 @@ impl ExperimentReport {
             rows: Vec::new(),
             notes: Vec::new(),
             runtime: Vec::new(),
+            telemetry: Vec::new(),
         }
     }
 
@@ -210,6 +221,32 @@ impl ExperimentReport {
                 let _ = writeln!(out);
             }
         }
+        if !self.telemetry.is_empty() {
+            let _ = writeln!(out, "\nTelemetry (kernel-invariant, per point):\n");
+            if let Some(first) = self.telemetry.first() {
+                let _ = write!(out, "| |");
+                for (k, _) in &first.values {
+                    let _ = write!(out, " {k} |");
+                }
+                let _ = writeln!(out);
+                let _ = write!(out, "|---|");
+                for _ in &first.values {
+                    let _ = write!(out, "---|");
+                }
+                let _ = writeln!(out);
+                for row in &self.telemetry {
+                    let _ = write!(out, "| {} |", row.label);
+                    for (_, v) in &row.values {
+                        if v.fract() == 0.0 && v.abs() < 1e12 {
+                            let _ = write!(out, " {} |", *v as i64);
+                        } else {
+                            let _ = write!(out, " {v:.2} |");
+                        }
+                    }
+                    let _ = writeln!(out);
+                }
+            }
+        }
         for note in &self.notes {
             let _ = writeln!(out, "\n> {note}");
         }
@@ -233,6 +270,10 @@ impl ExperimentReport {
             (
                 "runtime".to_owned(),
                 Json::Arr(self.runtime.iter().map(Row::to_json).collect()),
+            ),
+            (
+                "telemetry".to_owned(),
+                Json::Arr(self.telemetry.iter().map(Row::to_json).collect()),
             ),
         ])
     }
@@ -280,6 +321,8 @@ impl ExperimentReport {
                 .collect::<Result<_, String>>()?,
             // Absent in files written before the sweep harness existed.
             runtime: rows("runtime")?,
+            // Absent in files written before the telemetry registry existed.
+            telemetry: rows("telemetry")?,
         })
     }
 
@@ -368,6 +411,8 @@ mod tests {
         rep.note("n");
         rep.runtime
             .push(Row::new("a", vec![("ticks_executed", 10.0)]));
+        rep.telemetry
+            .push(Row::new("a", vec![("isolation_trips", 2.0)]));
         let dir = std::env::temp_dir().join("realm_report_test.json");
         rep.write_json(&dir).unwrap();
         let text = std::fs::read_to_string(&dir).unwrap();
@@ -389,5 +434,6 @@ mod tests {
         assert_eq!(rep.id, "Fig. 6a");
         assert_eq!(rep.rows[0].values[0], ("perf_pct".to_owned(), 0.7));
         assert!(rep.runtime.is_empty());
+        assert!(rep.telemetry.is_empty());
     }
 }

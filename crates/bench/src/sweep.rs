@@ -162,6 +162,26 @@ impl<R> SweepOutcome<R> {
         experiment: &str,
         partition: Option<&realm_lint::Partition>,
     ) -> std::io::Result<()> {
+        self.write_kernel_baseline_full(path, experiment, partition, None)
+    }
+
+    /// Like [`SweepOutcome::write_kernel_baseline_with_partition`], with the
+    /// kernel self-profile of one representative run appended as a
+    /// `profile` section: per-component visit/wake/batch counts from
+    /// [`axi_sim::Sim::profile`], plus wall-time per component when the
+    /// `self-profile` feature is on (0 otherwise — the clock reads are
+    /// compiled out of default builds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_kernel_baseline_full<P: AsRef<std::path::Path>>(
+        &self,
+        path: P,
+        experiment: &str,
+        partition: Option<&realm_lint::Partition>,
+        profile: Option<&[axi_sim::ComponentProfile]>,
+    ) -> std::io::Result<()> {
         use crate::json::Json;
         let num = Json::Num;
         // Counters are emitted as JSON integers (`Json::Int`), never as
@@ -186,8 +206,18 @@ impl<R> SweepOutcome<R> {
                 ])
             })
             .collect();
+        // Which kernel produced these numbers (same resolution rules as
+        // axi-sim's REALM_KERNEL handling; anything unrecognized is the
+        // default event kernel).
+        let kernel = match std::env::var("REALM_KERNEL").as_deref() {
+            Ok("step") | Ok("stepped") | Ok("cycle") => "step",
+            Ok("islands") | Ok("island") => "islands",
+            Ok("arena") | Ok("compiled") => "arena",
+            _ => "event",
+        };
         let mut doc = vec![
             ("experiment".to_owned(), Json::Str(experiment.to_owned())),
+            ("kernel".to_owned(), Json::Str(kernel.to_owned())),
             ("threads".to_owned(), int(self.threads as u64)),
             ("wall_ms".to_owned(), num(self.wall.as_secs_f64() * 1e3)),
             ("cycles_per_sec".to_owned(), num(self.cycles_per_sec())),
@@ -210,6 +240,12 @@ impl<R> SweepOutcome<R> {
                     ("schedule_depth".to_owned(), int(p.depth as u64)),
                     ("batch_approved".to_owned(), int(p.batch_approved() as u64)),
                 ]),
+            ));
+        }
+        if let Some(profile) = profile {
+            doc.push((
+                "profile".to_owned(),
+                crate::telemetry::profile_json(profile),
             ));
         }
         std::fs::write(path, Json::Obj(doc).pretty())

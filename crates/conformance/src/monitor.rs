@@ -546,4 +546,19 @@ impl Component for ProtocolMonitor {
         map.add(format!("{prefix}.b"), self.counters.b_resps);
         map.add(format!("{prefix}.err"), self.counters.err_resps);
     }
+
+    fn telemetry(&self, sink: &mut axi_sim::TelemetrySink) {
+        let prefix = format!("conf.{}", self.name);
+        sink.counter(&format!("{prefix}.aw_bursts"), self.counters.aw_bursts);
+        sink.counter(&format!("{prefix}.ar_bursts"), self.counters.ar_bursts);
+        sink.counter(&format!("{prefix}.w_beats"), self.counters.w_beats);
+        sink.counter(&format!("{prefix}.r_beats"), self.counters.r_beats);
+        sink.counter(&format!("{prefix}.b_resps"), self.counters.b_resps);
+        sink.counter(&format!("{prefix}.err_resps"), self.counters.err_resps);
+        // Only rules that actually fired get a row — on a clean run the
+        // whole rule section is silent, which is the interesting signal.
+        for (rule, hits) in &self.rule_hits {
+            sink.counter(&format!("{prefix}.rule.{}", rule.label()), *hits);
+        }
+    }
 }

@@ -104,6 +104,13 @@ pub struct UnitStats {
     /// Cycles a ready downstream request was stalled by backpressure —
     /// rising values indicate congestion behind this manager.
     pub downstream_stall_cycles: u64,
+    /// Rising edges of the isolation signal: how many times the ingress
+    /// closed (budget depletion, user command, or an intrusive drain),
+    /// regardless of how long each isolation window lasted.
+    pub isolation_trips: u64,
+    /// Rising edges of budget depletion: how many periods saw a regulated
+    /// region run dry. A subset of [`UnitStats::isolation_trips`] causes.
+    pub budget_exhaustions: u64,
 }
 
 #[cfg(test)]

@@ -2,7 +2,8 @@
 //! component between a manager and the interconnect.
 
 use axi4::{fragment_read, fragment_write_header};
-use axi_sim::{AxiBundle, ChannelPool, Component, TickCtx};
+use axi_sim::{AxiBundle, ChannelPool, Component, CoverageMap, TickCtx};
+use realm_telemetry::{trace_from_env, Histogram, TelemetrySink};
 
 use crate::config::{DesignConfig, RuntimeConfig};
 use crate::counters::UnitStats;
@@ -10,6 +11,80 @@ use crate::monitor::BudgetMonitor;
 use crate::read_path::ReadPath;
 use crate::regs::{shared_regs, SharedRegs};
 use crate::write_path::WritePath;
+
+/// Retained trace events per unit (spans and instants each): a trace needs
+/// the interesting prefix, not an unbounded log of a long soak run.
+const MAX_UNIT_EVENTS: usize = 8192;
+
+/// Telemetry-side state of one unit: latency histograms and the optional
+/// trace-event log. Strictly write-only from the unit's perspective —
+/// nothing in here ever feeds back into a regulation decision, which is
+/// what keeps telemetry on vs. off bit-identical.
+#[derive(Debug, Default)]
+struct UnitTelemetry {
+    /// AR-accept → last-R latency over all completed reads.
+    read_latency: Histogram,
+    /// AW-accept → coalesced-B latency over all completed writes.
+    write_latency: Histogram,
+    /// Same, split per address region (index = region index).
+    region_read: Vec<Histogram>,
+    region_write: Vec<Histogram>,
+    /// Trace-event log, armed by `REALM_TRACE` (or
+    /// [`RealmUnit::record_events`]); `None` costs nothing per completion.
+    events: Option<UnitEventLog>,
+}
+
+/// Bounded span/instant log for the Perfetto exporter.
+#[derive(Debug, Default)]
+struct UnitEventLog {
+    /// Completed transaction intervals `(name, start, end)`.
+    spans: Vec<(&'static str, u64, u64)>,
+    /// Point events `(name, cycle)`.
+    instants: Vec<(&'static str, u64)>,
+}
+
+impl UnitTelemetry {
+    fn new(num_regions: usize, record_events: bool) -> Self {
+        Self {
+            region_read: (0..num_regions).map(|_| Histogram::new()).collect(),
+            region_write: (0..num_regions).map(|_| Histogram::new()).collect(),
+            events: record_events.then(UnitEventLog::default),
+            ..Self::default()
+        }
+    }
+
+    fn note_read(&mut self, region: Option<usize>, latency: u64, cycle: u64) {
+        self.read_latency.record(latency);
+        if let Some(r) = region {
+            self.region_read[r].record(latency);
+        }
+        self.push_span("read", latency, cycle);
+    }
+
+    fn note_write(&mut self, region: Option<usize>, latency: u64, cycle: u64) {
+        self.write_latency.record(latency);
+        if let Some(r) = region {
+            self.region_write[r].record(latency);
+        }
+        self.push_span("write", latency, cycle);
+    }
+
+    fn push_span(&mut self, name: &'static str, latency: u64, cycle: u64) {
+        if let Some(log) = &mut self.events {
+            if log.spans.len() < MAX_UNIT_EVENTS {
+                log.spans.push((name, cycle.saturating_sub(latency), cycle));
+            }
+        }
+    }
+
+    fn push_instant(&mut self, name: &'static str, cycle: u64) {
+        if let Some(log) = &mut self.events {
+            if log.instants.len() < MAX_UNIT_EVENTS {
+                log.instants.push((name, cycle));
+            }
+        }
+    }
+}
 
 /// The real-time regulation and traffic monitoring unit (paper Fig. 2).
 ///
@@ -43,6 +118,14 @@ pub struct RealmUnit {
     write: WritePath,
     stats: UnitStats,
     reconfiguring: bool,
+    /// Isolation/depletion levels at the end of the previous executed tick,
+    /// for rising-edge detection. Both signals only transition at ticks
+    /// every kernel executes (charges happen at emission ticks; period
+    /// boundaries of mid-period regions are scheduled wakes), so the edge
+    /// counters are kernel-invariant.
+    was_isolated: bool,
+    was_depleted: bool,
+    telem: UnitTelemetry,
     name: String,
 }
 
@@ -71,6 +154,7 @@ impl RealmUnit {
             .expect("valid runtime configuration");
         let monitor = BudgetMonitor::new(&runtime);
         let regs = shared_regs(design, runtime.clone());
+        let telem = UnitTelemetry::new(design.num_regions, trace_from_env());
         Self {
             design,
             regs,
@@ -82,8 +166,19 @@ impl RealmUnit {
             write: WritePath::new(design.num_pending, design.write_buffer_depth),
             stats: UnitStats::default(),
             reconfiguring: false,
+            was_isolated: false,
+            was_depleted: false,
+            telem,
             name: "realm".to_owned(),
         }
+    }
+
+    /// Arms (or disarms) the bounded trace-event log behind the
+    /// [`Component::telemetry`] hook's spans and instants, overriding the
+    /// `REALM_TRACE` default. Disarming discards any recorded events.
+    /// Event capture never changes regulation behaviour.
+    pub fn record_events(&mut self, on: bool) {
+        self.telem.events = on.then(UnitEventLog::default);
     }
 
     /// Replaces the default instance name (`"realm"`) — distinguishes
@@ -169,6 +264,9 @@ impl RealmUnit {
             if self.monitor.regions()[i].config != cfg {
                 self.monitor.set_region(i, cfg, cycle);
                 self.active.regions[i] = cfg;
+                // A live budget reprogram is the mechanism behind MPAM-style
+                // criticality switches — worth a mark on the trace.
+                self.telem.push_instant("region-reprogrammed", cycle);
             }
         }
 
@@ -180,6 +278,7 @@ impl RealmUnit {
                 self.active.frag_len = target.frag_len;
                 self.active.enabled = target.enabled;
                 self.reconfiguring = false;
+                self.telem.push_instant("reconfigured", cycle);
             }
         }
     }
@@ -241,8 +340,11 @@ impl RealmUnit {
         if ctx.pool.can_push(self.upstream.r, ctx.cycle) {
             if let Some(r) = ctx.pool.pop(self.downstream.r, ctx.cycle) {
                 let routed = self.read.on_response(r, ctx.cycle);
-                if let (Some(region), Some(latency)) = (routed.region, routed.completed_latency) {
-                    self.monitor.record_completion(region, latency);
+                if let Some(latency) = routed.completed_latency {
+                    if let Some(region) = routed.region {
+                        self.monitor.record_completion(region, latency);
+                    }
+                    self.telem.note_read(routed.region, latency, ctx.cycle);
                 }
                 ctx.pool.push(self.upstream.r, ctx.cycle, routed.beat);
             }
@@ -251,8 +353,11 @@ impl RealmUnit {
         if ctx.pool.can_push(self.upstream.b, ctx.cycle) {
             if let Some(b) = ctx.pool.pop(self.downstream.b, ctx.cycle) {
                 let routed = self.write.on_response(b, ctx.cycle);
-                if let (Some(region), Some(latency)) = (routed.region, routed.completed_latency) {
-                    self.monitor.record_completion(region, latency);
+                if let Some(latency) = routed.completed_latency {
+                    if let Some(region) = routed.region {
+                        self.monitor.record_completion(region, latency);
+                    }
+                    self.telem.note_write(routed.region, latency, ctx.cycle);
                 }
                 if let Some(beat) = routed.beat {
                     ctx.pool.push(self.upstream.b, ctx.cycle, beat);
@@ -336,6 +441,26 @@ impl RealmUnit {
         }
     }
 
+    /// Rising-edge detection on the isolation and depletion signals, run
+    /// at the end of every executed tick (both the enabled and bypass
+    /// paths). Sleeping kernels never miss an edge: isolation is constant
+    /// across a sleep stretch (see `on_fast_forward`), and both signals
+    /// change only at ticks every kernel executes.
+    fn note_status_edges(&mut self, cycle: u64) {
+        let depleted = self.monitor.any_depleted();
+        if depleted && !self.was_depleted {
+            self.stats.budget_exhaustions += 1;
+            self.telem.push_instant("budget-exhausted", cycle);
+        }
+        self.was_depleted = depleted;
+        let isolated = self.is_isolated();
+        if isolated && !self.was_isolated {
+            self.stats.isolation_trips += 1;
+            self.telem.push_instant("isolation-trip", cycle);
+        }
+        self.was_isolated = isolated;
+    }
+
     fn mirror_status(&mut self) {
         let mut shared = self.regs.borrow_mut();
         shared.status.isolated = self.is_isolated();
@@ -360,6 +485,7 @@ impl Component for RealmUnit {
 
         if !self.active.enabled {
             self.tick_bypass(ctx);
+            self.note_status_edges(ctx.cycle);
             self.mirror_status();
             return;
         }
@@ -371,6 +497,7 @@ impl Component for RealmUnit {
         if self.is_isolated() {
             self.stats.isolated_cycles += 1;
         }
+        self.note_status_edges(ctx.cycle);
         self.mirror_status();
     }
 
@@ -539,5 +666,75 @@ impl Component for RealmUnit {
         // Everything `mirror_status` writes is unchanged by pure relaying;
         // one trailing call matches the last per-cycle tick's mirror.
         self.mirror_status();
+    }
+
+    fn coverage(&self, map: &mut CoverageMap) {
+        // Regulation-event coverage for the fuzz campaign: a seed that
+        // first trips isolation, first drains a budget, or first pushes
+        // the write buffer to a new high lights up a signature bit.
+        map.add(
+            format!("{}.isolation_trips", self.name),
+            self.stats.isolation_trips,
+        );
+        map.add(
+            format!("{}.budget_exhaust", self.name),
+            self.stats.budget_exhaustions,
+        );
+        map.add(
+            format!("{}.wbuf.watermark", self.name),
+            self.write.buffer_watermark() as u64,
+        );
+    }
+
+    fn telemetry(&self, sink: &mut TelemetrySink) {
+        let n = &self.name;
+        sink.counter(&format!("{n}.txns_accepted"), self.stats.txns_accepted);
+        sink.counter(
+            &format!("{n}.fragments_emitted"),
+            self.stats.fragments_emitted,
+        );
+        sink.counter(&format!("{n}.isolated_cycles"), self.stats.isolated_cycles);
+        sink.counter(
+            &format!("{n}.downstream_stall_cycles"),
+            self.stats.downstream_stall_cycles,
+        );
+        sink.counter(&format!("{n}.isolation_trips"), self.stats.isolation_trips);
+        sink.counter(
+            &format!("{n}.budget_exhaustions"),
+            self.stats.budget_exhaustions,
+        );
+        sink.gauge(
+            &format!("{n}.wbuf.occupancy"),
+            self.write.buffered_beats() as u64,
+        );
+        sink.gauge(
+            &format!("{n}.wbuf.watermark"),
+            self.write.buffer_watermark() as u64,
+        );
+        for (i, r) in self.monitor.regions().iter().enumerate() {
+            if r.is_regulated() {
+                sink.gauge(&format!("{n}.region{i}.budget_left"), r.budget_left);
+            }
+        }
+        sink.histogram(&format!("{n}.read_latency"), &self.telem.read_latency);
+        sink.histogram(&format!("{n}.write_latency"), &self.telem.write_latency);
+        for (i, h) in self.telem.region_read.iter().enumerate() {
+            if h.count() > 0 {
+                sink.histogram(&format!("{n}.region{i}.read_latency"), h);
+            }
+        }
+        for (i, h) in self.telem.region_write.iter().enumerate() {
+            if h.count() > 0 {
+                sink.histogram(&format!("{n}.region{i}.write_latency"), h);
+            }
+        }
+        if let Some(log) = &self.telem.events {
+            for &(name, start, end) in &log.spans {
+                sink.span(n, name, start, end);
+            }
+            for &(name, cycle) in &log.instants {
+                sink.instant(n, name, cycle);
+            }
+        }
     }
 }

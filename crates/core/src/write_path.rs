@@ -74,6 +74,7 @@ pub struct WritePath {
     fill_in_ready: bool,
     ready: VecDeque<PendingFrag>,
     buffered_beats: usize,
+    buffer_watermark: usize,
     txns: BTreeMap<u32, VecDeque<WriteTxnState>>,
     pending_txns: usize,
     outstanding_frags: usize,
@@ -90,6 +91,7 @@ impl WritePath {
             fill_in_ready: false,
             ready: VecDeque::new(),
             buffered_beats: 0,
+            buffer_watermark: 0,
             txns: BTreeMap::new(),
             pending_txns: 0,
             outstanding_frags: 0,
@@ -109,6 +111,17 @@ impl WritePath {
     /// Fragments whose `AW` went downstream and whose `B` is outstanding.
     pub fn outstanding_fragments(&self) -> usize {
         self.outstanding_frags
+    }
+
+    /// Write-data beats currently held in the buffer.
+    pub fn buffered_beats(&self) -> usize {
+        self.buffered_beats
+    }
+
+    /// Highest buffer occupancy ever reached — how close the anti-DoS
+    /// buffer came to its capacity (and thus to cut-through exposure).
+    pub fn buffer_watermark(&self) -> usize {
+        self.buffer_watermark
     }
 
     /// `true` when nothing is buffered, filling, or awaiting responses.
@@ -207,6 +220,7 @@ impl WritePath {
         frag.beats.push_back(beat);
         if frag.buffered {
             self.buffered_beats += 1;
+            self.buffer_watermark = self.buffer_watermark.max(self.buffered_beats);
         }
         if frag.filled == frag.expected {
             if self.fill_in_ready {

@@ -44,8 +44,16 @@ pub struct RunOutcome {
     /// Per-manager completion facts, in spec order.
     pub managers: Vec<ManagerOutcome>,
     /// The run's coverage harvest (see
-    /// [`Sim::coverage`](axi_sim::Sim::coverage)).
+    /// [`Sim::coverage`](axi_sim::Sim::coverage)), extended with the
+    /// telemetry-delta layer: histogram-bucket occupancy from the
+    /// telemetry registry, so latency-distribution shifts guide the
+    /// campaign even when no new wire or rule fired.
     pub coverage: CoverageMap,
+    /// The run's full telemetry registry (see
+    /// [`Sim::telemetry`](axi_sim::Sim::telemetry)). Component-side
+    /// counters/histograms in here are kernel-invariant; `kernel.*`
+    /// counters are not.
+    pub telemetry: axi_sim::TelemetrySink,
     /// Kernel throughput counters.
     pub kernel: KernelStats,
     /// Access-sanitizer violations recorded during the run (including any
@@ -108,12 +116,27 @@ pub fn run_spec(spec: &SystemSpec) -> RunOutcome {
         })
         .collect();
 
+    // Fourth coverage layer: telemetry deltas. Folding histogram-bucket
+    // occupancy into the map turns the latency *distribution* into
+    // coverage keys — a mutant that pushes a completion into a new
+    // power-of-two latency bucket counts as novel behaviour. Only
+    // component-side histograms exist in the registry, so the layer is
+    // kernel-invariant like the rest of the signature.
+    let telemetry = sim.telemetry();
+    let mut coverage = sim.coverage();
+    for (key, hist) in telemetry.histograms() {
+        for (bucket, count) in hist.buckets() {
+            coverage.add(format!("telemetry.{key}.b{bucket}"), count);
+        }
+    }
+
     RunOutcome {
         finished,
         cycle: sim.cycle(),
         conformance,
         managers,
-        coverage: sim.coverage(),
+        coverage,
+        telemetry,
         kernel: sim.kernel_stats(),
         sanitizer: sim.sanitizer_violations().len()
             + usize::try_from(sim.sanitizer_violations_dropped()).unwrap_or(usize::MAX),

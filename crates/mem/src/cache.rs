@@ -528,6 +528,15 @@ impl Component for CacheModel {
         }
         wake
     }
+
+    fn telemetry(&self, sink: &mut axi_sim::TelemetrySink) {
+        let n = &self.name;
+        sink.counter(&format!("{n}.hits"), self.stats.hits);
+        sink.counter(&format!("{n}.misses"), self.stats.misses);
+        sink.counter(&format!("{n}.writebacks"), self.stats.writebacks);
+        sink.counter(&format!("{n}.beats_served"), self.stats.beats_served);
+        sink.gauge(&format!("{n}.pending"), self.pending.len() as u64);
+    }
 }
 
 #[cfg(test)]

@@ -352,6 +352,16 @@ impl Component for DramModel {
         }
         wake
     }
+
+    fn telemetry(&self, sink: &mut axi_sim::TelemetrySink) {
+        let n = &self.name;
+        sink.counter(&format!("{n}.row_hits"), self.stats.row_hits);
+        sink.counter(&format!("{n}.row_misses"), self.stats.row_misses);
+        sink.counter(&format!("{n}.reads_served"), self.stats.reads_served);
+        sink.counter(&format!("{n}.writes_served"), self.stats.writes_served);
+        sink.counter(&format!("{n}.beats_served"), self.stats.beats_served);
+        sink.gauge(&format!("{n}.pending"), self.pending.len() as u64);
+    }
 }
 
 #[cfg(test)]

@@ -456,6 +456,16 @@ impl Component for MemoryModel {
         // Intake and the active write only react to arriving beats.
         wake
     }
+
+    fn telemetry(&self, sink: &mut axi_sim::TelemetrySink) {
+        let n = &self.name;
+        sink.counter(&format!("{n}.bursts_accepted"), self.bursts_accepted);
+        sink.counter(&format!("{n}.reads_served"), self.reads_served);
+        sink.counter(&format!("{n}.writes_served"), self.writes_served);
+        sink.counter(&format!("{n}.beats_served"), self.beats_served);
+        sink.gauge(&format!("{n}.reads_queued"), self.reads_queued as u64);
+        sink.gauge(&format!("{n}.writes_queued"), self.writes_queued as u64);
+    }
 }
 
 #[cfg(test)]

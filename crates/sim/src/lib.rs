@@ -58,13 +58,18 @@ pub use component::{Component, TickCtx};
 pub use coverage::CoverageMap;
 pub use pool::{Channel, ChannelPool, PushRefusal, SanitizerKind, WireActivity, WireId};
 pub use sim::{
-    ComponentId, ContractViolation, KernelMode, KernelStats, SanitizerViolation, Sim, ViolationKind,
+    ComponentId, ComponentProfile, ContractViolation, KernelMode, KernelStats, SanitizerViolation,
+    Sim, ViolationKind,
 };
 pub use topology::{PortDecl, PortDir, TopoComponent, TopoWire, Topology};
 pub use trace::{TraceChannel, TraceEvent, TracePayload, TraceProbe};
 pub use vcd::vcd_dump;
 pub use watchdog::Watchdog;
 pub use wire::{PushError, Wire, WireStats};
+
+// Re-exported so downstream crates can implement the
+// `Component::telemetry` hook without a direct `realm-telemetry` dep.
+pub use realm_telemetry::TelemetrySink;
 
 /// A clock-cycle count.
 ///

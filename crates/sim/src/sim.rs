@@ -21,6 +21,8 @@ use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 use std::fmt;
 
+use realm_telemetry::TelemetrySink;
+
 use crate::pool::{
     channel_slot, ChannelPool, RawSanViolation, SanitizerKind, SanitizerTables, WakeTables,
     WireEvent, CHANNEL_SLOTS,
@@ -78,6 +80,41 @@ impl KernelStats {
     pub fn cycles_total(&self) -> u64 {
         self.ticks_executed + self.cycles_skipped
     }
+}
+
+/// Per-component attribution from the kernel self-profiler (see
+/// [`Sim::profile`]): where the kernel actually spends its visits — and,
+/// when the `self-profile` feature is enabled, its wall-time.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ComponentProfile {
+    /// Registration index of the component.
+    pub index: usize,
+    /// Its [`Component::name`].
+    pub name: String,
+    /// `tick`/`batch_tick` calls executed for this component, across all
+    /// kernels.
+    pub visits: u64,
+    /// Cycles covered by batch windows (each window is one visit covering
+    /// `window` cycles; 0 under the non-arena kernels).
+    pub batch_cycles: u64,
+    /// Wakes delivered to this component by the event kernel's bookkeeping
+    /// (wire activity, couple writes, opaque broadcasts). The stepping,
+    /// islands, and arena kernels keep no per-component wake list and
+    /// report 0.
+    pub wakes: u64,
+    /// Wall-clock nanoseconds spent inside this component's ticks. Always 0
+    /// unless `axi-sim` is built with the `self-profile` feature — the
+    /// clock reads do not exist in a default build, keeping the simulator
+    /// free of wall-time (and `detlint`-clean by construction).
+    pub wall_ns: u64,
+}
+
+/// Internal per-component profiler counters (see [`ComponentProfile`]).
+#[derive(Clone, Copy, Default)]
+struct ProfileEntry {
+    visits: u64,
+    batch_cycles: u64,
+    wall_ns: u64,
 }
 
 /// Which kernel drives [`Sim::run`] and [`Sim::run_until`].
@@ -263,6 +300,10 @@ struct Scheduler {
     heap: BinaryHeap<Reverse<(Cycle, u32)>>,
     /// Scratch buffer for drained pool events.
     events: Vec<WireEvent>,
+    /// Per component: wakes delivered by wire activity, couple writes, and
+    /// opaque broadcasts — the self-profiler's wake attribution (see
+    /// [`Sim::profile`]). Preserved across table rebuilds.
+    wakes: Vec<u64>,
     /// `(components, wires, couples)` the tables were built for.
     signature: (usize, usize, usize),
 }
@@ -298,6 +339,7 @@ impl Scheduler {
         if j == actor {
             return;
         }
+        self.wakes[j] += 1;
         if push {
             // New beat: visible next cycle; peers ticking after the pusher
             // also look this cycle (tap monitors drain on the push cycle).
@@ -336,6 +378,7 @@ impl Scheduler {
             if j == actor {
                 continue;
             }
+            self.wakes[j] += 1;
             if j > actor {
                 self.mark_due(j);
             }
@@ -446,7 +489,21 @@ pub struct Sim {
     /// component to stream through batch windows (see
     /// [`Sim::set_batch_plan`]). Empty = no plan = no batching.
     batch_allowed: Vec<bool>,
+    /// Self-profiler counters, one entry per component (see
+    /// [`Sim::profile`]). Counter maintenance is a single indexed add per
+    /// visit; wall-time exists only under the `self-profile` feature.
+    profile: Vec<ProfileEntry>,
+    /// Bounded log of executed batch windows `(start, length)` for the
+    /// Perfetto exporter. Armed by `REALM_TRACE` at construction (or
+    /// [`Sim::set_batch_window_log`]); `None` costs nothing per window.
+    batch_window_log: Option<Vec<(Cycle, u64)>>,
 }
+
+/// Retained batch-window log entries (diagnostic bound, like
+/// [`MAX_VIOLATIONS`] — a trace needs the shape, not every window).
+const MAX_WINDOW_LOG: usize = 4096;
+
+use realm_telemetry::trace_from_env;
 
 impl Sim {
     /// Creates an empty simulator at cycle 0. The kernel honours the
@@ -475,6 +532,8 @@ impl Sim {
             islands_signature: None,
             arena: ArenaSched::default(),
             batch_allowed: Vec::new(),
+            profile: Vec::new(),
+            batch_window_log: trace_from_env().then(Vec::new),
         }
     }
 
@@ -492,6 +551,7 @@ impl Sim {
     pub fn add<C: Component>(&mut self, component: C) -> ComponentId {
         self.components.push(Box::new(component));
         self.synced_to.push(self.cycle);
+        self.profile.push(ProfileEntry::default());
         ComponentId(self.components.len() - 1)
     }
 
@@ -629,6 +689,110 @@ impl Sim {
         map
     }
 
+    /// Harvests the run's telemetry: every component's
+    /// [`Component::telemetry`](crate::Component::telemetry) export, plus
+    /// the kernel's own signals — `kernel.*` counters from
+    /// [`KernelStats`], instant events for every retained contract and
+    /// sanitizer violation, and batch-window spans when the window log is
+    /// armed (`REALM_TRACE` / [`Sim::set_batch_window_log`]).
+    ///
+    /// Pull-based and side-effect free, like [`Sim::coverage`]: collecting
+    /// telemetry cannot perturb the simulation, so results are
+    /// bit-identical whether or not anything reads the sink (CI-gated).
+    ///
+    /// Component counters and histograms are kernel-invariant (component
+    /// state is bit-identical across kernels by construction). The
+    /// `kernel.*` counters, violation instants, and batch-window spans
+    /// describe *how* the run was executed and differ across kernels —
+    /// exporters writing kernel-comparable artifacts (`results/*.json`)
+    /// must draw only on the component side.
+    pub fn telemetry(&self) -> TelemetrySink {
+        let mut sink = TelemetrySink::new();
+        for component in &self.components {
+            component.telemetry(&mut sink);
+        }
+        let s = &self.stats;
+        sink.counter("kernel.ticks_executed", s.ticks_executed);
+        sink.counter("kernel.cycles_skipped", s.cycles_skipped);
+        sink.counter("kernel.fast_forwards", s.fast_forwards);
+        sink.counter("kernel.component_ticks", s.component_ticks);
+        sink.counter("kernel.component_skips", s.component_skips);
+        sink.counter("kernel.wire_events", s.wire_events);
+        sink.counter("kernel.batched_beats", s.batched_beats);
+        sink.counter("kernel.batch_windows", s.batch_windows);
+        sink.counter(
+            "kernel.contract_violations",
+            self.violations.len() as u64 + self.violations_dropped,
+        );
+        sink.counter(
+            "kernel.contract_violations_dropped",
+            self.violations_dropped,
+        );
+        sink.counter(
+            "kernel.sanitizer_violations",
+            self.san_violations.len() as u64 + self.san_violations_dropped,
+        );
+        sink.counter(
+            "kernel.sanitizer_violations_dropped",
+            self.san_violations_dropped,
+        );
+        for v in &self.violations {
+            let kind = match v.kind {
+                ViolationKind::StaleHint => "stale-hint",
+                ViolationKind::MissedWake => "missed-wake",
+            };
+            sink.instant("kernel", &format!("contract:{kind}:{}", v.name), v.cycle);
+        }
+        for v in &self.san_violations {
+            let kind = match v.kind {
+                SanitizerKind::UndeclaredPush => "push",
+                SanitizerKind::UndeclaredPop => "pop",
+                SanitizerKind::UndeclaredWake => "wake",
+            };
+            sink.instant("kernel", &format!("sanitizer:{kind}:{}", v.name), v.cycle);
+        }
+        if let Some(log) = &self.batch_window_log {
+            for &(start, window) in log {
+                sink.span("kernel", "batch-window", start, start + window);
+            }
+        }
+        sink
+    }
+
+    /// Arms or disarms the batch-window log feeding
+    /// [`Sim::telemetry`]'s `batch-window` spans (the default comes from
+    /// `REALM_TRACE`). Purely observational — the log never influences
+    /// window formation — and bounded, so leaving it armed is safe.
+    pub fn set_batch_window_log(&mut self, on: bool) {
+        self.batch_window_log = on.then(Vec::new);
+    }
+
+    /// The kernel self-profiler's per-component attribution: visits
+    /// (tick/batch_tick calls), batch-covered cycles, delivered wakes, and
+    /// — only when built with the `self-profile` feature — wall-time.
+    ///
+    /// Visit/wake/batch counters are always maintained (one indexed add on
+    /// the paths that already do bookkeeping); the clock reads attributing
+    /// wall-time are compiled out without the feature, so a default build
+    /// contains no wall-clock reads at all. Profiles are *kernel-dependent*
+    /// by nature (which visits execute is exactly what distinguishes the
+    /// kernels) and belong in wall-clock artifacts like
+    /// `BENCH_kernel.json`, never in kernel-compared `results/*.json`.
+    pub fn profile(&self) -> Vec<ComponentProfile> {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, component)| ComponentProfile {
+                index: i,
+                name: component.name().to_owned(),
+                visits: self.profile[i].visits,
+                batch_cycles: self.profile[i].batch_cycles,
+                wakes: self.sched.wakes.get(i).copied().unwrap_or(0),
+                wall_ns: self.profile[i].wall_ns,
+            })
+            .collect()
+    }
+
     /// Advances the simulation by one cycle, ticking every component once
     /// (the reference kernel). Interleaves exactly with event-driven runs:
     /// components a previous run left fast-forwarded are reconciled here.
@@ -681,7 +845,14 @@ impl Sim {
             cycle,
             pool: &mut self.pool,
         };
+        self.profile[index].visits += 1;
+        #[cfg(feature = "self-profile")]
+        let t0 = std::time::Instant::now(); // lint:allow(wall-clock) -- self-profiler, feature-gated
         self.components[index].tick(&mut ctx);
+        #[cfg(feature = "self-profile")]
+        {
+            self.profile[index].wall_ns += t0.elapsed().as_nanos() as u64;
+        }
     }
 
     /// Recomputes the island partition if the topology changed.
@@ -1001,6 +1172,9 @@ impl Sim {
         self.sched.next_list.clear();
         self.sched.scheduled = vec![NEVER; n];
         self.sched.heap.clear();
+        // Wake attribution survives rebuilds: a rebuild only means the
+        // topology grew, not that a new run started.
+        self.sched.wakes.resize(n, 0);
     }
 
     /// Moves heap wakes that have come due at the current cycle into the
@@ -1130,7 +1304,14 @@ impl Sim {
                 cycle,
                 pool: &mut self.pool,
             };
+            self.profile[i].visits += 1;
+            #[cfg(feature = "self-profile")]
+            let t0 = std::time::Instant::now(); // lint:allow(wall-clock) -- self-profiler, feature-gated
             self.components[i].tick(&mut ctx);
+            #[cfg(feature = "self-profile")]
+            {
+                self.profile[i].wall_ns += t0.elapsed().as_nanos() as u64;
+            }
             ticked += 1;
 
             // Wire activity → wakes. A push is visible to peers from the
@@ -1154,6 +1335,7 @@ impl Sim {
             // cycle if they tick after the writer — exactly as stepping.
             for k in 0..self.sched.dependents[i].len() {
                 let d = self.sched.dependents[i][k] as usize;
+                self.sched.wakes[d] += 1;
                 if d > i {
                     self.sched.mark_due(d);
                 } else {
@@ -1521,7 +1703,14 @@ impl Sim {
                 cycle,
                 pool: &mut self.pool,
             };
+            self.profile[i].visits += 1;
+            #[cfg(feature = "self-profile")]
+            let t0 = std::time::Instant::now(); // lint:allow(wall-clock) -- self-profiler, feature-gated
             self.components[i].tick(&mut ctx);
+            #[cfg(feature = "self-profile")]
+            {
+                self.profile[i].wall_ns += t0.elapsed().as_nanos() as u64;
+            }
             ticked += 1;
 
             // Wire activity → wakes, accumulated by the pool as masks.
@@ -1673,7 +1862,15 @@ impl Sim {
                 cycle,
                 pool: &mut self.pool,
             };
+            self.profile[i].visits += 1;
+            self.profile[i].batch_cycles += window;
+            #[cfg(feature = "self-profile")]
+            let t0 = std::time::Instant::now(); // lint:allow(wall-clock) -- self-profiler, feature-gated
             self.components[i].batch_tick(&mut ctx, window);
+            #[cfg(feature = "self-profile")]
+            {
+                self.profile[i].wall_ns += t0.elapsed().as_nanos() as u64;
+            }
             ticked += 1;
         }
         self.pool.set_owner(None);
@@ -1688,6 +1885,11 @@ impl Sim {
         self.stats.wire_events += self.pool.take_wake_events();
         self.stats.batched_beats += self.pool.take_batched_beats();
         self.stats.batch_windows += 1;
+        if let Some(log) = &mut self.batch_window_log {
+            if log.len() < MAX_WINDOW_LOG {
+                log.push((cycle, window));
+            }
+        }
         self.drain_sanitizer();
         self.cycle = cycle + window;
         self.stats.ticks_executed += window;
@@ -2060,6 +2262,114 @@ mod tests {
             "overflow must be counted, got {}",
             sim.contract_violations_dropped()
         );
+    }
+
+    /// Pushes an undeclared W wire every cycle while declaring only a B
+    /// wire: with the sanitizer armed, every push is an UndeclaredPush.
+    struct RoguePusher {
+        declared: WireId<axi4::BBeat>,
+        undeclared: WireId<WBeat>,
+    }
+    impl Component for RoguePusher {
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            // Drain our own backlog so the wire never fills up.
+            ctx.pool.pop(self.undeclared, ctx.cycle);
+            if ctx.pool.can_push(self.undeclared, ctx.cycle) {
+                ctx.pool
+                    .push(self.undeclared, ctx.cycle, WBeat::full(1, true));
+            }
+        }
+        fn name(&self) -> &str {
+            "rogue"
+        }
+        fn ports(&self) -> Vec<PortDecl> {
+            vec![PortDecl::new("B", self.declared.index(), PortDir::Drive)]
+        }
+    }
+
+    /// Sanitizer violations beyond the retention bound are counted, not
+    /// stored — mirroring the contract-violation cap — and the stored
+    /// records carry the offender's name and access kind.
+    #[test]
+    fn sanitizer_violations_beyond_cap_are_counted() {
+        let mut sim = Sim::new();
+        let declared = sim.pool_mut().new_wire::<axi4::BBeat>(2);
+        let undeclared = sim.pool_mut().new_wire::<WBeat>(2);
+        sim.add(RoguePusher {
+            declared,
+            undeclared,
+        });
+        sim.set_sanitize(true);
+        sim.run(3 * MAX_VIOLATIONS as u64);
+        let violations = sim.sanitizer_violations();
+        assert_eq!(violations.len(), MAX_VIOLATIONS);
+        assert!(
+            sim.sanitizer_violations_dropped() >= 1,
+            "overflow must be counted, got {}",
+            sim.sanitizer_violations_dropped()
+        );
+        assert!(violations
+            .iter()
+            .all(|v| v.name == "rogue" && v.kind != SanitizerKind::UndeclaredWake));
+        // Both reporting paths surface in the telemetry sink: a total that
+        // includes the dropped tail, plus one instant per retained record.
+        let sink = sim.telemetry();
+        assert_eq!(
+            sink.get_counter("kernel.sanitizer_violations"),
+            Some(MAX_VIOLATIONS as u64 + sim.sanitizer_violations_dropped())
+        );
+        assert!(sink
+            .instants()
+            .iter()
+            .filter(|i| i.name.starts_with("sanitizer:"))
+            .count()
+            .eq(&MAX_VIOLATIONS));
+    }
+
+    /// Contract violations surface through `Sim::telemetry` the same way.
+    #[test]
+    fn contract_violations_surface_in_telemetry() {
+        let mut sim = Sim::new();
+        sim.add(AlwaysStale);
+        sim.run(10);
+        let sink = sim.telemetry();
+        let total = sink.get_counter("kernel.contract_violations").unwrap();
+        assert_eq!(total, sim.contract_violations().len() as u64);
+        assert!(total > 0);
+        assert!(sink
+            .instants()
+            .iter()
+            .any(|i| i.track == "kernel" && i.name.contains("stale-hint:always-stale")));
+    }
+
+    /// The self-profiler attributes visits per component under every
+    /// kernel, and the event kernel additionally attributes wakes.
+    #[test]
+    fn profiler_attributes_visits_and_wakes() {
+        let mut sim = Sim::new();
+        let wire = sim.pool_mut().new_wire::<WBeat>(2);
+        sim.add(Producer {
+            out: wire,
+            sent: 0,
+            limit: 5,
+        });
+        sim.add(Consumer {
+            input: wire,
+            received: Vec::new(),
+        });
+        sim.run(50);
+        let profile = sim.profile();
+        assert_eq!(profile.len(), 2);
+        assert!(profile[0].visits >= 5, "producer visits: {profile:?}");
+        assert!(profile[1].visits >= 5, "consumer visits: {profile:?}");
+        assert!(
+            profile[1].wakes > 0,
+            "consumer must be woken by pushes: {profile:?}"
+        );
+        assert_eq!(profile[0].name, sim.component_name(0).unwrap());
+        // Without the self-profile feature no wall-time is attributed.
+        #[cfg(not(feature = "self-profile"))]
+        assert!(profile.iter().all(|p| p.wall_ns == 0));
     }
 
     /// An early predicate exit out of `run_until_clamped` must not lose

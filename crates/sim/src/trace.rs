@@ -150,9 +150,19 @@ impl TraceProbe {
         self.events.is_empty()
     }
 
-    /// Events dropped because the ring was full.
+    /// Events the bounded ring could not retain: beats displaced by newer
+    /// ones once the ring was full, plus every beat refused outright by a
+    /// capacity-0 probe. The invariant `len() + dropped() == total beats
+    /// observed` always holds, so `dropped() == 0` certifies the ring as a
+    /// complete record of the run.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Renames the probe (used as its telemetry track and key prefix).
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_owned();
+        self
     }
 
     /// Events on one channel, oldest first.
@@ -173,7 +183,85 @@ impl TraceProbe {
         out
     }
 
+    /// Renders the trace as a JSON array of structured events (the machine
+    /// twin of [`TraceProbe::dump`]), feeding the same exporters as the
+    /// telemetry hook. Deterministic: events in ring order, integer fields
+    /// only.
+    pub fn export_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("[");
+        let mut first = true;
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let channel = match e.channel {
+                TraceChannel::Aw => "AW",
+                TraceChannel::W => "W",
+                TraceChannel::B => "B",
+                TraceChannel::Ar => "AR",
+                TraceChannel::R => "R",
+            };
+            let _ = write!(
+                out,
+                "\n  {{\"cycle\": {}, \"channel\": \"{channel}\", ",
+                e.cycle
+            );
+            match &e.payload {
+                TracePayload::Aw(b) => {
+                    let _ = write!(
+                        out,
+                        "\"id\": {}, \"addr\": {}, \"len\": {}}}",
+                        b.id.raw(),
+                        b.addr.raw(),
+                        b.len.beats()
+                    );
+                }
+                TracePayload::Ar(b) => {
+                    let _ = write!(
+                        out,
+                        "\"id\": {}, \"addr\": {}, \"len\": {}}}",
+                        b.id.raw(),
+                        b.addr.raw(),
+                        b.len.beats()
+                    );
+                }
+                TracePayload::W(b) => {
+                    let _ = write!(
+                        out,
+                        "\"data\": {}, \"strb\": {}, \"last\": {}}}",
+                        b.data, b.strb, b.last
+                    );
+                }
+                TracePayload::B(b) => {
+                    let _ = write!(out, "\"id\": {}, \"resp\": \"{}\"}}", b.id.raw(), b.resp);
+                }
+                TracePayload::R(b) => {
+                    let _ = write!(
+                        out,
+                        "\"id\": {}, \"data\": {}, \"resp\": \"{}\", \"last\": {}}}",
+                        b.id.raw(),
+                        b.data,
+                        b.resp,
+                        b.last
+                    );
+                }
+            }
+        }
+        out.push_str(if first { "]\n" } else { "\n]\n" });
+        out
+    }
+
     fn record(&mut self, cycle: Cycle, channel: TraceChannel, payload: TracePayload) {
+        // A capacity-0 probe retains nothing: refuse the event outright.
+        // (Falling through would pop an empty ring and then push, leaving
+        // one event in a ring whose capacity says zero, with `dropped`
+        // off by one against the `len + dropped == total` invariant.)
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
         if self.events.len() >= self.capacity {
             self.events.pop_front();
             self.dropped += 1;
@@ -233,6 +321,21 @@ impl Component for TraceProbe {
     // changes, which cannot happen while every wire is empty.
     fn next_event(&self, _cycle: Cycle) -> Option<Cycle> {
         None
+    }
+
+    fn telemetry(&self, sink: &mut realm_telemetry::TelemetrySink) {
+        sink.counter(&format!("{}.events", self.name), self.events.len() as u64);
+        sink.counter(&format!("{}.dropped", self.name), self.dropped);
+        for e in &self.events {
+            let label = match e.channel {
+                TraceChannel::Aw => "AW",
+                TraceChannel::W => "W",
+                TraceChannel::B => "B",
+                TraceChannel::Ar => "AR",
+                TraceChannel::R => "R",
+            };
+            sink.instant(&self.name, label, e.cycle);
+        }
     }
 }
 
@@ -375,6 +478,55 @@ mod tests {
             .collect();
         assert_eq!(ids, [0, 1, 2, 3, 4], "no beat may be lost across jumps");
         assert_eq!(p.dropped(), 0);
+    }
+
+    /// A capacity-0 probe is a pure drop counter: it must never retain an
+    /// event (the ring's capacity bound is absolute) and `dropped` must
+    /// account for every observed beat.
+    #[test]
+    fn capacity_zero_retains_nothing_and_counts_everything() {
+        let mut sim = Sim::new();
+        let bundle = AxiBundle::with_defaults(sim.pool_mut());
+        let probe = sim.add(TraceProbe::new(bundle, 0));
+        for i in 0..3u64 {
+            let c = sim.cycle();
+            sim.pool_mut().pop(bundle.b, c);
+            sim.pool_mut()
+                .push(bundle.b, c, BBeat::okay(TxnId::new(i as u32)));
+            sim.run(2);
+        }
+        let p = sim.component::<TraceProbe>(probe).unwrap();
+        assert_eq!(p.len(), 0, "capacity 0 must hold zero events");
+        assert!(p.is_empty());
+        assert_eq!(p.dropped(), 3, "every observed beat must be counted");
+        assert_eq!(p.export_json().trim(), "[]");
+    }
+
+    #[test]
+    fn export_json_mirrors_the_ring() {
+        let mut pool = ChannelPool::new();
+        let bundle = AxiBundle::with_defaults(&mut pool);
+        let mut probe = TraceProbe::new(bundle, 8).named("port0");
+        probe.record(
+            5,
+            TraceChannel::R,
+            TracePayload::R(RBeat::okay(TxnId::new(1), 0xabc, true)),
+        );
+        probe.record(7, TraceChannel::W, TracePayload::W(WBeat::full(3, false)));
+        let json = probe.export_json();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"cycle\": 5"));
+        assert!(json.contains("\"channel\": \"R\""));
+        assert!(json.contains("\"data\": 2748")); // 0xabc
+        assert!(json.contains("\"last\": false"));
+        assert_eq!(json.matches("\"cycle\"").count(), 2);
+
+        let mut sink = realm_telemetry::TelemetrySink::new();
+        Component::telemetry(&probe, &mut sink);
+        assert_eq!(sink.get_counter("port0.events"), Some(2));
+        assert_eq!(sink.get_counter("port0.dropped"), Some(0));
+        assert_eq!(sink.instants().len(), 2);
+        assert_eq!(sink.instants()[0].track, "port0");
     }
 
     #[test]

@@ -181,4 +181,61 @@ mod tests {
         assert_eq!(budgets[0].1, 8192);
         assert_eq!(budgets[4].1, 8192 / 5);
     }
+
+    /// Fig. 6b shape, read off the telemetry latency histograms: the
+    /// core's AR→R-last median sits inside the paper's single-source
+    /// envelope, blows up under uncontrolled contention, and returns
+    /// near the ideal once the DMA budget is skewed to 1/5.
+    #[test]
+    fn latency_histogram_medians_match_fig6b_shape() {
+        let median = |r: &RunResult| {
+            r.telemetry
+                .get_histogram("realm.core.read_latency")
+                .expect("core unit records a read-latency histogram")
+                .median_bound()
+                .expect("core reads completed")
+        };
+        let base = median(&single_source(N));
+        let worst = median(&without_reservation(N));
+        let skewed = median(&with_budget(8 * 1024 / 5, N));
+        assert!(
+            base <= 8,
+            "single-source median {base} beyond hot-LLC bound"
+        );
+        assert!(
+            worst >= 4 * base,
+            "contention must blow up the median: {worst} vs base {base}"
+        );
+        assert!(
+            skewed <= 2 * base,
+            "skewed-budget median {skewed} should be near the ideal {base}"
+        );
+    }
+
+    /// Arming trace export must not perturb the simulation: `REALM_TRACE`
+    /// only turns on event recording, so every published number and every
+    /// component-side telemetry counter/gauge/histogram stays
+    /// bit-identical — only the event lists grow. (The CI transparency
+    /// job checks the same property end-to-end across all binaries.)
+    #[test]
+    fn trace_arming_is_bit_identical() {
+        std::env::set_var("REALM_TRACE", "1");
+        let traced = with_budget(8 * 1024 / 5, N);
+        std::env::remove_var("REALM_TRACE");
+        let plain = with_budget(8 * 1024 / 5, N);
+        assert_eq!(traced.cycles, plain.cycles);
+        assert_eq!(traced.core_accesses, plain.core_accesses);
+        assert_eq!(traced.dma_bytes, plain.dma_bytes);
+        assert_eq!(traced.llc_beats, plain.llc_beats);
+        assert_eq!(traced.telemetry.counters(), plain.telemetry.counters());
+        assert_eq!(traced.telemetry.gauges(), plain.telemetry.gauges());
+        assert_eq!(traced.telemetry.histograms(), plain.telemetry.histograms());
+        // Only the armed run records transaction spans.
+        assert!(
+            traced.telemetry.spans().len() > plain.telemetry.spans().len(),
+            "traced {} vs plain {}",
+            traced.telemetry.spans().len(),
+            plain.telemetry.spans().len()
+        );
+    }
 }

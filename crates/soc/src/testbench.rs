@@ -4,7 +4,7 @@ use axi4::{Addr, SubordinateId, TxnId};
 use axi_conformance::{ConformanceReport, ProtocolMonitor, Scoreboard};
 use axi_mem::{MemoryConfig, MemoryModel, MmioSubordinate};
 use axi_realm::{BusGuard, DesignConfig, RealmRegFile, RealmUnit, RuntimeConfig};
-use axi_sim::{AxiBundle, BundleCapacity, ComponentId, KernelStats, Sim};
+use axi_sim::{AxiBundle, BundleCapacity, ComponentId, KernelStats, Sim, TelemetrySink};
 use axi_traffic::{
     CoreModel, CoreWorkload, DmaConfig, DmaModel, LatencyHistogram, LatencyStats, Op,
     ScriptedManager, StallPlan, StallingManager,
@@ -138,6 +138,11 @@ pub struct RunResult {
     /// How the kernel advanced time: executed ticks vs. fast-forwarded
     /// cycles (deterministic — identical across serial and parallel runs).
     pub kernel: KernelStats,
+    /// The unified telemetry registry harvested from every component (see
+    /// [`Sim::telemetry`]). Component-side counters and histograms in here
+    /// are kernel-invariant; the `kernel.*` counters and the event lists
+    /// are not, and must stay out of `results/*.json` (trace dumps only).
+    pub telemetry: TelemetrySink,
 }
 
 impl RunResult {
@@ -595,7 +600,14 @@ impl Testbench {
             dma_bytes: self.dma().map_or(0, |d| d.bytes_read() + d.bytes_written()),
             llc_beats: self.llc().beats_served(),
             kernel: self.sim.kernel_stats(),
+            telemetry: self.sim.telemetry(),
         }
+    }
+
+    /// Harvests the unified telemetry registry from every component (a
+    /// fresh walk of the hooks; see [`Sim::telemetry`]).
+    pub fn telemetry(&self) -> TelemetrySink {
+        self.sim.telemetry()
     }
 }
 

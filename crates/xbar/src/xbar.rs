@@ -661,6 +661,21 @@ impl Component for Crossbar {
         }
     }
 
+    fn telemetry(&self, sink: &mut axi_sim::TelemetrySink) {
+        // Same signals as `coverage`, but as registered counters: zero
+        // rows stay visible, documenting every port the crossbar serves.
+        for (m, stats) in self.stats.iter().enumerate() {
+            let prefix = format!("{}.m{m}", self.name);
+            sink.counter(&format!("{prefix}.ar_grants"), stats.ar_granted);
+            sink.counter(&format!("{prefix}.aw_grants"), stats.aw_granted);
+            sink.counter(&format!("{prefix}.blocked_cycles"), stats.blocked_cycles);
+            sink.counter(&format!("{prefix}.decode_errors"), stats.decode_errors);
+        }
+        for (s, stalls) in self.w_stalls.iter().enumerate() {
+            sink.counter(&format!("{}.s{s}.w_stall_cycles", self.name), *stalls);
+        }
+    }
+
     fn on_fast_forward(&mut self, from: axi_sim::Cycle, to: axi_sim::Cycle) {
         // Each elided tick would have charged one reserved-but-idle stall
         // to every subordinate whose W channel is held by a writer with no
